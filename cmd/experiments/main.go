@@ -1,0 +1,136 @@
+// Command experiments regenerates the paper's evaluation: every table and
+// figure of Austin, Pnevmatikatos & Sohi, "Streamlining Data Cache Access
+// with Fast Address Calculation" (ISCA 1995), measured on this repository's
+// substitute benchmark suite.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -fig2      # one experiment (also -table1 -fig3 -table3
+//	                       #   -table4 -fig6 -table6 -ablate)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig2   = flag.Bool("fig2", false, "Figure 2: impact of load latency on IPC")
+		table1 = flag.Bool("table1", false, "Table 1: program reference behavior")
+		fig3   = flag.Bool("fig3", false, "Figure 3: load offset distributions")
+		table3 = flag.Bool("table3", false, "Table 3: stats without software support")
+		table4 = flag.Bool("table4", false, "Table 4: stats with software support")
+		fig6   = flag.Bool("fig6", false, "Figure 6: speedups")
+		table6 = flag.Bool("table6", false, "Table 6: bandwidth overhead")
+		ablate = flag.Bool("ablate", false, "ablations (tag adder, store buffer, MSHRs, block size)")
+		ltbCmp = flag.Bool("ltb", false, "FAC vs load target buffer comparison (related work)")
+		agiCmp = flag.Bool("agi", false, "FAC vs AGI pipeline organization (related work)")
+		sweep  = flag.Bool("sweep", false, "cache-size sensitivity sweep")
+	)
+	flag.Parse()
+	all := !(*fig2 || *table1 || *fig3 || *table3 || *table4 || *fig6 || *table6 || *ablate || *ltbCmp || *agiCmp || *sweep)
+
+	s := experiments.NewSuite()
+	steps := []struct {
+		on   bool
+		name string
+		run  func() (string, error)
+	}{
+		{*table1 || all, "Table 1", func() (string, error) {
+			r, err := s.Table1()
+			if err != nil {
+				return "", err
+			}
+			return r.Table().String(), nil
+		}},
+		{*fig2 || all, "Figure 2", func() (string, error) {
+			r, err := s.Figure2()
+			if err != nil {
+				return "", err
+			}
+			return r.Table().String(), nil
+		}},
+		{*fig3 || all, "Figure 3", func() (string, error) {
+			r, err := s.Figure3()
+			if err != nil {
+				return "", err
+			}
+			return r.Table().String(), nil
+		}},
+		{*table3 || all, "Table 3", func() (string, error) {
+			r, err := s.Table3()
+			if err != nil {
+				return "", err
+			}
+			return r.Table().String(), nil
+		}},
+		{*table4 || all, "Table 4", func() (string, error) {
+			r, err := s.Table4()
+			if err != nil {
+				return "", err
+			}
+			return r.Table().String(), nil
+		}},
+		{*fig6 || all, "Figure 6", func() (string, error) {
+			r, err := s.Figure6()
+			if err != nil {
+				return "", err
+			}
+			return r.Table().String(), nil
+		}},
+		{*table6 || all, "Table 6", func() (string, error) {
+			r, err := s.Table6()
+			if err != nil {
+				return "", err
+			}
+			return r.Table().String(), nil
+		}},
+		{*ablate || all, "Ablations", func() (string, error) {
+			r, err := s.Ablations()
+			if err != nil {
+				return "", err
+			}
+			return r.Table().String(), nil
+		}},
+		{*ltbCmp || all, "LTB comparison", func() (string, error) {
+			r, err := s.CompareLTB()
+			if err != nil {
+				return "", err
+			}
+			return r.Table().String(), nil
+		}},
+		{*agiCmp || all, "AGI comparison", func() (string, error) {
+			r, err := s.CompareAGI()
+			if err != nil {
+				return "", err
+			}
+			return r.Table().String(), nil
+		}},
+		{*sweep || all, "Cache sweep", func() (string, error) {
+			r, err := s.CacheSweep()
+			if err != nil {
+				return "", err
+			}
+			return r.Table().String(), nil
+		}},
+	}
+	for _, st := range steps {
+		if !st.on {
+			continue
+		}
+		t0 := time.Now()
+		out, err := st.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", st.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s regenerated in %.1fs]\n\n", st.name, time.Since(t0).Seconds())
+	}
+}

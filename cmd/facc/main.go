@@ -1,0 +1,75 @@
+// Command facc compiles MiniC source to assembly for the extended MIPS-like
+// target, optionally enabling the paper's fast-address-calculation software
+// support (Section 4 alignment optimizations).
+//
+// Usage:
+//
+//	facc [-falign] [-fno-strength-reduce] [-o out.s] input.c
+//	facc -benchmark compress            # compile a built-in workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/minic"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		out    = flag.String("o", "", "output file (default stdout)")
+		falign = flag.Bool("falign", false, "enable fast-address-calculation alignment optimizations")
+		noSR   = flag.Bool("fno-strength-reduce", false, "disable strength reduction of array subscripts")
+		peep   = flag.Bool("fpeephole", false, "enable peephole cleanups of the generated assembly")
+		bench  = flag.String("benchmark", "", "compile a built-in benchmark instead of a file")
+	)
+	flag.Parse()
+
+	var src string
+	switch {
+	case *bench != "":
+		w, err := workload.ByName(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		src = w.Source
+	case flag.NArg() == 1:
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: facc [flags] input.c   (or -benchmark NAME; see -h)")
+		os.Exit(2)
+	}
+
+	opts := minic.BaseOptions()
+	if *falign {
+		opts = minic.FACOptions()
+	}
+	if *noSR {
+		opts.StrengthReduce = false
+	}
+	if *peep {
+		opts.Peephole = true
+	}
+	asmText, err := minic.Compile(src, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Print(asmText)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(asmText), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "facc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,157 @@
+// Command facprof attributes fast-address-calculation mispredictions to
+// individual load/store instructions: for a program (or built-in benchmark)
+// it reports the reference-behaviour summary and the top mispredicting
+// instruction sites with disassembly, failure signals, and the enclosing
+// function — the analysis the paper's Section 5.4 performed to diagnose
+// "array index failures" and "domain-specific storage allocators".
+//
+// Usage:
+//
+//	facprof [-falign] [-block 32] [-top 20] -benchmark compress
+//	facprof [-falign] input.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/fac"
+	"repro/internal/minic"
+	"repro/internal/profile"
+	"repro/internal/prog"
+	"repro/internal/workload"
+)
+
+type site struct {
+	pc       uint32
+	total    uint64
+	fails    uint64
+	failMask fac.Failure
+}
+
+func main() {
+	var (
+		bench  = flag.String("benchmark", "", "profile a built-in benchmark")
+		falign = flag.Bool("falign", false, "compile with software support")
+		block  = flag.Int("block", 32, "cache block size for the predictor (16 or 32)")
+		top    = flag.Int("top", 15, "number of top mispredicting sites to show")
+	)
+	flag.Parse()
+
+	p, err := buildInput(*bench, flag.Args(), *falign)
+	if err != nil {
+		fatal(err)
+	}
+	blockBits := uint(5)
+	if *block == 16 {
+		blockBits = 4
+	}
+	geom := fac.Config{BlockBits: blockBits, SetBits: 14}
+
+	e := emu.New(p)
+	e.MaxInsts = 2_000_000_000
+	prof := profile.New(geom)
+	sites := make(map[uint32]*site)
+	for !e.Halted {
+		tr, err := e.Step()
+		if err != nil {
+			fatal(err)
+		}
+		prof.Note(tr)
+		if !tr.Inst.Op.IsMem() {
+			continue
+		}
+		s := sites[tr.PC]
+		if s == nil {
+			s = &site{pc: tr.PC}
+			sites[tr.PC] = s
+		}
+		s.total++
+		if res := geom.Predict(tr.Base, tr.Offset, tr.IsRegOffset); !res.OK {
+			s.fails++
+			s.failMask |= res.Failure
+		}
+	}
+
+	pr := &prof.P
+	fmt.Printf("instructions %d, loads %d, stores %d\n", pr.Insts, pr.Loads, pr.Stores)
+	fmt.Printf("load breakdown: global %.1f%%, stack %.1f%%, general %.1f%%\n",
+		100*pr.LoadTypeShare(profile.Global),
+		100*pr.LoadTypeShare(profile.Stack),
+		100*pr.LoadTypeShare(profile.General))
+	fmt.Printf("failure rates (block %d): loads %.1f%%, stores %.1f%% (no-R+R: %.1f%% / %.1f%%)\n\n",
+		*block, 100*pr.LoadFailRate(0), 100*pr.StoreFailRate(0),
+		100*pr.LoadFailRateNoRR(0), 100*pr.StoreFailRateNoRR(0))
+
+	var list []*site
+	for _, s := range sites {
+		if s.fails > 0 {
+			list = append(list, s)
+		}
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].fails > list[j].fails })
+	fmt.Printf("top mispredicting sites:\n")
+	fmt.Printf("%-10s %-10s %-8s %-24s %-28s %s\n", "pc", "fails", "rate", "signals", "instruction", "function")
+	for i, s := range list {
+		if i >= *top {
+			break
+		}
+		in, _ := p.InstAt(s.pc)
+		fmt.Printf("%#08x  %-10d %6.1f%%  %-24s %-28s %s\n",
+			s.pc, s.fails, 100*float64(s.fails)/float64(s.total),
+			s.failMask.String(), in.String(), p.FuncName(s.pc))
+	}
+	if len(list) == 0 {
+		fmt.Println("  (none — every access predicted)")
+	}
+}
+
+func buildInput(bench string, args []string, falign bool) (*prog.Program, error) {
+	if bench != "" {
+		w, err := workload.ByName(bench)
+		if err != nil {
+			return nil, err
+		}
+		tc := workload.BaseToolchain()
+		if falign {
+			tc = workload.FACToolchain()
+		}
+		return workload.Build(w, tc)
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("need exactly one input file (or -benchmark NAME)")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, err
+	}
+	link := prog.DefaultConfig()
+	opts := minic.BaseOptions()
+	if falign {
+		opts = minic.FACOptions()
+		link.AlignGP = true
+	}
+	if strings.HasSuffix(args[0], ".s") {
+		obj, err := asm.Assemble(string(src))
+		if err != nil {
+			return nil, err
+		}
+		return prog.Link(obj, link)
+	}
+	asmText, err := minic.Compile(string(src), opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.Build(asmText, link)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "facprof:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,186 @@
+// Command facsim runs a program on the timing simulator and reports the
+// paper's statistics: cycles, IPC, cache behaviour, and — when fast address
+// calculation is enabled — prediction and bandwidth outcomes.
+//
+// The input is either a MiniC file (compiled on the fly), an assembly file
+// (*.s), or a built-in benchmark (-benchmark NAME).
+//
+// Usage:
+//
+//	facsim [-fac] [-rr] [-falign] [-block 32] [-functional] input.c
+//	facsim -fac -falign -benchmark qsortst
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/fac"
+	"repro/internal/minic"
+	"repro/internal/pipeline"
+	"repro/internal/prog"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		facOn      = flag.Bool("fac", false, "enable fast address calculation")
+		rr         = flag.Bool("rr", false, "speculate register+register accesses")
+		falign     = flag.Bool("falign", false, "compile with software support (alignment optimizations)")
+		block      = flag.Int("block", 32, "data cache block size (16 or 32)")
+		functional = flag.Bool("functional", false, "functional run only (no timing)")
+		maxInsts   = flag.Uint64("max-insts", 2_000_000_000, "instruction budget")
+		bench      = flag.String("benchmark", "", "run a built-in benchmark")
+		showOut    = flag.Bool("show-output", true, "echo program output")
+		traceN     = flag.Int("trace", 0, "print the first N executed instructions with predictor annotations")
+	)
+	flag.Parse()
+
+	p, err := buildInput(*bench, flag.Args(), *falign)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *traceN > 0 {
+		if err := printTrace(p, *traceN, *block); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *functional {
+		e, err := core.RunFunctional(p, *maxInsts)
+		if err != nil {
+			fatal(err)
+		}
+		if *showOut {
+			fmt.Print(e.Out.String())
+		}
+		fmt.Printf("\ninstructions  %d\nexit code     %d\n", e.InstCount, e.ExitCode)
+		return
+	}
+
+	cfg := pipeline.DefaultConfig()
+	cfg.FAC = *facOn
+	cfg.SpeculateRegReg = *rr
+	cfg.DCache.BlockSize = *block
+	res, err := core.Run(p, cfg, *maxInsts)
+	if err != nil {
+		fatal(err)
+	}
+	if *showOut {
+		fmt.Print(res.Output)
+	}
+	st := res.Stats
+	fmt.Printf(`
+instructions      %d
+cycles            %d
+IPC               %.3f
+loads / stores    %d / %d
+branch mispred    %.1f%% (%d of %d)
+I-cache miss      %.2f%%
+D-cache miss      %.2f%%
+store-buf stalls  %d
+mem footprint     %d KB
+`, st.Insts, st.Cycles, st.IPC(), st.Loads, st.Stores,
+		pct(st.BranchMispredicts, st.BranchLookups), st.BranchMispredicts, st.BranchLookups,
+		100*st.ICache.MissRatio(), 100*st.DCache.MissRatio(),
+		st.StoreBufferFullStalls, res.MemFootprint>>10)
+	if *facOn {
+		fmt.Printf(`fast address calculation:
+  loads speculated   %d (%.1f%% failed)
+  stores speculated  %d (%.1f%% failed)
+  bandwidth overhead %.1f%% of references
+`, st.LoadsSpeculated, 100*st.LoadFailRate(),
+			st.StoresSpeculated, 100*st.StoreFailRate(),
+			100*st.BandwidthOverhead())
+	}
+}
+
+// printTrace disassembles the first n executed instructions, annotating
+// memory accesses with their effective address and the fast-address-
+// calculation outcome.
+func printTrace(p *prog.Program, n, block int) error {
+	blockBits := uint(5)
+	if block == 16 {
+		blockBits = 4
+	}
+	geom := fac.Config{BlockBits: blockBits, SetBits: 14}
+	e := emu.New(p)
+	e.MaxInsts = uint64(n) + 1
+	for i := 0; i < n && !e.Halted; i++ {
+		tr, err := e.Step()
+		if err != nil {
+			return err
+		}
+		line := fmt.Sprintf("%8d  %#08x  %-30s", i, tr.PC, tr.Inst.String())
+		if tr.Inst.Op.IsMem() {
+			res := geom.Predict(tr.Base, tr.Offset, tr.IsRegOffset)
+			verdict := "fac:ok"
+			if !res.OK {
+				verdict = "fac:" + res.Failure.String()
+			}
+			line += fmt.Sprintf("  ea=%#08x  %s", tr.EffAddr, verdict)
+		} else if tr.Inst.Op.IsControl() && tr.NextPC != tr.PC+4 {
+			line += fmt.Sprintf("  -> %#08x", tr.NextPC)
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+func buildInput(bench string, args []string, falign bool) (*prog.Program, error) {
+	link := prog.DefaultConfig()
+	opts := minic.BaseOptions()
+	if falign {
+		opts = minic.FACOptions()
+		link.AlignGP = true
+	}
+	if bench != "" {
+		w, err := workload.ByName(bench)
+		if err != nil {
+			return nil, err
+		}
+		tc := workload.BaseToolchain()
+		if falign {
+			tc = workload.FACToolchain()
+		}
+		return workload.Build(w, tc)
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("need exactly one input file (or -benchmark NAME)")
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(args[0], ".s") {
+		obj, err := asm.Assemble(string(src))
+		if err != nil {
+			return nil, err
+		}
+		return prog.Link(obj, link)
+	}
+	asmText, err := minic.Compile(string(src), opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.Build(asmText, link)
+}
+
+func pct(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "facsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Addrprofile: the paper's Section 2 analysis for one benchmark — dynamic
+// reference counts, the global/stack/general breakdown of loads, the
+// cumulative offset-size distribution per class (Figure 3), and the
+// prediction failure rates the raw hardware would see (Table 3).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/fac"
+	"repro/internal/profile"
+	"repro/internal/workload"
+)
+
+func main() {
+	name := flag.String("benchmark", "compress", "workload to profile")
+	falign := flag.Bool("falign", false, "profile the software-support binary instead")
+	flag.Parse()
+
+	w, err := workload.ByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tc := workload.BaseToolchain()
+	if *falign {
+		tc = workload.FACToolchain()
+	}
+	p, err := workload.Build(w, tc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	geo16 := fac.Config{BlockBits: 4, SetBits: 14}
+	geo32 := fac.Config{BlockBits: 5, SetBits: 14}
+	prof, _, err := profile.Run(p, 0, geo16, geo32)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s, toolchain %s\n", w.Name, tc.Name)
+	fmt.Printf("instructions %d, loads %d (%.1f%%), stores %d (%.1f%%)\n\n",
+		prof.Insts,
+		prof.Loads, 100*float64(prof.Loads)/float64(prof.Insts),
+		prof.Stores, 100*float64(prof.Stores)/float64(prof.Insts))
+
+	fmt.Println("load breakdown and cumulative offset distribution (Figure 3):")
+	for rt := profile.Global; rt < profile.NumRefTypes; rt++ {
+		share := prof.LoadTypeShare(rt)
+		dist := prof.CumulativeOffsetDist(rt)
+		var bar strings.Builder
+		for k := 0; k <= 16; k += 2 {
+			fmt.Fprintf(&bar, "%3.0f%% ", 100*dist[k])
+		}
+		fmt.Printf("  %-8s %5.1f%% of loads | cum%% at 0/2/4/../16 bits: %s\n",
+			rt, 100*share, bar.String())
+	}
+
+	fmt.Println("\nprediction failure rates (hardware only):")
+	fmt.Printf("  16-byte blocks: loads %5.1f%%  stores %5.1f%%\n",
+		100*prof.LoadFailRate(0), 100*prof.StoreFailRate(0))
+	fmt.Printf("  32-byte blocks: loads %5.1f%%  stores %5.1f%%\n",
+		100*prof.LoadFailRate(1), 100*prof.StoreFailRate(1))
+	fmt.Printf("  32-byte blocks, excluding reg+reg mode: loads %5.1f%%  stores %5.1f%%\n",
+		100*prof.LoadFailRateNoRR(1), 100*prof.StoreFailRateNoRR(1))
+}

@@ -1,0 +1,82 @@
+// Swsupport: the effect of each Section 4 software-support ingredient on
+// prediction accuracy, measured one knob at a time on a single benchmark —
+// global-pointer alignment, stack-frame alignment, static/struct alignment,
+// and malloc alignment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/asm"
+	"repro/internal/fac"
+	"repro/internal/minic"
+	"repro/internal/profile"
+	"repro/internal/prog"
+	"repro/internal/workload"
+)
+
+func main() {
+	name := flag.String("benchmark", "compress", "workload to measure")
+	flag.Parse()
+	w, err := workload.ByName(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type variant struct {
+		name string
+		opts minic.Options
+		gp   bool
+	}
+	none := minic.BaseOptions()
+	all := minic.FACOptions()
+	onlyStack := none
+	onlyStack.AlignStack = true
+	onlyStatics := none
+	onlyStatics.AlignStatics = true
+	onlyStructs := none
+	onlyStructs.AlignStructs = true
+	onlyMalloc := none
+	onlyMalloc.MallocAlign = 32
+
+	variants := []variant{
+		{"none (baseline)", none, false},
+		{"+ gp alignment", none, true},
+		{"+ stack alignment", onlyStack, false},
+		{"+ static alignment", onlyStatics, false},
+		{"+ struct padding", onlyStructs, false},
+		{"+ malloc alignment", onlyMalloc, false},
+		{"all (paper Section 4)", all, true},
+	}
+
+	geo := fac.Config{BlockBits: 5, SetBits: 14}
+	fmt.Printf("benchmark %s — prediction failure rates (32B blocks), one knob at a time\n\n", w.Name)
+	fmt.Printf("%-24s %10s %10s %12s\n", "software support", "load-fail", "store-fail", "no-R+R load")
+	for _, v := range variants {
+		asmText, err := minic.Compile(w.Source, v.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		obj, err := asm.Assemble(asmText)
+		if err != nil {
+			log.Fatal(err)
+		}
+		link := prog.DefaultConfig()
+		link.AlignGP = v.gp
+		p, err := prog.Link(obj, link)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prof, e, err := profile.Run(p, 0, geo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if e.Out.String() != w.Expected {
+			log.Fatalf("%s: output changed under %q", w.Name, v.name)
+		}
+		fmt.Printf("%-24s %9.1f%% %9.1f%% %11.1f%%\n", v.name,
+			100*prof.LoadFailRate(0), 100*prof.StoreFailRate(0), 100*prof.LoadFailRateNoRR(0))
+	}
+}

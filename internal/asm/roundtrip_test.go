@@ -1,0 +1,126 @@
+package asm
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestDisassemblyReassembles: every instruction the disassembler prints is
+// accepted by the assembler and reassembles to the identical instruction —
+// the two tools agree on the surface syntax.
+func TestDisassemblyReassembles(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	reg := func() isa.Reg { return isa.Reg(r.Intn(32)) }
+	imm16 := func() int32 { return int32(int16(r.Uint32())) }
+
+	// Build a pool of random instructions covering every non-control,
+	// non-pseudo shape (branches/jumps print raw displacements/targets,
+	// which reassemble through the numeric path).
+	var insts []isa.Inst
+	for i := 0; i < 3000; i++ {
+		switch r.Intn(12) {
+		case 0:
+			ops := []isa.Op{isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.AND, isa.OR,
+				isa.XOR, isa.NOR, isa.SLT, isa.SLTU, isa.SLLV, isa.SRLV, isa.SRAV,
+				isa.REM, isa.REMU, isa.DIVU}
+			insts = append(insts, isa.Inst{Op: ops[r.Intn(len(ops))], Rd: reg(), Rs: reg(), Rt: reg()})
+		case 1:
+			ops := []isa.Op{isa.ADDI, isa.SLTI, isa.SLTIU}
+			insts = append(insts, isa.Inst{Op: ops[r.Intn(len(ops))], Rd: reg(), Rs: reg(), Imm: imm16()})
+		case 2:
+			ops := []isa.Op{isa.ANDI, isa.ORI, isa.XORI}
+			insts = append(insts, isa.Inst{Op: ops[r.Intn(len(ops))], Rd: reg(), Rs: reg(), Imm: int32(r.Intn(1 << 16))})
+		case 3:
+			ops := []isa.Op{isa.SLL, isa.SRL, isa.SRA}
+			insts = append(insts, isa.Inst{Op: ops[r.Intn(len(ops))], Rd: reg(), Rs: reg(), Imm: int32(r.Intn(32))})
+		case 4:
+			insts = append(insts, isa.Inst{Op: isa.LUI, Rd: reg(), Imm: int32(r.Intn(1 << 16))})
+		case 5:
+			ops := []isa.Op{isa.LB, isa.LBU, isa.LH, isa.LHU, isa.LW}
+			insts = append(insts, isa.Inst{Op: ops[r.Intn(len(ops))], Rd: reg(), Rs: reg(), Imm: imm16()})
+		case 6:
+			ops := []isa.Op{isa.SB, isa.SH, isa.SW}
+			insts = append(insts, isa.Inst{Op: ops[r.Intn(len(ops))], Rt: reg(), Rs: reg(), Imm: imm16()})
+		case 7:
+			ops := []isa.Op{isa.LBX, isa.LBUX, isa.LHX, isa.LHUX, isa.LWX, isa.SBX, isa.SHX, isa.SWX}
+			insts = append(insts, isa.Inst{Op: ops[r.Intn(len(ops))], Rd: reg(), Rs: reg(), Rt: reg()})
+		case 8:
+			insts = append(insts,
+				isa.Inst{Op: isa.LWPI, Rd: reg(), Rs: reg(), Imm: imm16()},
+				isa.Inst{Op: isa.SWPI, Rt: reg(), Rs: reg(), Imm: imm16()})
+		case 9:
+			insts = append(insts,
+				isa.Inst{Op: isa.LFD, Rd: reg(), Rs: reg(), Imm: imm16()},
+				isa.Inst{Op: isa.SFD, Rt: reg(), Rs: reg(), Imm: imm16()},
+				isa.Inst{Op: isa.LFDX, Rd: reg(), Rs: reg(), Rt: reg()},
+				isa.Inst{Op: isa.SFDX, Rd: reg(), Rs: reg(), Rt: reg()})
+		case 10:
+			ops := []isa.Op{isa.FADD, isa.FSUB, isa.FMUL, isa.FDIV}
+			insts = append(insts, isa.Inst{Op: ops[r.Intn(len(ops))], Rd: reg(), Rs: reg(), Rt: reg()})
+			insts = append(insts, isa.Inst{Op: isa.FMOV, Rd: reg(), Rs: reg()})
+			insts = append(insts, isa.Inst{Op: isa.FCLT, Rs: reg(), Rt: reg()})
+		case 11:
+			insts = append(insts,
+				isa.Inst{Op: isa.MTC1, Rd: reg(), Rs: reg()},
+				isa.Inst{Op: isa.MFC1, Rd: reg(), Rs: reg()},
+				isa.Inst{Op: isa.CVTDW, Rd: reg(), Rs: reg()},
+				isa.Inst{Op: isa.SYSCALL},
+				isa.Inst{Op: isa.JR, Rs: reg()},
+				isa.Inst{Op: isa.JALR, Rd: reg(), Rs: reg()})
+		}
+	}
+
+	var src strings.Builder
+	src.WriteString("main:\n")
+	for _, in := range insts {
+		fmt.Fprintf(&src, "\t%s\n", in.String())
+	}
+	o, err := Assemble(src.String())
+	if err != nil {
+		t.Fatalf("reassembly failed: %v", err)
+	}
+	if len(o.Text) != len(insts) {
+		t.Fatalf("reassembled %d instructions, want %d", len(o.Text), len(insts))
+	}
+	for i := range insts {
+		if o.Text[i] != insts[i] {
+			t.Fatalf("instruction %d: %v reassembled as %v (%+v vs %+v)",
+				i, insts[i], o.Text[i], insts[i], o.Text[i])
+		}
+	}
+}
+
+// TestBranchAndJumpDisassemblyReassembles covers the control-transfer
+// shapes, whose operands print as raw numbers.
+func TestBranchAndJumpDisassemblyReassembles(t *testing.T) {
+	insts := []isa.Inst{
+		{Op: isa.BEQ, Rs: isa.T0, Rt: isa.T1, Imm: -8},
+		{Op: isa.BNE, Rs: isa.T2, Rt: isa.Zero, Imm: 16},
+		{Op: isa.BLEZ, Rs: isa.T0, Imm: 4},
+		{Op: isa.BGTZ, Rs: isa.T0, Imm: -4},
+		{Op: isa.BLTZ, Rs: isa.T0, Imm: 8},
+		{Op: isa.BGEZ, Rs: isa.T0, Imm: 12},
+		{Op: isa.BC1T, Imm: 8},
+		{Op: isa.BC1F, Imm: -12},
+		{Op: isa.J, Imm: 0x400000},
+		{Op: isa.JAL, Imm: 0x400010},
+	}
+	var src strings.Builder
+	src.WriteString("main:\n")
+	for _, in := range insts {
+		fmt.Fprintf(&src, "\t%s\n", in.String())
+	}
+	o, err := Assemble(src.String())
+	if err != nil {
+		t.Fatalf("reassembly failed: %v\n%s", err, src.String())
+	}
+	for i := range insts {
+		if o.Text[i] != insts[i] {
+			t.Errorf("instruction %d: %v reassembled as %+v", i, insts[i], o.Text[i])
+		}
+	}
+}

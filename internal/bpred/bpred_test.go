@@ -1,0 +1,106 @@
+package bpred
+
+import "testing"
+
+func TestColdPredictNotTaken(t *testing.T) {
+	b := New(1024)
+	taken, target := b.Predict(0x400000)
+	if taken || target != 0x400004 {
+		t.Errorf("cold predict = %v, %#x", taken, target)
+	}
+}
+
+func TestTrainTaken(t *testing.T) {
+	b := New(1024)
+	pc, tgt := uint32(0x400010), uint32(0x400100)
+	if mis := b.Update(pc, true, tgt); !mis {
+		t.Error("first taken branch should mispredict")
+	}
+	// Inserted with counter 2: predicts taken immediately.
+	if taken, target := b.Predict(pc); !taken || target != tgt {
+		t.Errorf("after one taken update: %v, %#x", taken, target)
+	}
+	if mis := b.Update(pc, true, tgt); mis {
+		t.Error("second taken branch should predict correctly")
+	}
+}
+
+func TestHysteresis(t *testing.T) {
+	b := New(1024)
+	pc, tgt := uint32(0x400010), uint32(0x400100)
+	b.Update(pc, true, tgt)
+	b.Update(pc, true, tgt) // counter now 3
+	// One not-taken: counter 2, still predicts taken.
+	b.Update(pc, false, 0)
+	if taken, _ := b.Predict(pc); !taken {
+		t.Error("single not-taken flipped a saturated counter")
+	}
+	// Second not-taken: counter 1, predicts not-taken.
+	b.Update(pc, false, 0)
+	if taken, _ := b.Predict(pc); taken {
+		t.Error("two not-takens did not flip prediction")
+	}
+	// Counter floors at zero.
+	b.Update(pc, false, 0)
+	b.Update(pc, false, 0)
+	if taken, _ := b.Predict(pc); taken {
+		t.Error("floored counter predicts taken")
+	}
+}
+
+func TestTargetChange(t *testing.T) {
+	b := New(1024)
+	pc := uint32(0x400010)
+	b.Update(pc, true, 0x400100)
+	b.Update(pc, true, 0x400100)
+	// Same direction, new target (e.g. jr): misprediction, target retrained.
+	if mis := b.Update(pc, true, 0x400200); !mis {
+		t.Error("target change not counted as mispredict")
+	}
+	if _, target := b.Predict(pc); target != 0x400200 {
+		t.Errorf("target not retrained: %#x", target)
+	}
+}
+
+func TestAliasing(t *testing.T) {
+	b := New(16)
+	pcA := uint32(0x400000)
+	pcB := pcA + 16*4 // same index, different tag
+	b.Update(pcA, true, 0x400100)
+	// B misses (tag mismatch) -> predicted not-taken.
+	if taken, _ := b.Predict(pcB); taken {
+		t.Error("aliased entry predicted taken for wrong tag")
+	}
+	// Training B replaces A.
+	b.Update(pcB, true, 0x400300)
+	if taken, _ := b.Predict(pcA); taken {
+		t.Error("A survived B's replacement with matching tag")
+	}
+}
+
+func TestAccuracyCounters(t *testing.T) {
+	b := New(64)
+	pc, tgt := uint32(0x400010), uint32(0x400080)
+	for i := 0; i < 10; i++ {
+		b.Update(pc, true, tgt)
+	}
+	lookups, mis := b.Counts()
+	if lookups != 10 || mis != 1 {
+		t.Errorf("counts = %d, %d", lookups, mis)
+	}
+	if acc := b.Accuracy(); acc != 0.9 {
+		t.Errorf("accuracy = %v", acc)
+	}
+	if New(64).Accuracy() != 1 {
+		t.Error("empty accuracy not 1")
+	}
+}
+
+func TestBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(3) did not panic")
+		}
+	}()
+	New(3)
+}

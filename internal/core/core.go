@@ -1,0 +1,90 @@
+// Package core is the public facade of the fast-address-calculation study:
+// it assembles and links programs, runs them on the timing simulator with or
+// without fast address calculation, and returns combined functional +
+// timing results. The experiment harness, the examples, and the benchmark
+// suite are all built on this package.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/pipeline"
+	"repro/internal/prog"
+)
+
+// Build assembles one translation unit and links it.
+func Build(source string, link prog.Config) (*prog.Program, error) {
+	o, err := asm.Assemble(source)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Link(o, link)
+}
+
+// Result combines the functional outcome of a run with its timing.
+type Result struct {
+	Stats    pipeline.Stats
+	Output   string
+	ExitCode int32
+	// MemFootprint is the number of data bytes touched (whole pages), the
+	// paper's "memory usage" metric.
+	MemFootprint uint64
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 { return r.Stats.IPC() }
+
+// traceSource adapts the emulator to the pipeline's Source interface.
+type traceSource struct {
+	e *emu.Emulator
+}
+
+func (t *traceSource) Next() (emu.Trace, bool, error) {
+	if t.e.Halted {
+		return emu.Trace{}, false, nil
+	}
+	tr, err := t.e.Step()
+	if err != nil {
+		return emu.Trace{}, false, err
+	}
+	return tr, true, nil
+}
+
+// Run executes the program on the timing simulator. maxInsts bounds the
+// dynamic instruction count (0 = unlimited).
+func Run(p *prog.Program, machine pipeline.Config, maxInsts uint64) (Result, error) {
+	e := emu.New(p)
+	e.MaxInsts = maxInsts
+	stats, err := pipeline.Run(machine, &traceSource{e})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Stats:        stats,
+		Output:       e.Out.String(),
+		ExitCode:     e.ExitCode,
+		MemFootprint: e.Mem.Footprint(),
+	}, nil
+}
+
+// RunFunctional executes the program on the emulator alone (no timing),
+// returning the final emulator state for profiling and output checks.
+func RunFunctional(p *prog.Program, maxInsts uint64) (*emu.Emulator, error) {
+	e := emu.New(p)
+	e.MaxInsts = maxInsts
+	if err := e.Run(); err != nil {
+		return e, err
+	}
+	return e, nil
+}
+
+// BuildAndRun is the one-call convenience: assemble, link, simulate.
+func BuildAndRun(source string, link prog.Config, machine pipeline.Config, maxInsts uint64) (Result, error) {
+	p, err := Build(source, link)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: %w", err)
+	}
+	return Run(p, machine, maxInsts)
+}

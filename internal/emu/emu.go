@@ -1,0 +1,355 @@
+// Package emu implements the user-level functional emulator for the
+// extended MIPS-like ISA. It executes linked programs, services the small
+// syscall set used by the runtime library, and produces per-instruction
+// trace records carrying everything the timing simulator and the
+// fast-address-calculation predictor need: the dynamic instruction, its
+// effective address, and the raw base/offset operand values of every memory
+// access.
+package emu
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/prog"
+)
+
+// Syscall codes (in $v0 at the syscall instruction).
+const (
+	SysPrintInt    = 1
+	SysPrintDouble = 3
+	SysPrintString = 4
+	SysSbrk        = 9
+	SysExit        = 10
+	SysPrintChar   = 11
+)
+
+// Trace describes one executed instruction.
+type Trace struct {
+	PC     uint32
+	Inst   isa.Inst
+	NextPC uint32
+	// Memory access operands (valid when Inst.Op.IsMem()):
+	EffAddr     uint32 // the architectural effective address
+	Base        uint32 // base register value at execute time
+	Offset      uint32 // offset value (sign-extended constant or index register)
+	IsRegOffset bool   // offset came from the register file
+	// Branch outcome (valid when Inst.Op.IsBranch()):
+	Taken bool
+}
+
+// Emulator holds the architectural state of a running program.
+type Emulator struct {
+	Prog *prog.Program
+	Mem  *mem.Memory
+
+	R   [isa.NumRegs]uint32
+	F   [isa.NumRegs]float64
+	FCC bool
+	PC  uint32
+	Brk uint32
+
+	Out       bytes.Buffer
+	Halted    bool
+	ExitCode  int32
+	InstCount uint64
+
+	// MaxInsts aborts execution with an error when exceeded (0 = no limit).
+	MaxInsts uint64
+}
+
+// New creates an emulator with a fresh memory image and the architectural
+// startup state (PC at the entry point, GP and SP initialized — the work a
+// real crt0/kernel would do).
+func New(p *prog.Program) *Emulator {
+	e := &Emulator{
+		Prog: p,
+		Mem:  p.NewMemory(),
+		PC:   p.Entry,
+		Brk:  p.HeapBase,
+	}
+	e.R[isa.GP] = p.GP
+	e.R[isa.SP] = p.SP
+	e.R[isa.RA] = haltAddr
+	return e
+}
+
+// haltAddr is the return address planted in $ra at startup: a jr to it
+// terminates the program (mirrors returning from main into exit()).
+const haltAddr = 0xFFFF0000
+
+func signExt16(v int32) uint32 { return uint32(v) }
+
+// Step executes one instruction. It returns the trace record and an error
+// for architectural faults (unaligned access, bad PC, division by zero).
+// Stepping a halted emulator returns ErrHalted.
+func (e *Emulator) Step() (Trace, error) {
+	if e.Halted {
+		return Trace{}, ErrHalted
+	}
+	if e.MaxInsts != 0 && e.InstCount >= e.MaxInsts {
+		return Trace{}, fmt.Errorf("emu: instruction budget %d exceeded at pc %#x", e.MaxInsts, e.PC)
+	}
+	in, ok := e.Prog.InstAt(e.PC)
+	if !ok {
+		return Trace{}, fmt.Errorf("emu: bad pc %#x", e.PC)
+	}
+	tr := Trace{PC: e.PC, Inst: in, NextPC: e.PC + isa.InstBytes}
+	if err := e.exec(in, &tr); err != nil {
+		return tr, fmt.Errorf("emu: pc %#x (%v in %s): %w", tr.PC, in, e.Prog.FuncName(tr.PC), err)
+	}
+	e.R[isa.Zero] = 0
+	e.InstCount++
+	e.PC = tr.NextPC
+	if e.PC == haltAddr && !e.Halted {
+		e.Halted = true
+		e.ExitCode = int32(e.R[isa.V0])
+	}
+	return tr, nil
+}
+
+// ErrHalted is returned by Step once the program has exited.
+var ErrHalted = fmt.Errorf("emu: program halted")
+
+// Run executes until the program exits or faults.
+func (e *Emulator) Run() error {
+	for !e.Halted {
+		if _, err := e.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Emulator) exec(in isa.Inst, tr *Trace) error {
+	r := &e.R
+	sv := func(x uint32) int32 { return int32(x) }
+	switch in.Op {
+	case isa.ADD:
+		r[in.Rd] = r[in.Rs] + r[in.Rt]
+	case isa.SUB:
+		r[in.Rd] = r[in.Rs] - r[in.Rt]
+	case isa.MUL:
+		r[in.Rd] = uint32(sv(r[in.Rs]) * sv(r[in.Rt]))
+	case isa.DIV:
+		if r[in.Rt] == 0 {
+			return fmt.Errorf("integer division by zero")
+		}
+		r[in.Rd] = uint32(sv(r[in.Rs]) / sv(r[in.Rt]))
+	case isa.DIVU:
+		if r[in.Rt] == 0 {
+			return fmt.Errorf("integer division by zero")
+		}
+		r[in.Rd] = r[in.Rs] / r[in.Rt]
+	case isa.REM:
+		if r[in.Rt] == 0 {
+			return fmt.Errorf("integer division by zero")
+		}
+		r[in.Rd] = uint32(sv(r[in.Rs]) % sv(r[in.Rt]))
+	case isa.REMU:
+		if r[in.Rt] == 0 {
+			return fmt.Errorf("integer division by zero")
+		}
+		r[in.Rd] = r[in.Rs] % r[in.Rt]
+	case isa.AND:
+		r[in.Rd] = r[in.Rs] & r[in.Rt]
+	case isa.OR:
+		r[in.Rd] = r[in.Rs] | r[in.Rt]
+	case isa.XOR:
+		r[in.Rd] = r[in.Rs] ^ r[in.Rt]
+	case isa.NOR:
+		r[in.Rd] = ^(r[in.Rs] | r[in.Rt])
+	case isa.SLT:
+		r[in.Rd] = b2u(sv(r[in.Rs]) < sv(r[in.Rt]))
+	case isa.SLTU:
+		r[in.Rd] = b2u(r[in.Rs] < r[in.Rt])
+	case isa.SLLV:
+		r[in.Rd] = r[in.Rs] << (r[in.Rt] & 31)
+	case isa.SRLV:
+		r[in.Rd] = r[in.Rs] >> (r[in.Rt] & 31)
+	case isa.SRAV:
+		r[in.Rd] = uint32(sv(r[in.Rs]) >> (r[in.Rt] & 31))
+
+	case isa.ADDI:
+		r[in.Rd] = r[in.Rs] + signExt16(in.Imm)
+	case isa.ANDI:
+		r[in.Rd] = r[in.Rs] & uint32(in.Imm)
+	case isa.ORI:
+		r[in.Rd] = r[in.Rs] | uint32(in.Imm)
+	case isa.XORI:
+		r[in.Rd] = r[in.Rs] ^ uint32(in.Imm)
+	case isa.SLTI:
+		r[in.Rd] = b2u(sv(r[in.Rs]) < in.Imm)
+	case isa.SLTIU:
+		r[in.Rd] = b2u(r[in.Rs] < uint32(in.Imm))
+	case isa.SLL:
+		r[in.Rd] = r[in.Rs] << uint32(in.Imm&31)
+	case isa.SRL:
+		r[in.Rd] = r[in.Rs] >> uint32(in.Imm&31)
+	case isa.SRA:
+		r[in.Rd] = uint32(sv(r[in.Rs]) >> uint32(in.Imm&31))
+	case isa.LUI:
+		r[in.Rd] = uint32(in.Imm) << 16
+
+	case isa.BEQ:
+		e.branch(tr, r[in.Rs] == r[in.Rt], in.Imm)
+	case isa.BNE:
+		e.branch(tr, r[in.Rs] != r[in.Rt], in.Imm)
+	case isa.BLEZ:
+		e.branch(tr, sv(r[in.Rs]) <= 0, in.Imm)
+	case isa.BGTZ:
+		e.branch(tr, sv(r[in.Rs]) > 0, in.Imm)
+	case isa.BLTZ:
+		e.branch(tr, sv(r[in.Rs]) < 0, in.Imm)
+	case isa.BGEZ:
+		e.branch(tr, sv(r[in.Rs]) >= 0, in.Imm)
+	case isa.BC1T:
+		e.branch(tr, e.FCC, in.Imm)
+	case isa.BC1F:
+		e.branch(tr, !e.FCC, in.Imm)
+	case isa.J:
+		tr.NextPC = uint32(in.Imm)
+	case isa.JAL:
+		r[isa.RA] = tr.PC + isa.InstBytes
+		tr.NextPC = uint32(in.Imm)
+	case isa.JR:
+		tr.NextPC = r[in.Rs]
+	case isa.JALR:
+		link := tr.PC + isa.InstBytes
+		tr.NextPC = r[in.Rs]
+		r[in.Rd] = link
+	case isa.SYSCALL:
+		return e.syscall(tr)
+
+	case isa.FADD:
+		e.F[in.Rd] = e.F[in.Rs] + e.F[in.Rt]
+	case isa.FSUB:
+		e.F[in.Rd] = e.F[in.Rs] - e.F[in.Rt]
+	case isa.FMUL:
+		e.F[in.Rd] = e.F[in.Rs] * e.F[in.Rt]
+	case isa.FDIV:
+		e.F[in.Rd] = e.F[in.Rs] / e.F[in.Rt]
+	case isa.FNEG:
+		e.F[in.Rd] = -e.F[in.Rs]
+	case isa.FABS:
+		e.F[in.Rd] = math.Abs(e.F[in.Rs])
+	case isa.FMOV:
+		e.F[in.Rd] = e.F[in.Rs]
+	case isa.FCLT:
+		e.FCC = e.F[in.Rs] < e.F[in.Rt]
+	case isa.FCLE:
+		e.FCC = e.F[in.Rs] <= e.F[in.Rt]
+	case isa.FCEQ:
+		e.FCC = e.F[in.Rs] == e.F[in.Rt]
+	case isa.MTC1:
+		e.F[in.Rd] = math.Float64frombits(uint64(r[in.Rs]))
+	case isa.MFC1:
+		r[in.Rd] = uint32(math.Float64bits(e.F[in.Rs]))
+	case isa.CVTDW:
+		e.F[in.Rd] = float64(int32(uint32(math.Float64bits(e.F[in.Rs]))))
+	case isa.CVTWD:
+		e.F[in.Rd] = math.Float64frombits(uint64(uint32(int32(e.F[in.Rs]))))
+
+	default:
+		if in.Op.IsMem() {
+			return e.memOp(in, tr)
+		}
+		return fmt.Errorf("unimplemented op %v", in.Op)
+	}
+	return nil
+}
+
+func (e *Emulator) branch(tr *Trace, taken bool, disp int32) {
+	tr.Taken = taken
+	if taken {
+		tr.NextPC = tr.PC + isa.InstBytes + uint32(disp)
+	}
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// memOp executes a load or store, recording the operand values the
+// fast-address-calculation predictor sees.
+func (e *Emulator) memOp(in isa.Inst, tr *Trace) error {
+	base := e.R[in.BaseReg()]
+	var ofs uint32
+	switch in.Op.Mode() {
+	case isa.AMConst:
+		ofs = signExt16(in.Imm)
+	case isa.AMReg:
+		ofs = e.R[in.IndexReg()]
+		tr.IsRegOffset = true
+	case isa.AMPost:
+		ofs = 0 // the access uses the base directly; increment is post
+	}
+	addr := base + ofs
+	tr.EffAddr, tr.Base, tr.Offset = addr, base, ofs
+
+	size := in.Op.MemSize()
+	if addr&uint32(size-1) != 0 {
+		return fmt.Errorf("unaligned %d-byte access at %#x", size, addr)
+	}
+	if in.Op.IsLoad() {
+		switch in.Op {
+		case isa.LB, isa.LBX:
+			e.R[in.Rd] = uint32(int32(int8(e.Mem.Read8(addr))))
+		case isa.LBU, isa.LBUX:
+			e.R[in.Rd] = uint32(e.Mem.Read8(addr))
+		case isa.LH, isa.LHX:
+			e.R[in.Rd] = uint32(int32(int16(e.Mem.Read16(addr))))
+		case isa.LHU, isa.LHUX:
+			e.R[in.Rd] = uint32(e.Mem.Read16(addr))
+		case isa.LW, isa.LWX, isa.LWPI:
+			e.R[in.Rd] = e.Mem.Read32(addr)
+		case isa.LFD, isa.LFDX, isa.LFDPI:
+			e.F[in.Rd] = math.Float64frombits(e.Mem.Read64(addr))
+		}
+	} else {
+		data := in.StoreDataReg()
+		switch in.Op {
+		case isa.SB, isa.SBX:
+			e.Mem.Write8(addr, byte(e.R[data]))
+		case isa.SH, isa.SHX:
+			e.Mem.Write16(addr, uint16(e.R[data]))
+		case isa.SW, isa.SWX, isa.SWPI:
+			e.Mem.Write32(addr, e.R[data])
+		case isa.SFD, isa.SFDX, isa.SFDPI:
+			e.Mem.Write64(addr, math.Float64bits(e.F[data]))
+		}
+	}
+	if in.Op.Mode() == isa.AMPost {
+		e.R[in.Rs] = base + signExt16(in.Imm)
+	}
+	return nil
+}
+
+func (e *Emulator) syscall(tr *Trace) error {
+	switch e.R[isa.V0] {
+	case SysPrintInt:
+		fmt.Fprintf(&e.Out, "%d", int32(e.R[isa.A0]))
+	case SysPrintDouble:
+		fmt.Fprintf(&e.Out, "%g", e.F[12])
+	case SysPrintString:
+		e.Out.WriteString(e.Mem.ReadCString(e.R[isa.A0], 1<<20))
+	case SysPrintChar:
+		e.Out.WriteByte(byte(e.R[isa.A0]))
+	case SysSbrk:
+		old := e.Brk
+		e.Brk += e.R[isa.A0]
+		e.R[isa.V0] = old
+	case SysExit:
+		e.Halted = true
+		e.ExitCode = int32(e.R[isa.A0])
+	default:
+		return fmt.Errorf("unknown syscall %d", e.R[isa.V0])
+	}
+	return nil
+}

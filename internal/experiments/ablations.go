@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"repro/internal/fac"
+	"repro/internal/profile"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// AblationRow is one benchmark's ablation measurements.
+type AblationRow struct {
+	Name  string
+	Class workload.Class
+
+	// Tag adder: hardware-only load failure rates at 32B blocks.
+	LoadFailOR  float64 // plain carry-free OR in the tag field
+	LoadFailTag float64 // full adder in the tag field
+	TagSpeedup  float64 // cycles(no tag adder)/cycles(tag adder)
+
+	// Store buffer depth: cycles relative to the 16-entry default.
+	SB4Rel  float64
+	SB64Rel float64
+
+	// Outstanding misses: cycles with 1 MSHR relative to 8.
+	MSHR1Rel float64
+
+	// Block-size sweep: hardware-only load failure rates.
+	LoadFail16 float64
+	LoadFail32 float64
+	LoadFail64 float64
+}
+
+// AblationResult is the full ablation study.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// Ablations measures the design-choice sensitivities DESIGN.md calls out:
+// the optional tag adder (paper Section 3.1), store-buffer depth, the
+// number of outstanding misses, and the predictor's block-offset width.
+func (s *Suite) Ablations() (*AblationResult, error) {
+	pairs := [][2]string{
+		{"base", string(MFAC32)}, {"base", string(MFAC32Tag)},
+		{"fac", string(MFAC32)}, {"fac", string(MFAC32SB4)}, {"fac", string(MFAC32SB64)},
+		{"fac", string(MFAC32MSHR1)},
+	}
+	if err := s.Prefetch(pairs); err != nil {
+		return nil, err
+	}
+
+	geoTag := fac.Config{BlockBits: 5, SetBits: 14, TagAdder: true}
+	geo64 := fac.Config{BlockBits: 6, SetBits: 14}
+
+	res := &AblationResult{}
+	for _, w := range workload.All() {
+		row := AblationRow{Name: w.Name, Class: w.Class}
+
+		p, err := s.Program(w, "base")
+		if err != nil {
+			return nil, err
+		}
+		prof, _, err := profile.Run(p, s.MaxInsts, Geo16, Geo32, geoTag, geo64)
+		if err != nil {
+			return nil, err
+		}
+		row.LoadFail16 = prof.LoadFailRate(0)
+		row.LoadFail32 = prof.LoadFailRate(1)
+		row.LoadFailOR = prof.LoadFailRate(1)
+		row.LoadFailTag = prof.LoadFailRate(2)
+		row.LoadFail64 = prof.LoadFailRate(3)
+
+		noTag, err := s.Timing(w, "base", MFAC32)
+		if err != nil {
+			return nil, err
+		}
+		withTag, err := s.Timing(w, "base", MFAC32Tag)
+		if err != nil {
+			return nil, err
+		}
+		row.TagSpeedup = float64(noTag.Cycles) / float64(withTag.Cycles)
+
+		sb16, err := s.Timing(w, "fac", MFAC32)
+		if err != nil {
+			return nil, err
+		}
+		sb4, err := s.Timing(w, "fac", MFAC32SB4)
+		if err != nil {
+			return nil, err
+		}
+		sb64, err := s.Timing(w, "fac", MFAC32SB64)
+		if err != nil {
+			return nil, err
+		}
+		row.SB4Rel = float64(sb4.Cycles) / float64(sb16.Cycles)
+		row.SB64Rel = float64(sb64.Cycles) / float64(sb16.Cycles)
+
+		mshr1, err := s.Timing(w, "fac", MFAC32MSHR1)
+		if err != nil {
+			return nil, err
+		}
+		row.MSHR1Rel = float64(mshr1.Cycles) / float64(sb16.Cycles)
+
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the ablation study as text.
+func (r *AblationResult) Table() *stats.Table {
+	t := &stats.Table{
+		Title: "Ablations: tag adder, store buffer depth, MSHRs, block size",
+		Headers: []string{"benchmark",
+			"ldfail%OR", "ldfail%tag", "tag-speedup",
+			"sb4 rel", "sb64 rel", "mshr1 rel",
+			"ldfail%16B", "ldfail%32B", "ldfail%64B"},
+	}
+	var tagSp, sb4, sb64, mshr []float64
+	for _, row := range r.Rows {
+		t.AddRow(row.Name,
+			stats.Pct(row.LoadFailOR), stats.Pct(row.LoadFailTag), stats.F3(row.TagSpeedup),
+			stats.F3(row.SB4Rel), stats.F3(row.SB64Rel), stats.F3(row.MSHR1Rel),
+			stats.Pct(row.LoadFail16), stats.Pct(row.LoadFail32), stats.Pct(row.LoadFail64))
+		tagSp = append(tagSp, row.TagSpeedup)
+		sb4 = append(sb4, row.SB4Rel)
+		sb64 = append(sb64, row.SB64Rel)
+		mshr = append(mshr, row.MSHR1Rel)
+	}
+	t.AddRow("GeoMean", "", "", stats.F3(stats.GeoMean(tagSp)),
+		stats.F3(stats.GeoMean(sb4)), stats.F3(stats.GeoMean(sb64)),
+		stats.F3(stats.GeoMean(mshr)), "", "")
+	return t
+}

@@ -1,0 +1,278 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5) on the substitute benchmark suite: Figure 2 (load
+// latency potential), Table 1 (reference behaviour), Figure 3 (offset
+// distributions), Table 3 (baseline statistics and prediction failure
+// rates), Table 4 (software support), Figure 6 (speedups), Table 6 (cache
+// bandwidth overhead), plus the ablations DESIGN.md calls out (tag adder,
+// store-buffer depth, MSHR count, block size).
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fac"
+	"repro/internal/pipeline"
+	"repro/internal/profile"
+	"repro/internal/prog"
+	"repro/internal/workload"
+)
+
+// Geometries used throughout: the paper's 16KB direct-mapped cache with 16-
+// and 32-byte blocks.
+var (
+	Geo16 = fac.Config{BlockBits: 4, SetBits: 14}
+	Geo32 = fac.Config{BlockBits: 5, SetBits: 14}
+)
+
+// Machine names every simulator configuration used by the experiments.
+type Machine string
+
+const (
+	MBase32     Machine = "base32"      // Table 5 baseline, 32B blocks
+	MBase16     Machine = "base16"      // baseline with 16B data blocks
+	MOneCycle   Machine = "1cyc"        // 1-cycle loads (Figure 2)
+	MPerfect    Machine = "perfect"     // perfect data cache (Figure 2)
+	MOnePerfect Machine = "1cyc+perf"   // both (Figure 2)
+	MFAC16      Machine = "fac16"       // FAC, 16B blocks, no R+R speculation
+	MFAC32      Machine = "fac32"       // FAC, 32B blocks, no R+R speculation
+	MFAC16RR    Machine = "fac16+rr"    // FAC, 16B blocks, R+R speculation
+	MFAC32RR    Machine = "fac32+rr"    // FAC, 32B blocks, R+R speculation
+	MFAC32Tag   Machine = "fac32+tag"   // ablation: tag adder
+	MFAC32SB4   Machine = "fac32+sb4"   // ablation: 4-entry store buffer
+	MFAC32SB64  Machine = "fac32+sb64"  // ablation: 64-entry store buffer
+	MFAC32MSHR1 Machine = "fac32+mshr1" // ablation: single outstanding miss
+	MAGI        Machine = "agi"         // related work: AGI pipeline organization
+)
+
+// MachineConfig resolves a machine name to its simulator configuration.
+func MachineConfig(m Machine) (pipeline.Config, error) {
+	cfg := pipeline.DefaultConfig()
+	switch m {
+	case MBase32:
+	case MBase16:
+		cfg.DCache.BlockSize = 16
+	case MOneCycle:
+		cfg.LoadLatency = 1
+	case MPerfect:
+		cfg.PerfectDCache = true
+	case MOnePerfect:
+		cfg.LoadLatency = 1
+		cfg.PerfectDCache = true
+	case MFAC16:
+		cfg.FAC = true
+		cfg.DCache.BlockSize = 16
+	case MFAC32:
+		cfg.FAC = true
+	case MFAC16RR:
+		cfg.FAC = true
+		cfg.DCache.BlockSize = 16
+		cfg.SpeculateRegReg = true
+	case MFAC32RR:
+		cfg.FAC = true
+		cfg.SpeculateRegReg = true
+	case MFAC32Tag:
+		cfg.FAC = true
+		cfg.FACGeom = fac.Config{BlockBits: 5, SetBits: 14, TagAdder: true}
+	case MFAC32SB4:
+		cfg.FAC = true
+		cfg.StoreBufferEntries = 4
+	case MFAC32SB64:
+		cfg.FAC = true
+		cfg.StoreBufferEntries = 64
+	case MFAC32MSHR1:
+		cfg.FAC = true
+		cfg.DCache.MSHRs = 1
+	case MAGI:
+		cfg.AGI = true
+		cfg.MispredictPenalty++ // branches resolve one stage later
+	default:
+		return cfg, fmt.Errorf("experiments: unknown machine %q", m)
+	}
+	return cfg, nil
+}
+
+// FuncResult caches one functional (profiling) run.
+type FuncResult struct {
+	Profile *profile.Profile
+	Insts   uint64
+	MemUse  uint64
+	Output  string
+}
+
+// Suite memoizes program builds, functional profiles, and timing runs
+// across experiments.
+type Suite struct {
+	MaxInsts uint64
+
+	mu       sync.Mutex
+	programs map[string]*prog.Program
+	funcs    map[string]*FuncResult
+	timings  map[string]pipeline.Stats
+}
+
+// NewSuite creates an experiment suite.
+func NewSuite() *Suite {
+	return &Suite{
+		MaxInsts: 2_000_000_000,
+		programs: make(map[string]*prog.Program),
+		funcs:    make(map[string]*FuncResult),
+		timings:  make(map[string]pipeline.Stats),
+	}
+}
+
+func toolchain(name string) workload.Toolchain {
+	if name == "fac" {
+		return workload.FACToolchain()
+	}
+	return workload.BaseToolchain()
+}
+
+// Program builds (and caches) a workload under a toolchain ("base"/"fac").
+func (s *Suite) Program(w workload.Workload, tc string) (*prog.Program, error) {
+	key := w.Name + "|" + tc
+	s.mu.Lock()
+	if p, ok := s.programs[key]; ok {
+		s.mu.Unlock()
+		return p, nil
+	}
+	s.mu.Unlock()
+	p, err := workload.Build(w, toolchain(tc))
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.programs[key] = p
+	s.mu.Unlock()
+	return p, nil
+}
+
+// Functional profiles a workload (measuring both block geometries) and
+// validates its output.
+func (s *Suite) Functional(w workload.Workload, tc string) (*FuncResult, error) {
+	key := w.Name + "|" + tc
+	s.mu.Lock()
+	if r, ok := s.funcs[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+	p, err := s.Program(w, tc)
+	if err != nil {
+		return nil, err
+	}
+	prof, e, err := profile.Run(p, s.MaxInsts, Geo16, Geo32)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", w.Name, tc, err)
+	}
+	if e.Out.String() != w.Expected {
+		return nil, fmt.Errorf("%s/%s: output %q != expected %q", w.Name, tc, e.Out.String(), w.Expected)
+	}
+	r := &FuncResult{Profile: prof, Insts: e.InstCount, MemUse: e.Mem.Footprint(), Output: e.Out.String()}
+	s.mu.Lock()
+	s.funcs[key] = r
+	s.mu.Unlock()
+	return r, nil
+}
+
+// Timing runs a workload on a machine (with caching and output validation).
+func (s *Suite) Timing(w workload.Workload, tc string, m Machine) (pipeline.Stats, error) {
+	key := w.Name + "|" + tc + "|" + string(m)
+	s.mu.Lock()
+	if st, ok := s.timings[key]; ok {
+		s.mu.Unlock()
+		return st, nil
+	}
+	s.mu.Unlock()
+	p, err := s.Program(w, tc)
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	cfg, err := MachineConfig(m)
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	res, err := core.Run(p, cfg, s.MaxInsts)
+	if err != nil {
+		return pipeline.Stats{}, fmt.Errorf("%s/%s/%s: %w", w.Name, tc, m, err)
+	}
+	if res.Output != w.Expected {
+		return pipeline.Stats{}, fmt.Errorf("%s/%s/%s: output %q != expected %q", w.Name, tc, m, res.Output, w.Expected)
+	}
+	s.mu.Lock()
+	s.timings[key] = res.Stats
+	s.mu.Unlock()
+	return res.Stats, nil
+}
+
+// job is one unit of parallel work.
+type job func() error
+
+// runParallel executes jobs with a bounded worker pool and returns the
+// first error.
+func runParallel(jobs []job) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ch := make(chan job)
+	errs := make(chan error, len(jobs))
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				errs <- j()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Prefetch warms the timing cache for a set of (toolchain, machine) pairs
+// across all workloads, in parallel.
+func (s *Suite) Prefetch(pairs [][2]string) error {
+	var jobs []job
+	for _, w := range workload.All() {
+		for _, pr := range pairs {
+			w, tc, m := w, pr[0], Machine(pr[1])
+			jobs = append(jobs, func() error {
+				_, err := s.Timing(w, tc, m)
+				return err
+			})
+		}
+	}
+	return runParallel(jobs)
+}
+
+// PrefetchFunctional warms the profile cache for both toolchains.
+func (s *Suite) PrefetchFunctional() error {
+	var jobs []job
+	for _, w := range workload.All() {
+		for _, tc := range []string{"base", "fac"} {
+			w, tc := w, tc
+			jobs = append(jobs, func() error {
+				_, err := s.Functional(w, tc)
+				return err
+			})
+		}
+	}
+	return runParallel(jobs)
+}

@@ -1,0 +1,287 @@
+package fac
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// geo16 is the paper's Figure 5 geometry: 16KB direct-mapped, 16-byte blocks.
+var geo16 = Config{BlockBits: 4, SetBits: 14}
+
+func TestValidate(t *testing.T) {
+	if err := geo16.Validate(); err != nil {
+		t.Errorf("geo16 invalid: %v", err)
+	}
+	bad := []Config{
+		{BlockBits: 1, SetBits: 14},
+		{BlockBits: 5, SetBits: 5},
+		{BlockBits: 5, SetBits: 30},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) passed", c)
+		}
+	}
+}
+
+func TestFieldExtraction(t *testing.T) {
+	c := Config{BlockBits: 5, SetBits: 14}
+	addr := uint32(0x7fff5b84)
+	if got := c.BlockOffset(addr); got != 0x4 {
+		t.Errorf("BlockOffset = %#x", got)
+	}
+	if got := c.Index(addr); got != (0x5b84>>5)&0x1FF {
+		t.Errorf("Index = %#x", got)
+	}
+	if got := c.Tag(addr); got != addr>>14 {
+		t.Errorf("Tag = %#x", got)
+	}
+}
+
+// TestPaperFigure5 replays the paper's four worked examples (16KB
+// direct-mapped cache, 16-byte blocks).
+func TestPaperFigure5(t *testing.T) {
+	cases := []struct {
+		name          string
+		base, ofs     uint32
+		isReg         bool
+		wantOK        bool
+		wantPredicted uint32
+	}{
+		// (a) pointer dereference, zero offset.
+		{"zero-offset deref", 0x100400AC, 0, false, true, 0x100400AC},
+		// (b) global through an aligned global pointer.
+		{"aligned gp", 0x10000000, 2436, false, true, 0x10000984},
+		// (c) stack access, offset spans only the block offset + OR-able bits.
+		{"small stack offset", 0x7fff5b84, 0x66, false, true, 0x7fff5bea},
+		// (d) stack access with a larger offset: carry propagates out of the
+		// block offset and is generated in the set index -> misprediction.
+		{"carry in index", 0x7fff5b84, 364, false, false, 0x7fff5be0},
+	}
+	for _, c := range cases {
+		got := geo16.Predict(c.base, c.ofs, c.isReg)
+		if got.OK != c.wantOK {
+			t.Errorf("%s: OK = %v, want %v (failure %v)", c.name, got.OK, c.wantOK, got.Failure)
+		}
+		if got.Predicted != c.wantPredicted {
+			t.Errorf("%s: predicted %#x, want %#x", c.name, got.Predicted, c.wantPredicted)
+		}
+		if c.wantOK && got.Predicted != c.base+c.ofs {
+			t.Errorf("%s: OK but predicted %#x != actual %#x", c.name, got.Predicted, c.base+c.ofs)
+		}
+	}
+	// Example (d) must raise both Overflow and GenCarry, per the figure.
+	r := geo16.Predict(0x7fff5b84, 364, false)
+	if r.Failure&FailOverflow == 0 || r.Failure&FailGenCarry == 0 {
+		t.Errorf("example (d) failure = %v, want overflow|gencarry", r.Failure)
+	}
+}
+
+func TestFailureSignals(t *testing.T) {
+	cases := []struct {
+		name      string
+		base, ofs uint32
+		isReg     bool
+		want      Failure
+	}{
+		{"clean", 0x1000, 0x4, false, 0},
+		{"overflow only", 0x100C, 0x4, false, FailOverflow},
+		{"gencarry index", 0x1010, 0x10, false, FailGenCarry},
+		{"gencarry tag (no tag adder)", 0x10000000, 0x10000000, false, FailGenCarry},
+		{"neg index register", 0x1000, 0xFFFFFFFC, true, FailNegIndexReg},
+		{"neg const same block ok", 0x100C, 0xFFFFFFFC, false, 0}, // 0x100C-4
+		{"neg const borrows", 0x1000, 0xFFFFFFFC, false, FailOverflow},
+		{"neg const too large", 0x105C, 0xFFFFFFE4, false, FailLargeNegConst},
+		{"neg const large and borrows", 0x1050, 0xFFFFFFE0, false, FailLargeNegConst | FailOverflow},
+	}
+	for _, c := range cases {
+		got := geo16.Predict(c.base, c.ofs, c.isReg)
+		if got.Failure != c.want {
+			t.Errorf("%s: failure = %v, want %v", c.name, got.Failure, c.want)
+		}
+		if (got.Failure == 0) != got.OK {
+			t.Errorf("%s: OK/Failure inconsistent", c.name)
+		}
+	}
+}
+
+func TestNegConstSameBlock(t *testing.T) {
+	// base block offset 12; -4, -8, -12 stay in block, -13.. borrow.
+	base := uint32(0x234C)
+	for k := uint32(1); k <= 15; k++ {
+		r := geo16.Predict(base, -k, false)
+		wantOK := k <= 12
+		if r.OK != wantOK {
+			t.Errorf("offset -%d: OK = %v, want %v", k, r.OK, wantOK)
+		}
+		if r.OK && r.Predicted != base-k {
+			t.Errorf("offset -%d: predicted %#x want %#x", k, r.Predicted, base-k)
+		}
+	}
+	// -16 can never stay in the same block.
+	if r := geo16.Predict(base, ^uint32(15), false); r.OK {
+		t.Error("offset -16 predicted OK")
+	}
+}
+
+func TestTagAdderHelps(t *testing.T) {
+	// A large register+register-style offset whose conflicts are confined to
+	// the tag field: OR fails, tag adder succeeds.
+	cfg := geo16
+	cfgTag := geo16
+	cfgTag.TagAdder = true
+	base := uint32(0x10004000) // bit 14 set (tag field)
+	ofs := uint32(0x10004000)  // same tag bit -> generate in tag
+	plain := cfg.Predict(base, ofs, false)
+	withAdder := cfgTag.Predict(base, ofs, false)
+	if plain.OK {
+		t.Error("plain OR predicted OK despite tag conflict")
+	}
+	if !withAdder.OK {
+		t.Errorf("tag adder failed: %v", withAdder.Failure)
+	}
+	if withAdder.Predicted != base+ofs {
+		t.Errorf("tag adder predicted %#x, want %#x", withAdder.Predicted, base+ofs)
+	}
+	// But the tag adder cannot save index-field conflicts.
+	if r := cfgTag.Predict(0x1010, 0x10, false); r.OK {
+		t.Error("tag adder saved an index conflict")
+	}
+}
+
+func TestZeroOffsetAlwaysPredicts(t *testing.T) {
+	// Zero offsets (the dominant general-pointer case in the paper's
+	// profiles) always verify, at any base alignment.
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		base := r.Uint32()
+		res := geo16.Predict(base, 0, false)
+		if !res.OK || res.Predicted != base {
+			t.Fatalf("zero offset failed at base %#x: %+v", base, res)
+		}
+	}
+}
+
+func TestAlignedBasePredictsWithinRegion(t *testing.T) {
+	// A base aligned to 2^k predicts any positive offset < 2^k with no
+	// carry out of the block offset... i.e., any multiple-of-block offset.
+	for _, geo := range []Config{geo16, {BlockBits: 5, SetBits: 14}} {
+		base := uint32(0x40000000) // strongly aligned
+		for ofs := uint32(0); ofs < 1<<16; ofs += 4 {
+			res := geo.Predict(base, ofs, false)
+			if !res.OK {
+				t.Fatalf("aligned base failed at ofs %#x: %v", ofs, res.Failure)
+			}
+			if res.Predicted != base+ofs {
+				t.Fatalf("aligned base wrong at ofs %#x", ofs)
+			}
+		}
+	}
+}
+
+// Property: OK implies the predicted address equals the architectural
+// address, for every geometry and operand combination.
+func TestSoundnessProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	geos := []Config{
+		{BlockBits: 4, SetBits: 14},
+		{BlockBits: 5, SetBits: 14},
+		{BlockBits: 4, SetBits: 14, TagAdder: true},
+		{BlockBits: 5, SetBits: 14, TagAdder: true},
+		{BlockBits: 6, SetBits: 16},
+		{BlockBits: 2, SetBits: 10},
+	}
+	for i := 0; i < 200000; i++ {
+		geo := geos[i%len(geos)]
+		base := r.Uint32()
+		var ofs uint32
+		switch i % 5 {
+		case 0:
+			ofs = uint32(int32(int16(r.Uint32()))) // constant-offset range
+		case 1:
+			ofs = r.Uint32() & 0xFF // small positive
+		case 2:
+			ofs = -(r.Uint32() & 0x3F) // small negative
+		case 3:
+			ofs = r.Uint32() // anything
+		case 4:
+			ofs = 0
+		}
+		isReg := i%7 == 0
+		res := geo.Predict(base, ofs, isReg)
+		if res.OK && res.Predicted != base+ofs {
+			t.Fatalf("unsound: geo=%+v base=%#x ofs=%#x reg=%v -> %+v (actual %#x)",
+				geo, base, ofs, isReg, res, base+ofs)
+		}
+	}
+}
+
+// Property: for constant offsets the verification circuit is exact — it
+// fails exactly when the speculative address is wrong. (Register offsets
+// are conservative only in the negative case.)
+func TestExactnessProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	geos := []Config{
+		{BlockBits: 4, SetBits: 14},
+		{BlockBits: 5, SetBits: 14},
+		{BlockBits: 4, SetBits: 14, TagAdder: true},
+		{BlockBits: 5, SetBits: 15, TagAdder: true},
+	}
+	for i := 0; i < 200000; i++ {
+		geo := geos[i%len(geos)]
+		base := r.Uint32()
+		ofs := uint32(int32(int16(r.Uint32())))
+		res := geo.Predict(base, ofs, false)
+		correct := res.Predicted == base+ofs
+		if res.OK != correct {
+			t.Fatalf("inexact: geo=%+v base=%#x ofs=%#x -> OK=%v but correct=%v (pred %#x actual %#x, fail %v)",
+				geo, base, ofs, res.OK, correct, res.Predicted, base+ofs, res.Failure)
+		}
+	}
+}
+
+// Property: non-negative register offsets behave identically to constant
+// offsets.
+func TestRegOffsetParity(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 50000; i++ {
+		base := r.Uint32()
+		ofs := r.Uint32() & 0x7FFFFFFF
+		a := geo16.Predict(base, ofs, false)
+		b := geo16.Predict(base, ofs, true)
+		if a != b {
+			t.Fatalf("parity violated at base=%#x ofs=%#x: %+v vs %+v", base, ofs, a, b)
+		}
+	}
+}
+
+func TestFailureString(t *testing.T) {
+	if Failure(0).String() != "ok" {
+		t.Error("zero failure string")
+	}
+	f := FailOverflow | FailGenCarry
+	if f.String() != "overflow|gencarry" {
+		t.Errorf("failure string = %q", f.String())
+	}
+	all := FailOverflow | FailGenCarry | FailLargeNegConst | FailNegIndexReg
+	if all.String() != "overflow|gencarry|largenegconst|negindexreg" {
+		t.Errorf("all-failure string = %q", all.String())
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	bases := make([]uint32, 1024)
+	offs := make([]uint32, 1024)
+	for i := range bases {
+		bases[i] = r.Uint32()
+		offs[i] = uint32(int32(int16(r.Uint32())))
+	}
+	b.ResetTimer()
+	var sink uint32
+	for i := 0; i < b.N; i++ {
+		res := geo16.Predict(bases[i&1023], offs[i&1023], false)
+		sink += res.Predicted
+	}
+	_ = sink
+}

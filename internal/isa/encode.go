@@ -1,0 +1,264 @@
+package isa
+
+import "fmt"
+
+// Binary encoding. Instructions are 32 bits:
+//
+//	R-form (major opcode 0):
+//	    [31:26]=0 [25:21]=rs [20:16]=rt [15:11]=rd [10:6]=sa [5:0]=funct
+//	I-form: [31:26]=op [25:21]=rs [20:16]=rd/rt [15:0]=imm16 (signed except
+//	    the logical immediates and LUI, which are zero-extended)
+//	J-form: [31:26]=op [25:0]=target (byte address >> 2, within the 256MB
+//	    region of the following instruction)
+//
+// Branch displacements are encoded in words relative to the address of the
+// next instruction, as in MIPS, but there are no architected delay slots.
+const (
+	opcR = 0 // major opcode of all R-form instructions
+
+	opcJ    = 1
+	opcJAL  = 2
+	opcBEQ  = 3
+	opcBNE  = 4
+	opcBLEZ = 5
+	opcBGTZ = 6
+	opcBLTZ = 7
+	opcBGEZ = 8
+
+	opcADDI  = 9
+	opcANDI  = 10
+	opcORI   = 11
+	opcXORI  = 12
+	opcSLTI  = 13
+	opcSLTIU = 14
+	opcLUI   = 15
+
+	opcLB  = 16
+	opcLBU = 17
+	opcLH  = 18
+	opcLHU = 19
+	opcLW  = 20
+	opcSB  = 21
+	opcSH  = 22
+	opcSW  = 23
+	opcLFD = 24
+	opcSFD = 25
+
+	opcLWPI  = 26
+	opcSWPI  = 27
+	opcLFDPI = 28
+	opcSFDPI = 29
+
+	opcBC1T = 30
+	opcBC1F = 31
+)
+
+// funct codes for R-form instructions.
+const (
+	fnADD = iota
+	fnSUB
+	fnMUL
+	fnDIV
+	fnDIVU
+	fnREM
+	fnREMU
+	fnAND
+	fnOR
+	fnXOR
+	fnNOR
+	fnSLT
+	fnSLTU
+	fnSLLV
+	fnSRLV
+	fnSRAV
+	fnSLL
+	fnSRL
+	fnSRA
+	fnJR
+	fnJALR
+	fnSYSCALL
+	fnLBX
+	fnLBUX
+	fnLHX
+	fnLHUX
+	fnLWX
+	fnSBX
+	fnSHX
+	fnSWX
+	fnLFDX
+	fnSFDX
+	fnFADD
+	fnFSUB
+	fnFMUL
+	fnFDIV
+	fnFNEG
+	fnFABS
+	fnFMOV
+	fnFCLT
+	fnFCLE
+	fnFCEQ
+	fnMTC1
+	fnMFC1
+	fnCVTDW
+	fnCVTWD
+)
+
+var iOpcOf = map[Op]uint32{
+	J: opcJ, JAL: opcJAL,
+	BEQ: opcBEQ, BNE: opcBNE, BLEZ: opcBLEZ, BGTZ: opcBGTZ, BLTZ: opcBLTZ, BGEZ: opcBGEZ,
+	ADDI: opcADDI, ANDI: opcANDI, ORI: opcORI, XORI: opcXORI,
+	SLTI: opcSLTI, SLTIU: opcSLTIU, LUI: opcLUI,
+	LB: opcLB, LBU: opcLBU, LH: opcLH, LHU: opcLHU, LW: opcLW,
+	SB: opcSB, SH: opcSH, SW: opcSW, LFD: opcLFD, SFD: opcSFD,
+	LWPI: opcLWPI, SWPI: opcSWPI, LFDPI: opcLFDPI, SFDPI: opcSFDPI,
+	BC1T: opcBC1T, BC1F: opcBC1F,
+}
+
+var iOpOf = func() map[uint32]Op {
+	m := make(map[uint32]Op, len(iOpcOf))
+	for op, c := range iOpcOf {
+		m[c] = op
+	}
+	return m
+}()
+
+var functOf = map[Op]uint32{
+	ADD: fnADD, SUB: fnSUB, MUL: fnMUL, DIV: fnDIV, DIVU: fnDIVU,
+	REM: fnREM, REMU: fnREMU, AND: fnAND, OR: fnOR, XOR: fnXOR, NOR: fnNOR,
+	SLT: fnSLT, SLTU: fnSLTU, SLLV: fnSLLV, SRLV: fnSRLV, SRAV: fnSRAV,
+	SLL: fnSLL, SRL: fnSRL, SRA: fnSRA,
+	JR: fnJR, JALR: fnJALR, SYSCALL: fnSYSCALL,
+	LBX: fnLBX, LBUX: fnLBUX, LHX: fnLHX, LHUX: fnLHUX, LWX: fnLWX,
+	SBX: fnSBX, SHX: fnSHX, SWX: fnSWX, LFDX: fnLFDX, SFDX: fnSFDX,
+	FADD: fnFADD, FSUB: fnFSUB, FMUL: fnFMUL, FDIV: fnFDIV,
+	FNEG: fnFNEG, FABS: fnFABS, FMOV: fnFMOV,
+	FCLT: fnFCLT, FCLE: fnFCLE, FCEQ: fnFCEQ,
+	MTC1: fnMTC1, MFC1: fnMFC1, CVTDW: fnCVTDW, CVTWD: fnCVTWD,
+}
+
+var opOfFunct = func() map[uint32]Op {
+	m := make(map[uint32]Op, len(functOf))
+	for op, f := range functOf {
+		m[f] = op
+	}
+	return m
+}()
+
+// Encode packs the instruction into its 32-bit binary form. pc is the
+// address of the instruction, needed to encode PC-relative branch
+// displacements and region-relative jump targets.
+func Encode(in Inst, pc uint32) (uint32, error) {
+	rfield := func(r Reg) uint32 { return uint32(r) & 31 }
+	switch in.Op {
+	case J, JAL:
+		target := uint32(in.Imm)
+		if target&3 != 0 {
+			return 0, fmt.Errorf("isa: jump target %#x not word aligned", target)
+		}
+		next := pc + InstBytes
+		if target&0xF0000000 != next&0xF0000000 {
+			return 0, fmt.Errorf("isa: jump target %#x outside region of pc %#x", target, pc)
+		}
+		return iOpcOf[in.Op]<<26 | (target>>2)&0x03FFFFFF, nil
+	}
+	if funct, ok := functOf[in.Op]; ok {
+		sa := uint32(0)
+		switch in.Op {
+		case SLL, SRL, SRA:
+			if in.Imm < 0 || in.Imm > 31 {
+				return 0, fmt.Errorf("isa: shift amount %d out of range", in.Imm)
+			}
+			sa = uint32(in.Imm)
+		}
+		return rfield(in.Rs)<<21 | rfield(in.Rt)<<16 | rfield(in.Rd)<<11 | sa<<6 | funct, nil
+	}
+	opc, ok := iOpcOf[in.Op]
+	if !ok {
+		return 0, fmt.Errorf("isa: cannot encode op %v", in.Op)
+	}
+	// Bits [20:16] hold the second register operand: Rt for the two-register
+	// branches and for const/post-form stores (the data register), Rd for
+	// everything else.
+	second := in.Rd
+	if in.Op == BEQ || in.Op == BNE || (in.Op.IsStore() && in.Op.Mode() != AMReg) {
+		second = in.Rt
+	}
+	imm := in.Imm
+	var imm16 uint32
+	switch {
+	case in.Op.IsBranch():
+		disp := imm
+		if disp&3 != 0 {
+			return 0, fmt.Errorf("isa: branch displacement %d not word aligned", disp)
+		}
+		w := disp >> 2
+		if w < -32768 || w > 32767 {
+			return 0, fmt.Errorf("isa: branch displacement %d out of range", disp)
+		}
+		imm16 = uint32(w) & 0xFFFF
+	case in.Op == ANDI || in.Op == ORI || in.Op == XORI || in.Op == LUI:
+		if imm < 0 || imm > 0xFFFF {
+			return 0, fmt.Errorf("isa: unsigned immediate %d out of range for %v", imm, in.Op)
+		}
+		imm16 = uint32(imm)
+	default:
+		if imm < -32768 || imm > 32767 {
+			return 0, fmt.Errorf("isa: immediate %d out of range for %v", imm, in.Op)
+		}
+		imm16 = uint32(imm) & 0xFFFF
+	}
+	return opc<<26 | rfield(in.Rs)<<21 | rfield(second)<<16 | imm16, nil
+}
+
+// Decode unpacks a 32-bit binary instruction. pc is the address of the
+// instruction, used to materialize absolute branch and jump targets in Imm.
+func Decode(word, pc uint32) (Inst, error) {
+	opc := word >> 26
+	if opc == opcR {
+		funct := word & 63
+		op, ok := opOfFunct[funct]
+		if !ok {
+			return Inst{}, fmt.Errorf("isa: bad funct %d in word %#08x", funct, word)
+		}
+		in := Inst{
+			Op: op,
+			Rs: Reg(word >> 21 & 31),
+			Rt: Reg(word >> 16 & 31),
+			Rd: Reg(word >> 11 & 31),
+		}
+		switch op {
+		case SLL, SRL, SRA:
+			in.Imm = int32(word >> 6 & 31)
+		}
+		return in, nil
+	}
+	if opc == opcJ || opc == opcJAL {
+		target := (pc+InstBytes)&0xF0000000 | (word&0x03FFFFFF)<<2
+		op := J
+		if opc == opcJAL {
+			op = JAL
+		}
+		return Inst{Op: op, Imm: int32(target)}, nil
+	}
+	op, ok := iOpOf[opc]
+	if !ok {
+		return Inst{}, fmt.Errorf("isa: bad opcode %d in word %#08x", opc, word)
+	}
+	in := Inst{Op: op, Rs: Reg(word >> 21 & 31)}
+	secondReg := Reg(word >> 16 & 31)
+	if op == BEQ || op == BNE || (op.IsStore() && op.Mode() != AMReg) {
+		in.Rt = secondReg
+	} else {
+		in.Rd = secondReg
+	}
+	imm16 := word & 0xFFFF
+	switch {
+	case op.IsBranch():
+		in.Imm = int32(int16(imm16)) << 2
+	case op == ANDI || op == ORI || op == XORI || op == LUI:
+		in.Imm = int32(imm16)
+	default:
+		in.Imm = int32(int16(imm16))
+	}
+	return in, nil
+}

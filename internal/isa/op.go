@@ -1,0 +1,288 @@
+package isa
+
+// Op identifies an operation. Memory operations come in up to three
+// addressing-mode variants, matching the extended MIPS target of the paper:
+// register+constant (signed 16-bit immediate), register+register (the "X"
+// suffix), and post-increment (the "PI" suffix: the access uses the base
+// register value directly and the base is incremented by the immediate
+// afterwards; post-decrement is a PI with a negative immediate).
+type Op uint8
+
+const (
+	BAD Op = iota
+
+	// Integer ALU, register-register.
+	ADD
+	SUB
+	MUL
+	DIV
+	DIVU
+	REM
+	REMU
+	AND
+	OR
+	XOR
+	NOR
+	SLT
+	SLTU
+	SLLV
+	SRLV
+	SRAV
+
+	// Integer ALU, immediate.
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLTI
+	SLTIU
+	SLL
+	SRL
+	SRA
+	LUI
+
+	// Control.
+	BEQ
+	BNE
+	BLEZ
+	BGTZ
+	BLTZ
+	BGEZ
+	J
+	JAL
+	JR
+	JALR
+	SYSCALL
+
+	// Integer loads, register+constant addressing.
+	LB
+	LBU
+	LH
+	LHU
+	LW
+	// Integer stores, register+constant addressing.
+	SB
+	SH
+	SW
+	// FP (double) loads/stores, register+constant addressing.
+	LFD
+	SFD
+
+	// Register+register addressing variants.
+	LBX
+	LBUX
+	LHX
+	LHUX
+	LWX
+	SBX
+	SHX
+	SWX
+	LFDX
+	SFDX
+
+	// Post-increment variants (access at base, then base += imm).
+	LWPI
+	SWPI
+	LFDPI
+	SFDPI
+
+	// Floating point (64-bit double precision).
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FNEG
+	FABS
+	FMOV
+	FCLT // FP condition flag := fs < ft
+	FCLE // FP condition flag := fs <= ft
+	FCEQ // FP condition flag := fs == ft
+	BC1T // branch if FP condition flag set
+	BC1F // branch if FP condition flag clear
+	MTC1 // move integer register bits into low word of FP register
+	MFC1 // move low word of FP register bits into integer register
+	CVTDW
+	CVTWD
+
+	NumOps // sentinel
+)
+
+// OpClass groups operations for functional-unit assignment and for the
+// timing model (paper Table 5).
+type OpClass uint8
+
+const (
+	ClassIntALU OpClass = iota
+	ClassIntMul
+	ClassIntDiv
+	ClassLoad
+	ClassStore
+	ClassBranch
+	ClassJump
+	ClassFPAdd // FP add/sub/compare/convert/move
+	ClassFPMul
+	ClassFPDiv
+	ClassSyscall
+)
+
+type opInfo struct {
+	name    string
+	class   OpClass
+	mode    AddrMode // meaningful for loads/stores only
+	memSize uint8    // access width in bytes (0 for non-memory)
+	fpDest  bool     // destination register is an FP register
+	fpSrc   bool     // source value registers are FP registers
+}
+
+// AddrMode is the addressing mode of a memory operation.
+type AddrMode uint8
+
+const (
+	AMNone  AddrMode = iota
+	AMConst          // effective address = base + signExtend(imm16)
+	AMReg            // effective address = base + index register
+	AMPost           // effective address = base; base += imm16 afterwards
+)
+
+var opTable = [NumOps]opInfo{
+	BAD: {name: "bad", class: ClassIntALU},
+
+	ADD:  {name: "add", class: ClassIntALU},
+	SUB:  {name: "sub", class: ClassIntALU},
+	MUL:  {name: "mul", class: ClassIntMul},
+	DIV:  {name: "div", class: ClassIntDiv},
+	DIVU: {name: "divu", class: ClassIntDiv},
+	REM:  {name: "rem", class: ClassIntDiv},
+	REMU: {name: "remu", class: ClassIntDiv},
+	AND:  {name: "and", class: ClassIntALU},
+	OR:   {name: "or", class: ClassIntALU},
+	XOR:  {name: "xor", class: ClassIntALU},
+	NOR:  {name: "nor", class: ClassIntALU},
+	SLT:  {name: "slt", class: ClassIntALU},
+	SLTU: {name: "sltu", class: ClassIntALU},
+	SLLV: {name: "sllv", class: ClassIntALU},
+	SRLV: {name: "srlv", class: ClassIntALU},
+	SRAV: {name: "srav", class: ClassIntALU},
+
+	ADDI:  {name: "addi", class: ClassIntALU},
+	ANDI:  {name: "andi", class: ClassIntALU},
+	ORI:   {name: "ori", class: ClassIntALU},
+	XORI:  {name: "xori", class: ClassIntALU},
+	SLTI:  {name: "slti", class: ClassIntALU},
+	SLTIU: {name: "sltiu", class: ClassIntALU},
+	SLL:   {name: "sll", class: ClassIntALU},
+	SRL:   {name: "srl", class: ClassIntALU},
+	SRA:   {name: "sra", class: ClassIntALU},
+	LUI:   {name: "lui", class: ClassIntALU},
+
+	BEQ:     {name: "beq", class: ClassBranch},
+	BNE:     {name: "bne", class: ClassBranch},
+	BLEZ:    {name: "blez", class: ClassBranch},
+	BGTZ:    {name: "bgtz", class: ClassBranch},
+	BLTZ:    {name: "bltz", class: ClassBranch},
+	BGEZ:    {name: "bgez", class: ClassBranch},
+	J:       {name: "j", class: ClassJump},
+	JAL:     {name: "jal", class: ClassJump},
+	JR:      {name: "jr", class: ClassJump},
+	JALR:    {name: "jalr", class: ClassJump},
+	SYSCALL: {name: "syscall", class: ClassSyscall},
+
+	LB:  {name: "lb", class: ClassLoad, mode: AMConst, memSize: 1},
+	LBU: {name: "lbu", class: ClassLoad, mode: AMConst, memSize: 1},
+	LH:  {name: "lh", class: ClassLoad, mode: AMConst, memSize: 2},
+	LHU: {name: "lhu", class: ClassLoad, mode: AMConst, memSize: 2},
+	LW:  {name: "lw", class: ClassLoad, mode: AMConst, memSize: 4},
+	SB:  {name: "sb", class: ClassStore, mode: AMConst, memSize: 1},
+	SH:  {name: "sh", class: ClassStore, mode: AMConst, memSize: 2},
+	SW:  {name: "sw", class: ClassStore, mode: AMConst, memSize: 4},
+	LFD: {name: "lfd", class: ClassLoad, mode: AMConst, memSize: 8, fpDest: true},
+	SFD: {name: "sfd", class: ClassStore, mode: AMConst, memSize: 8, fpSrc: true},
+
+	LBX:  {name: "lbx", class: ClassLoad, mode: AMReg, memSize: 1},
+	LBUX: {name: "lbux", class: ClassLoad, mode: AMReg, memSize: 1},
+	LHX:  {name: "lhx", class: ClassLoad, mode: AMReg, memSize: 2},
+	LHUX: {name: "lhux", class: ClassLoad, mode: AMReg, memSize: 2},
+	LWX:  {name: "lwx", class: ClassLoad, mode: AMReg, memSize: 4},
+	SBX:  {name: "sbx", class: ClassStore, mode: AMReg, memSize: 1},
+	SHX:  {name: "shx", class: ClassStore, mode: AMReg, memSize: 2},
+	SWX:  {name: "swx", class: ClassStore, mode: AMReg, memSize: 4},
+	LFDX: {name: "lfdx", class: ClassLoad, mode: AMReg, memSize: 8, fpDest: true},
+	SFDX: {name: "sfdx", class: ClassStore, mode: AMReg, memSize: 8, fpSrc: true},
+
+	LWPI:  {name: "lwpi", class: ClassLoad, mode: AMPost, memSize: 4},
+	SWPI:  {name: "swpi", class: ClassStore, mode: AMPost, memSize: 4},
+	LFDPI: {name: "lfdpi", class: ClassLoad, mode: AMPost, memSize: 8, fpDest: true},
+	SFDPI: {name: "sfdpi", class: ClassStore, mode: AMPost, memSize: 8, fpSrc: true},
+
+	FADD:  {name: "fadd", class: ClassFPAdd, fpDest: true, fpSrc: true},
+	FSUB:  {name: "fsub", class: ClassFPAdd, fpDest: true, fpSrc: true},
+	FMUL:  {name: "fmul", class: ClassFPMul, fpDest: true, fpSrc: true},
+	FDIV:  {name: "fdiv", class: ClassFPDiv, fpDest: true, fpSrc: true},
+	FNEG:  {name: "fneg", class: ClassFPAdd, fpDest: true, fpSrc: true},
+	FABS:  {name: "fabs", class: ClassFPAdd, fpDest: true, fpSrc: true},
+	FMOV:  {name: "fmov", class: ClassFPAdd, fpDest: true, fpSrc: true},
+	FCLT:  {name: "fclt", class: ClassFPAdd, fpSrc: true},
+	FCLE:  {name: "fcle", class: ClassFPAdd, fpSrc: true},
+	FCEQ:  {name: "fceq", class: ClassFPAdd, fpSrc: true},
+	BC1T:  {name: "bc1t", class: ClassBranch},
+	BC1F:  {name: "bc1f", class: ClassBranch},
+	MTC1:  {name: "mtc1", class: ClassFPAdd, fpDest: true},
+	MFC1:  {name: "mfc1", class: ClassFPAdd, fpSrc: true},
+	CVTDW: {name: "cvtdw", class: ClassFPAdd, fpDest: true, fpSrc: true},
+	CVTWD: {name: "cvtwd", class: ClassFPAdd, fpDest: true, fpSrc: true},
+}
+
+// String returns the assembly mnemonic.
+func (o Op) String() string {
+	if o < NumOps {
+		return opTable[o].name
+	}
+	return "op?"
+}
+
+// Class reports the functional-unit class of the operation.
+func (o Op) Class() OpClass { return opTable[o].class }
+
+// Mode reports the addressing mode of a memory operation (AMNone otherwise).
+func (o Op) Mode() AddrMode { return opTable[o].mode }
+
+// MemSize reports the access width in bytes of a memory operation, or 0.
+func (o Op) MemSize() int { return int(opTable[o].memSize) }
+
+// IsLoad reports whether the operation reads data memory.
+func (o Op) IsLoad() bool { return opTable[o].class == ClassLoad }
+
+// IsStore reports whether the operation writes data memory.
+func (o Op) IsStore() bool { return opTable[o].class == ClassStore }
+
+// IsMem reports whether the operation accesses data memory.
+func (o Op) IsMem() bool { return o.IsLoad() || o.IsStore() }
+
+// IsBranch reports whether the operation is a conditional branch.
+func (o Op) IsBranch() bool { return opTable[o].class == ClassBranch }
+
+// IsJump reports whether the operation is an unconditional control transfer.
+func (o Op) IsJump() bool { return opTable[o].class == ClassJump }
+
+// IsControl reports whether the operation can redirect the PC.
+func (o Op) IsControl() bool { return o.IsBranch() || o.IsJump() }
+
+// FPDest reports whether the destination register number names an FP register.
+func (o Op) FPDest() bool { return opTable[o].fpDest }
+
+// FPSrc reports whether the value source register numbers name FP registers.
+func (o Op) FPSrc() bool { return opTable[o].fpSrc }
+
+// OpByName maps an assembly mnemonic to its Op.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, NumOps)
+	for op := Op(1); op < NumOps; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()

@@ -1,0 +1,145 @@
+// Package ltb implements the load target buffer of Golden & Mudge (1993),
+// the alternative address-prediction mechanism the paper compares against
+// in its Related Work section: a PC-indexed table that predicts a load's
+// effective address from its own history, rather than from its operands.
+// The paper argues fast address calculation is both cheaper and more
+// accurate; the experiments package measures that claim (see
+// experiments.CompareLTB).
+//
+// Two prediction policies are provided: last-address (predict the address
+// the load produced last time) and stride (last address plus a confirmed
+// stride, which captures array walks).
+package ltb
+
+import "fmt"
+
+// Config sizes the buffer.
+type Config struct {
+	Entries int // direct-mapped entry count (power of two)
+	// Stride enables stride prediction: a 2-bit confidence counter guards
+	// last+stride; without it the entry predicts the last address.
+	Stride bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Entries <= 0 || c.Entries&(c.Entries-1) != 0 {
+		return fmt.Errorf("ltb: entry count %d not a positive power of two", c.Entries)
+	}
+	return nil
+}
+
+type entry struct {
+	valid      bool
+	tag        uint32
+	lastAddr   uint32
+	stride     uint32
+	confidence uint8 // 2-bit: >=2 uses the stride
+}
+
+// Predictor is a direct-mapped load target buffer.
+type Predictor struct {
+	cfg     Config
+	entries []entry
+	idxBits uint
+
+	lookups uint64
+	hits    uint64 // predictions made (entry present)
+	correct uint64
+}
+
+// New builds a predictor; it panics on invalid geometry.
+func New(cfg Config) *Predictor {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	p := &Predictor{cfg: cfg, entries: make([]entry, cfg.Entries)}
+	for 1<<p.idxBits < cfg.Entries {
+		p.idxBits++
+	}
+	return p
+}
+
+func (p *Predictor) index(pc uint32) (uint32, uint32) {
+	word := pc >> 2
+	return word & uint32(p.cfg.Entries-1), word >> p.idxBits
+}
+
+// Predict returns the predicted effective address for the load at pc.
+// ok is false on a cold or conflicting entry (no prediction; the access
+// proceeds non-speculatively).
+func (p *Predictor) Predict(pc uint32) (addr uint32, ok bool) {
+	idx, tag := p.index(pc)
+	e := &p.entries[idx]
+	if !e.valid || e.tag != tag {
+		return 0, false
+	}
+	if p.cfg.Stride && e.confidence >= 2 {
+		return e.lastAddr + e.stride, true
+	}
+	return e.lastAddr, true
+}
+
+// Access performs a full predict-then-update step for the load at pc with
+// architectural address actual, and reports whether a prediction was made
+// and whether it was correct.
+func (p *Predictor) Access(pc, actual uint32) (predicted, correct bool) {
+	p.lookups++
+	pred, ok := p.Predict(pc)
+	if ok {
+		p.hits++
+		if pred == actual {
+			p.correct++
+			correct = true
+		}
+	}
+	p.update(pc, actual)
+	return ok, correct
+}
+
+func (p *Predictor) update(pc, actual uint32) {
+	idx, tag := p.index(pc)
+	e := &p.entries[idx]
+	if !e.valid || e.tag != tag {
+		*e = entry{valid: true, tag: tag, lastAddr: actual}
+		return
+	}
+	newStride := actual - e.lastAddr
+	if p.cfg.Stride {
+		if newStride == e.stride {
+			if e.confidence < 3 {
+				e.confidence++
+			}
+		} else {
+			if e.confidence > 0 {
+				e.confidence--
+			}
+			if e.confidence == 0 {
+				e.stride = newStride
+			}
+		}
+	}
+	e.lastAddr = actual
+}
+
+// Stats returns (lookups, predictions made, correct predictions).
+func (p *Predictor) Stats() (lookups, predicted, correct uint64) {
+	return p.lookups, p.hits, p.correct
+}
+
+// Accuracy returns correct predictions as a fraction of all lookups (cold
+// misses count as failures, as they deny the latency benefit).
+func (p *Predictor) Accuracy() float64 {
+	if p.lookups == 0 {
+		return 0
+	}
+	return float64(p.correct) / float64(p.lookups)
+}
+
+// Coverage returns the fraction of lookups for which a prediction existed.
+func (p *Predictor) Coverage() float64 {
+	if p.lookups == 0 {
+		return 0
+	}
+	return float64(p.hits) / float64(p.lookups)
+}

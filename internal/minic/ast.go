@@ -1,0 +1,140 @@
+package minic
+
+type exprOp uint8
+
+const (
+	eIntLit exprOp = iota
+	eFloatLit
+	eStrLit
+	eVar
+	eCall
+
+	eAssign
+	eAdd
+	eSub
+	eMul
+	eDiv
+	eMod
+	eShl
+	eShr
+	eLt
+	eLe
+	eGt
+	eGe
+	eEq
+	eNe
+	eBitAnd
+	eBitOr
+	eBitXor
+	eLAnd
+	eLOr
+
+	eNot
+	eBitNot
+	eNeg
+	eAddr
+	eDeref
+	eIndex // lhs[rhs]
+	eField // lhs.name  (also lhs->name after normalization to deref)
+	eCvt   // numeric conversion inserted by sema
+
+	eCond    // lhs ? args[0] : args[1]
+	ePostInc // lhs++ (value is the old one)
+	ePostDec // lhs--
+)
+
+type expr struct {
+	op   exprOp
+	line int
+	ty   *ctype // set by sema
+
+	lhs, rhs *expr
+
+	ival  int64
+	fval  float64
+	sval  string // string literal / identifier / field name
+	args  []*expr
+	sym   *symbol // resolved variable (sema)
+	fn    *function
+	field *field // resolved struct field (sema)
+}
+
+type stmtOp uint8
+
+const (
+	sExpr stmtOp = iota
+	sDecl
+	sIf
+	sWhile
+	sDoWhile
+	sFor
+	sReturn
+	sBreak
+	sContinue
+	sBlock
+)
+
+type stmt struct {
+	op   stmtOp
+	line int
+
+	expr *expr // sExpr, sReturn (may be nil), sDecl initializer target
+
+	decl *symbol // sDecl
+	init *expr   // sDecl initializer
+
+	cond     *expr
+	forInit  *stmt
+	forPost  *stmt
+	body     []*stmt
+	elseBody []*stmt
+}
+
+// symbol is a variable (global, parameter, or local).
+type symbol struct {
+	name   string
+	ty     *ctype
+	global bool
+	param  bool
+
+	// Sema/codegen state:
+	addrTaken bool
+	uses      int
+	// Codegen assignment:
+	reg      int // register-allocated local: s-register index or FP reg; -1 = memory
+	isFPReg  bool
+	frameOff int // offset from $sp for memory locals (valid when reg < 0)
+
+	// Globals:
+	small   bool // placed in the gp-addressed small-data region
+	initI   int64
+	initF   float64
+	hasInit bool
+}
+
+type param struct {
+	name string
+	ty   *ctype
+}
+
+type function struct {
+	name   string
+	ret    *ctype
+	params []param
+	body   []*stmt
+	line   int
+
+	builtin bool
+
+	// Sema results:
+	syms      []*symbol // all locals + params in declaration order
+	makesCall bool
+}
+
+type unit struct {
+	structs map[string]*structT
+	globals []*symbol
+	funcs   map[string]*function
+	order   []*function // definition order
+	strings []string    // interned string literals
+}

@@ -1,0 +1,713 @@
+package minic
+
+// voidVal is the placeholder result of void calls; it is never read.
+var voidVal = val{reg: -100}
+
+// memOps maps an element type to load/store mnemonics (const and
+// register+register forms).
+func memOps(t *ctype) (load, loadX, store, storeX string, fp bool) {
+	switch t.kind {
+	case tyChar:
+		return "lbu", "lbux", "sb", "sbx", false
+	case tyDouble:
+		return "lfd", "lfdx", "sfd", "sfdx", true
+	default:
+		return "lw", "lwx", "sw", "swx", false
+	}
+}
+
+// loadLvalue loads the value of a deref/index/field lvalue.
+func (g *gen) loadLvalue(e *expr) (val, error) {
+	if !e.ty.isScalar() {
+		// Aggregate-typed lvalues (multi-dim array rows, struct values)
+		// evaluate to their address.
+		return g.addr(e)
+	}
+	load, loadX, _, _, fp := memOps(e.ty)
+	newOut := func() (val, error) {
+		if fp {
+			return g.allocFP(e.line)
+		}
+		return g.allocInt(e.line)
+	}
+
+	switch e.op {
+	case eDeref:
+		p, err := g.expr(e.lhs)
+		if err != nil {
+			return val{}, err
+		}
+		out, err := newOut()
+		if err != nil {
+			return val{}, err
+		}
+		g.emit("%s %s, 0(%s)", load, g.rn(out), g.rn(p))
+		g.free(p)
+		return out, nil
+
+	case eField:
+		base, err := g.addr(e.lhs)
+		if err != nil {
+			return val{}, err
+		}
+		out, err := newOut()
+		if err != nil {
+			return val{}, err
+		}
+		g.emit("%s %s, %d(%s)", load, g.rn(out), e.field.off, g.rn(base))
+		g.free(base)
+		return out, nil
+
+	case eIndex:
+		base, idxc, scaled, hasScaled, err := g.indexParts(e)
+		if err != nil {
+			return val{}, err
+		}
+		elemSize := int32(e.ty.size())
+		switch {
+		case hasScaled && idxc == 0:
+			// Register+register addressing: the shape the paper's compiler
+			// emits when strength reduction fails or is off.
+			out, err := newOut()
+			if err != nil {
+				return val{}, err
+			}
+			g.emit("%s %s, (%s+%s)", loadX, g.rn(out), g.rn(base), g.rn(scaled))
+			g.free(base)
+			g.free(scaled)
+			return out, nil
+		case hasScaled:
+			// Index constant: pointer = base+scaled, small constant offset.
+			sum, err := g.resultReg(base, e.line)
+			if err != nil {
+				return val{}, err
+			}
+			g.emit("add %s, %s, %s", g.rn(sum), g.rn(base), g.rn(scaled))
+			g.free(scaled)
+			if sum != base {
+				g.free(base)
+			}
+			out, err := newOut()
+			if err != nil {
+				return val{}, err
+			}
+			g.emit("%s %s, %d(%s)", load, g.rn(out), idxc*elemSize, g.rn(sum))
+			g.free(sum)
+			return out, nil
+		default:
+			out, err := newOut()
+			if err != nil {
+				return val{}, err
+			}
+			g.emit("%s %s, %d(%s)", load, g.rn(out), idxc*elemSize, g.rn(base))
+			g.free(base)
+			return out, nil
+		}
+	}
+	return val{}, errf(e.line, "internal: loadLvalue on op %d", e.op)
+}
+
+// assign stores rhs into the lvalue lhs and returns the stored value.
+func (g *gen) assign(lhs, rhs *expr, line int) (val, error) {
+	v, err := g.expr(rhs)
+	if err != nil {
+		return val{}, err
+	}
+	return g.storeTo(lhs, v, line)
+}
+
+// storeTo writes an already-computed value into the lvalue lhs and returns
+// the canonical location of the stored value (the register for
+// register-allocated locals, v itself otherwise).
+func (g *gen) storeTo(lhs *expr, v val, line int) (val, error) {
+	switch lhs.op {
+	case eVar:
+		sym := lhs.sym
+		if sym.reg >= 0 {
+			dst := sreg(sym.reg)
+			if sym.isFPReg {
+				dst = sfreg(sym.reg)
+				g.emit("fmov %s, %s", g.rn(dst), g.rn(v))
+			} else {
+				g.emit("move %s, %s", g.rn(dst), g.rn(v))
+			}
+			g.free(v)
+			return dst, nil
+		}
+		_, _, store, _, _ := memOps(sym.ty)
+		if sym.global {
+			g.emit("%s %s, %s", store, g.rn(v), sym.name)
+		} else {
+			g.emit("%s %s, %d($sp)", store, g.rn(v), sym.frameOff)
+		}
+		return v, nil
+
+	case eDeref:
+		p, err := g.expr(lhs.lhs)
+		if err != nil {
+			return val{}, err
+		}
+		_, _, store, _, _ := memOps(lhs.ty)
+		g.emit("%s %s, 0(%s)", store, g.rn(v), g.rn(p))
+		g.free(p)
+		return v, nil
+
+	case eField:
+		base, err := g.addr(lhs.lhs)
+		if err != nil {
+			return val{}, err
+		}
+		_, _, store, _, _ := memOps(lhs.ty)
+		g.emit("%s %s, %d(%s)", store, g.rn(v), lhs.field.off, g.rn(base))
+		g.free(base)
+		return v, nil
+
+	case eIndex:
+		base, idxc, scaled, hasScaled, err := g.indexParts(lhs)
+		if err != nil {
+			return val{}, err
+		}
+		_, _, store, storeX, _ := memOps(lhs.ty)
+		elemSize := int32(lhs.ty.size())
+		switch {
+		case hasScaled && idxc == 0:
+			g.emit("%s %s, (%s+%s)", storeX, g.rn(v), g.rn(base), g.rn(scaled))
+			g.free(base)
+			g.free(scaled)
+		case hasScaled:
+			sum, err := g.resultReg(base, line)
+			if err != nil {
+				return val{}, err
+			}
+			g.emit("add %s, %s, %s", g.rn(sum), g.rn(base), g.rn(scaled))
+			g.free(scaled)
+			if sum != base {
+				g.free(base)
+			}
+			g.emit("%s %s, %d(%s)", store, g.rn(v), idxc*elemSize, g.rn(sum))
+			g.free(sum)
+		default:
+			g.emit("%s %s, %d(%s)", store, g.rn(v), idxc*elemSize, g.rn(base))
+			g.free(base)
+		}
+		return v, nil
+	}
+	return val{}, errf(line, "internal: assign to op %d", lhs.op)
+}
+
+// syscallCodes maps the inline builtin functions to syscall numbers.
+var syscallCodes = map[string]int{
+	"print_int":    1,
+	"print_double": 3,
+	"print_str":    4,
+	"sbrk":         9,
+	"exit":         10,
+	"print_char":   11,
+}
+
+func (g *gen) call(e *expr) (val, error) {
+	// Inline syscall builtins.
+	if code, ok := syscallCodes[e.fn.name]; ok && e.fn.builtin {
+		if len(e.args) == 1 {
+			v, err := g.expr(e.args[0])
+			if err != nil {
+				return val{}, err
+			}
+			if v.fp {
+				g.emit("fmov $f12, %s", g.rn(v))
+			} else {
+				g.emit("move $a0, %s", g.rn(v))
+			}
+			g.free(v)
+		}
+		g.emit("li $v0, %d", code)
+		g.emit("syscall")
+		if e.fn.ret.kind == tyVoid {
+			return voidVal, nil
+		}
+		out, err := g.allocInt(e.line)
+		if err != nil {
+			return val{}, err
+		}
+		g.emit("move %s, $v0", g.rn(out))
+		return out, nil
+	}
+
+	// Regular call (runtime library functions included).
+	slots := argSlots(e.fn)
+	argVals := make([]val, len(e.args))
+	for i, a := range e.args {
+		v, err := g.expr(a)
+		if err != nil {
+			return val{}, err
+		}
+		argVals[i] = v
+	}
+	for i, v := range argVals {
+		slot := slots[i]
+		switch {
+		case slot.intReg >= 0:
+			g.emit("move $a%d, %s", slot.intReg, g.rn(v))
+		case slot.fpReg >= 0:
+			g.emit("fmov $f%d, %s", slot.fpReg, g.rn(v))
+		case slot.isFP:
+			g.emit("sfd %s, %d($sp)", g.rn(v), slot.stackOff)
+		default:
+			g.emit("sw %s, %d($sp)", g.rn(v), slot.stackOff)
+		}
+		g.free(v)
+	}
+
+	// Preserve live caller-saved temporaries across the call.
+	var savedI, savedF []int
+	for i := 0; i < numIntTemps; i++ {
+		if g.intInUse[i] {
+			g.emit("sw $t%d, %d($sp)", i, g.spillBase+i*4)
+			savedI = append(savedI, i)
+		}
+	}
+	for i := 0; i < numFPTemps; i++ {
+		if g.fpInUse[i] {
+			g.emit("sfd $f%d, %d($sp)", i*2, g.spillBase+numIntTemps*4+i*8)
+			savedF = append(savedF, i)
+		}
+	}
+
+	g.emit("jal %s", e.fn.name)
+
+	for _, i := range savedI {
+		g.emit("lw $t%d, %d($sp)", i, g.spillBase+i*4)
+	}
+	for _, i := range savedF {
+		g.emit("lfd $f%d, %d($sp)", i*2, g.spillBase+numIntTemps*4+i*8)
+	}
+
+	switch {
+	case e.fn.ret.kind == tyVoid:
+		return voidVal, nil
+	case e.fn.ret.kind == tyDouble:
+		out, err := g.allocFP(e.line)
+		if err != nil {
+			return val{}, err
+		}
+		g.emit("fmov %s, $f0", g.rn(out))
+		return out, nil
+	default:
+		out, err := g.allocInt(e.line)
+		if err != nil {
+			return val{}, err
+		}
+		g.emit("move %s, $v0", g.rn(out))
+		return out, nil
+	}
+}
+
+func (g *gen) cvt(e *expr) (val, error) {
+	v, err := g.expr(e.lhs)
+	if err != nil {
+		return val{}, err
+	}
+	if e.ty.kind == tyDouble && !v.fp {
+		out, err := g.allocFP(e.line)
+		if err != nil {
+			return val{}, err
+		}
+		g.emit("mtc1 %s, %s", g.rn(out), g.rn(v))
+		g.emit("cvtdw %s, %s", g.rn(out), g.rn(out))
+		g.free(v)
+		return out, nil
+	}
+	if e.ty.kind != tyDouble && v.fp {
+		out, err := g.allocInt(e.line)
+		if err != nil {
+			return val{}, err
+		}
+		g.emit("cvtwd $f18, %s", g.rn(v))
+		g.emit("mfc1 %s, $f18", g.rn(out))
+		g.free(v)
+		return out, nil
+	}
+	return v, nil
+}
+
+func (g *gen) addSub(e *expr) (val, error) {
+	ld := e.lhs.ty.decay()
+	// Pointer arithmetic.
+	if ld.isPtr() {
+		if e.op == eSub && e.rhs.ty.decay().isPtr() {
+			return g.ptrDiff(e)
+		}
+		return g.ptrOffset(e)
+	}
+	if e.ty.kind == tyDouble {
+		return g.fpBinary(e)
+	}
+	// Integer add/sub with immediate folding.
+	lv, err := g.expr(e.lhs)
+	if err != nil {
+		return val{}, err
+	}
+	if e.rhs.op == eIntLit {
+		c := int32(e.rhs.ival)
+		if e.op == eSub {
+			c = -c
+		}
+		if c >= -32768 && c <= 32767 {
+			out, err := g.resultReg(lv, e.line)
+			if err != nil {
+				return val{}, err
+			}
+			g.emit("addi %s, %s, %d", g.rn(out), g.rn(lv), c)
+			if out != lv {
+				g.free(lv)
+			}
+			return out, nil
+		}
+	}
+	rv, err := g.expr(e.rhs)
+	if err != nil {
+		return val{}, err
+	}
+	out, err := g.resultReg(lv, e.line)
+	if err != nil {
+		return val{}, err
+	}
+	op := "add"
+	if e.op == eSub {
+		op = "sub"
+	}
+	g.emit("%s %s, %s, %s", op, g.rn(out), g.rn(lv), g.rn(rv))
+	g.free(rv)
+	if out != lv {
+		g.free(lv)
+	}
+	return out, nil
+}
+
+// ptrOffset emits p +/- i with element-size scaling.
+func (g *gen) ptrOffset(e *expr) (val, error) {
+	elem := e.lhs.ty.decay().elem
+	size := elem.size()
+	pv, err := g.expr(e.lhs)
+	if err != nil {
+		return val{}, err
+	}
+	if e.rhs.op == eIntLit {
+		c := int32(e.rhs.ival) * int32(size)
+		if e.op == eSub {
+			c = -c
+		}
+		if c >= -32768 && c <= 32767 {
+			out, err := g.resultReg(pv, e.line)
+			if err != nil {
+				return val{}, err
+			}
+			g.emit("addi %s, %s, %d", g.rn(out), g.rn(pv), c)
+			if out != pv {
+				g.free(pv)
+			}
+			return out, nil
+		}
+	}
+	iv, err := g.expr(e.rhs)
+	if err != nil {
+		return val{}, err
+	}
+	scaled, err := g.scaleIndex(iv, size, e.line)
+	if err != nil {
+		return val{}, err
+	}
+	out, err := g.resultReg(pv, e.line)
+	if err != nil {
+		return val{}, err
+	}
+	op := "add"
+	if e.op == eSub {
+		op = "sub"
+	}
+	g.emit("%s %s, %s, %s", op, g.rn(out), g.rn(pv), g.rn(scaled))
+	g.free(scaled)
+	if out != pv {
+		g.free(pv)
+	}
+	return out, nil
+}
+
+func (g *gen) ptrDiff(e *expr) (val, error) {
+	size := e.lhs.ty.decay().elem.size()
+	lv, err := g.expr(e.lhs)
+	if err != nil {
+		return val{}, err
+	}
+	rv, err := g.expr(e.rhs)
+	if err != nil {
+		return val{}, err
+	}
+	out, err := g.resultReg(lv, e.line)
+	if err != nil {
+		return val{}, err
+	}
+	g.emit("sub %s, %s, %s", g.rn(out), g.rn(lv), g.rn(rv))
+	g.free(rv)
+	if out != lv {
+		g.free(lv)
+	}
+	if size > 1 {
+		if size&(size-1) == 0 {
+			g.emit("sra %s, %s, %d", g.rn(out), g.rn(out), log2i(size))
+		} else {
+			g.emit("li $t8, %d", size)
+			g.emit("div %s, %s, $t8", g.rn(out), g.rn(out))
+		}
+	}
+	return out, nil
+}
+
+func (g *gen) fpBinary(e *expr) (val, error) {
+	lv, err := g.expr(e.lhs)
+	if err != nil {
+		return val{}, err
+	}
+	rv, err := g.expr(e.rhs)
+	if err != nil {
+		return val{}, err
+	}
+	out, err := g.resultReg(lv, e.line)
+	if err != nil {
+		return val{}, err
+	}
+	var op string
+	switch e.op {
+	case eAdd:
+		op = "fadd"
+	case eSub:
+		op = "fsub"
+	case eMul:
+		op = "fmul"
+	case eDiv:
+		op = "fdiv"
+	default:
+		return val{}, errf(e.line, "internal: fp op %d", e.op)
+	}
+	g.emit("%s %s, %s, %s", op, g.rn(out), g.rn(lv), g.rn(rv))
+	g.free(rv)
+	if out != lv {
+		g.free(lv)
+	}
+	return out, nil
+}
+
+var intBinOps = map[exprOp]struct {
+	op    string
+	immOp string // "" if no immediate form
+}{
+	eMul:    {"mul", ""},
+	eDiv:    {"div", ""},
+	eMod:    {"rem", ""},
+	eShl:    {"sllv", "sll"},
+	eShr:    {"srav", "sra"},
+	eBitAnd: {"and", "andi"},
+	eBitOr:  {"or", "ori"},
+	eBitXor: {"xor", "xori"},
+}
+
+func (g *gen) binary(e *expr) (val, error) {
+	if e.ty.kind == tyDouble {
+		return g.fpBinary(e)
+	}
+	info := intBinOps[e.op]
+	lv, err := g.expr(e.lhs)
+	if err != nil {
+		return val{}, err
+	}
+	// Immediate forms.
+	if e.rhs.op == eIntLit && info.immOp != "" {
+		c := e.rhs.ival
+		inRange := c >= 0 && c <= 0xFFFF
+		if e.op == eShl || e.op == eShr {
+			inRange = c >= 0 && c <= 31
+		}
+		if inRange {
+			out, err := g.resultReg(lv, e.line)
+			if err != nil {
+				return val{}, err
+			}
+			g.emit("%s %s, %s, %d", info.immOp, g.rn(out), g.rn(lv), c)
+			if out != lv {
+				g.free(lv)
+			}
+			return out, nil
+		}
+	}
+	// Multiplication by a power-of-two constant becomes a shift.
+	if e.op == eMul && e.rhs.op == eIntLit && e.rhs.ival > 0 && e.rhs.ival&(e.rhs.ival-1) == 0 {
+		out, err := g.resultReg(lv, e.line)
+		if err != nil {
+			return val{}, err
+		}
+		g.emit("sll %s, %s, %d", g.rn(out), g.rn(lv), log2i(int(e.rhs.ival)))
+		if out != lv {
+			g.free(lv)
+		}
+		return out, nil
+	}
+	rv, err := g.expr(e.rhs)
+	if err != nil {
+		return val{}, err
+	}
+	out, err := g.resultReg(lv, e.line)
+	if err != nil {
+		return val{}, err
+	}
+	g.emit("%s %s, %s, %s", info.op, g.rn(out), g.rn(lv), g.rn(rv))
+	g.free(rv)
+	if out != lv {
+		g.free(lv)
+	}
+	return out, nil
+}
+
+// boolValue materializes a 0/1 result.
+func (g *gen) boolValue(e *expr) (val, error) {
+	switch e.op {
+	case eLt, eLe, eGt, eGe, eEq, eNe:
+		l, r := e.lhs.ty.decay(), e.rhs.ty.decay()
+		if l.kind != tyDouble && r.kind != tyDouble {
+			return g.intCmpValue(e, l.isPtr() || r.isPtr())
+		}
+	}
+	// General branchy materialization (doubles, &&, ||, !).
+	out, err := g.allocInt(e.line)
+	if err != nil {
+		return val{}, err
+	}
+	done := g.newLabel()
+	g.emit("li %s, 1", g.rn(out))
+	if err := g.branchTrue(e, done); err != nil {
+		return val{}, err
+	}
+	g.emit("li %s, 0", g.rn(out))
+	g.label(done)
+	return out, nil
+}
+
+func (g *gen) intCmpValue(e *expr, unsigned bool) (val, error) {
+	lv, err := g.expr(e.lhs)
+	if err != nil {
+		return val{}, err
+	}
+	rv, err := g.expr(e.rhs)
+	if err != nil {
+		return val{}, err
+	}
+	slt := "slt"
+	if unsigned {
+		slt = "sltu"
+	}
+	out, err := g.allocInt(e.line)
+	if err != nil {
+		return val{}, err
+	}
+	o, a, b := g.rn(out), g.rn(lv), g.rn(rv)
+	switch e.op {
+	case eLt:
+		g.emit("%s %s, %s, %s", slt, o, a, b)
+	case eGt:
+		g.emit("%s %s, %s, %s", slt, o, b, a)
+	case eLe:
+		g.emit("%s %s, %s, %s", slt, o, b, a)
+		g.emit("xori %s, %s, 1", o, o)
+	case eGe:
+		g.emit("%s %s, %s, %s", slt, o, a, b)
+		g.emit("xori %s, %s, 1", o, o)
+	case eEq:
+		g.emit("xor %s, %s, %s", o, a, b)
+		g.emit("sltiu %s, %s, 1", o, o)
+	case eNe:
+		g.emit("xor %s, %s, %s", o, a, b)
+		g.emit("sltu %s, $zero, %s", o, o)
+	}
+	g.free(lv)
+	g.free(rv)
+	return out, nil
+}
+
+// condValue materializes "cond ? a : b" through branches.
+func (g *gen) condValue(e *expr) (val, error) {
+	var out val
+	var err error
+	if e.ty.kind == tyDouble {
+		out, err = g.allocFP(e.line)
+	} else {
+		out, err = g.allocInt(e.line)
+	}
+	if err != nil {
+		return val{}, err
+	}
+	elseL, doneL := g.newLabel(), g.newLabel()
+	if err := g.branchFalse(e.lhs, elseL); err != nil {
+		return val{}, err
+	}
+	tv, err := g.expr(e.args[0])
+	if err != nil {
+		return val{}, err
+	}
+	if out.fp {
+		g.emit("fmov %s, %s", g.rn(out), g.rn(tv))
+	} else {
+		g.emit("move %s, %s", g.rn(out), g.rn(tv))
+	}
+	g.free(tv)
+	g.emit("j %s", doneL)
+	g.label(elseL)
+	ev, err := g.expr(e.args[1])
+	if err != nil {
+		return val{}, err
+	}
+	if out.fp {
+		g.emit("fmov %s, %s", g.rn(out), g.rn(ev))
+	} else {
+		g.emit("move %s, %s", g.rn(out), g.rn(ev))
+	}
+	g.free(ev)
+	g.label(doneL)
+	return out, nil
+}
+
+// postIncDec implements lhs++ / lhs-- (the result is the old value).
+func (g *gen) postIncDec(e *expr, negative bool) (val, error) {
+	delta := int32(1)
+	if t := e.lhs.ty.decay(); t.isPtr() {
+		delta = int32(t.elem.size())
+	}
+	if negative {
+		delta = -delta
+	}
+	cur, err := g.expr(e.lhs)
+	if err != nil {
+		return val{}, err
+	}
+	old, err := g.allocInt(e.line)
+	if err != nil {
+		return val{}, err
+	}
+	g.emit("move %s, %s", g.rn(old), g.rn(cur))
+	if cur.isTemp() {
+		g.emit("addi %s, %s, %d", g.rn(cur), g.rn(cur), delta)
+		if _, err := g.storeTo(e.lhs, cur, e.line); err != nil {
+			return val{}, err
+		}
+		g.free(cur)
+		return old, nil
+	}
+	nv, err := g.allocInt(e.line)
+	if err != nil {
+		return val{}, err
+	}
+	g.emit("addi %s, %s, %d", g.rn(nv), g.rn(cur), delta)
+	if _, err := g.storeTo(e.lhs, nv, e.line); err != nil {
+		return val{}, err
+	}
+	g.free(nv)
+	return old, nil
+}

@@ -1,0 +1,324 @@
+package minic
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/emu"
+	"repro/internal/prog"
+)
+
+// Differential testing: generate random MiniC programs whose results the
+// generator computes itself (with int32 semantics), then compile, assemble,
+// link, and execute them on the emulator under every toolchain variant and
+// compare. This exercises expression codegen (immediates, comparisons,
+// shifts, spills), control flow, array addressing, register allocation
+// pressure, and the strength-reduction pass against an independent model.
+
+type dgen struct {
+	r    *rand.Rand
+	vars []string
+	vals map[string]int32
+	arr  []int32 // shadow of the global array g[16]
+	b    strings.Builder
+}
+
+func (g *dgen) freshVar() string {
+	name := fmt.Sprintf("v%d", len(g.vars))
+	g.vars = append(g.vars, name)
+	return name
+}
+
+// expr generates a random expression of bounded depth and returns its
+// MiniC text and its value under int32 evaluation.
+func (g *dgen) expr(depth int) (string, int32) {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		// Leaf: literal, variable, or array element.
+		switch g.r.Intn(3) {
+		case 0:
+			v := int32(g.r.Intn(2001) - 1000)
+			if g.r.Intn(8) == 0 { // occasionally large
+				v = int32(g.r.Uint32())
+			}
+			if v < 0 {
+				return fmt.Sprintf("(%d)", v), v
+			}
+			return fmt.Sprintf("%d", v), v
+		case 1:
+			if len(g.vars) > 0 {
+				name := g.vars[g.r.Intn(len(g.vars))]
+				return name, g.vals[name]
+			}
+			return "7", 7
+		default:
+			idx := g.r.Intn(len(g.arr))
+			return fmt.Sprintf("g[%d]", idx), g.arr[idx]
+		}
+	}
+	a, av := g.expr(depth - 1)
+	b, bv := g.expr(depth - 1)
+	switch g.r.Intn(13) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b), av + bv
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b), av - bv
+	case 2:
+		return fmt.Sprintf("(%s * %s)", a, b), av * bv
+	case 3:
+		// Safe division: force a nonzero literal divisor.
+		d := int32(g.r.Intn(99) + 1)
+		// Avoid the INT_MIN / -1 trap by keeping divisors positive.
+		return fmt.Sprintf("(%s / %d)", a, d), div32(av, d)
+	case 4:
+		d := int32(g.r.Intn(99) + 1)
+		return fmt.Sprintf("(%s %% %d)", a, d), rem32(av, d)
+	case 5:
+		sh := uint(g.r.Intn(31))
+		return fmt.Sprintf("(%s << %d)", a, sh), av << sh
+	case 6:
+		sh := uint(g.r.Intn(31))
+		return fmt.Sprintf("(%s >> %d)", a, sh), av >> sh
+	case 7:
+		return fmt.Sprintf("(%s & %s)", a, b), av & bv
+	case 8:
+		return fmt.Sprintf("(%s | %s)", a, b), av | bv
+	case 9:
+		return fmt.Sprintf("(%s ^ %s)", a, b), av ^ bv
+	case 10:
+		cmp := []string{"<", "<=", ">", ">=", "==", "!="}[g.r.Intn(6)]
+		return fmt.Sprintf("(%s %s %s)", a, cmp, b), b2i(cmp32(cmp, av, bv))
+	case 11:
+		// Ternary over a third subexpression.
+		c, cv := g.expr(depth - 1)
+		if cv != 0 {
+			return fmt.Sprintf("(%s ? %s : %s)", c, a, b), av
+		}
+		return fmt.Sprintf("(%s ? %s : %s)", c, a, b), bv
+	default:
+		return fmt.Sprintf("(-%s)", a), -av
+	}
+}
+
+func div32(a, b int32) int32 { return a / b }
+func rem32(a, b int32) int32 { return a % b }
+
+func cmp32(op string, a, b int32) bool {
+	switch op {
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	case "==":
+		return a == b
+	}
+	return a != b
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// stmt generates one statement and updates the shadow state.
+func (g *dgen) stmt(depth int) {
+	switch g.r.Intn(9) {
+	case 0, 1: // new variable
+		e, v := g.expr(3)
+		name := g.freshVar()
+		fmt.Fprintf(&g.b, "\tint %s; %s = %s;\n", name, name, e)
+		g.vals[name] = v
+	case 2: // reassign
+		if len(g.vars) == 0 {
+			g.stmt(depth)
+			return
+		}
+		name := g.vars[g.r.Intn(len(g.vars))]
+		e, v := g.expr(3)
+		fmt.Fprintf(&g.b, "\t%s = %s;\n", name, e)
+		g.vals[name] = v
+	case 3: // array store at constant index
+		idx := g.r.Intn(len(g.arr))
+		e, v := g.expr(2)
+		fmt.Fprintf(&g.b, "\tg[%d] = %s;\n", idx, e)
+		g.arr[idx] = v
+	case 4: // if/else, condition evaluated by the shadow model
+		ce, cv := g.expr(2)
+		te, tv := g.expr(2)
+		ee, ev := g.expr(2)
+		name := g.freshVar()
+		fmt.Fprintf(&g.b, "\tint %s;\n\tif (%s) { %s = %s; } else { %s = %s; }\n",
+			name, ce, name, te, name, ee)
+		if cv != 0 {
+			g.vals[name] = tv
+		} else {
+			g.vals[name] = ev
+		}
+	case 6: // compound assignment to an existing variable
+		if len(g.vars) == 0 {
+			g.stmt(depth)
+			return
+		}
+		name := g.vars[g.r.Intn(len(g.vars))]
+		e, v := g.expr(2)
+		switch g.r.Intn(4) {
+		case 0:
+			fmt.Fprintf(&g.b, "\t%s += %s;\n", name, e)
+			g.vals[name] += v
+		case 1:
+			fmt.Fprintf(&g.b, "\t%s -= %s;\n", name, e)
+			g.vals[name] -= v
+		case 2:
+			fmt.Fprintf(&g.b, "\t%s ^= %s;\n", name, e)
+			g.vals[name] ^= v
+		default:
+			fmt.Fprintf(&g.b, "\t%s *= %s;\n", name, e)
+			g.vals[name] *= v
+		}
+	case 7: // increment/decrement statement
+		if len(g.vars) == 0 {
+			g.stmt(depth)
+			return
+		}
+		name := g.vars[g.r.Intn(len(g.vars))]
+		if g.r.Intn(2) == 0 {
+			fmt.Fprintf(&g.b, "\t%s++;\n", name)
+			g.vals[name]++
+		} else {
+			fmt.Fprintf(&g.b, "\t--%s;\n", name)
+			g.vals[name]--
+		}
+	case 8: // do-while accumulation (runs at least once)
+		if depth <= 0 {
+			g.stmt(0)
+			return
+		}
+		n := int32(g.r.Intn(6) + 1)
+		name := g.freshVar()
+		fmt.Fprintf(&g.b, "\tint %s; int c%s;\n\t%s = 0; c%s = 0;\n", name, name, name, name)
+		fmt.Fprintf(&g.b, "\tdo { %s += c%s * 3 + 1; c%s++; } while (c%s < %d);\n",
+			name, name, name, name, n)
+		var acc int32
+		for c := int32(0); c < n || c == 0; c++ {
+			acc += c*3 + 1
+			if c+1 >= n {
+				break
+			}
+		}
+		g.vals[name] = acc
+	case 5: // counted loop accumulating into a fresh variable
+		if depth <= 0 {
+			g.stmt(0)
+			return
+		}
+		n := g.r.Intn(7) + 1
+		step, stepv := g.expr(1)
+		name := g.freshVar()
+		fmt.Fprintf(&g.b, "\tint %s; int i%s;\n\t%s = 0;\n", name, name, name)
+		fmt.Fprintf(&g.b, "\tfor (i%s = 0; i%s < %d; i%s = i%s + 1) { %s = %s + g[i%s] + %s; }\n",
+			name, name, n, name, name, name, name, name, step)
+		var acc int32
+		for i := 0; i < n; i++ {
+			acc += g.arr[i] + stepv
+		}
+		g.vals[name] = acc
+	}
+}
+
+// generate builds one random program and its expected output.
+func generateProgram(seed int64) (src string, expected string) {
+	g := &dgen{
+		r:    rand.New(rand.NewSource(seed)),
+		vals: make(map[string]int32),
+		arr:  make([]int32, 16),
+	}
+	g.b.WriteString("int g[16];\nint main() {\n")
+	// Seed the array.
+	for i := range g.arr {
+		v := int32(g.r.Intn(1000) - 500)
+		g.arr[i] = v
+		fmt.Fprintf(&g.b, "\tg[%d] = %d;\n", i, v)
+	}
+	nStmts := 4 + g.r.Intn(12)
+	for i := 0; i < nStmts; i++ {
+		g.stmt(1)
+	}
+	// Print a digest of all variables and the array.
+	var digest int32
+	for i, name := range g.vars {
+		digest += g.vals[name] * int32(i+1)
+	}
+	for i, v := range g.arr {
+		digest ^= v + int32(i)
+	}
+	g.b.WriteString("\tint digest; digest = 0;\n")
+	for i, name := range g.vars {
+		fmt.Fprintf(&g.b, "\tdigest = digest + %s * %d;\n", name, i+1)
+	}
+	for i := range g.arr {
+		fmt.Fprintf(&g.b, "\tdigest = digest ^ (g[%d] + %d);\n", i, i)
+	}
+	g.b.WriteString("\tprint_int(digest);\n\treturn 0;\n}\n")
+	return g.b.String(), fmt.Sprintf("%d", digest)
+}
+
+func runDiff(t *testing.T, src string, opts Options, link prog.Config) string {
+	t.Helper()
+	asmText, err := Compile(src, opts)
+	if err != nil {
+		t.Fatalf("Compile: %v\n--- source ---\n%s", err, src)
+	}
+	o, err := asm.Assemble(asmText)
+	if err != nil {
+		t.Fatalf("Assemble: %v\n--- source ---\n%s", err, src)
+	}
+	p, err := prog.Link(o, link)
+	if err != nil {
+		t.Fatalf("Link: %v\n--- source ---\n%s", err, src)
+	}
+	e := emu.New(p)
+	e.MaxInsts = 10_000_000
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v\n--- source ---\n%s", err, src)
+	}
+	return e.Out.String()
+}
+
+// TestDifferentialRandomPrograms compiles and executes randomly generated
+// programs and compares against the generator's own int32 evaluation, under
+// all four toolchain variants.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	n := 150
+	if testing.Short() {
+		n = 25
+	}
+	facLink := prog.DefaultConfig()
+	facLink.AlignGP = true
+	variants := []struct {
+		name string
+		opts Options
+		link prog.Config
+	}{
+		{"base", BaseOptions(), prog.DefaultConfig()},
+		{"base-nosr", func() Options { o := BaseOptions(); o.StrengthReduce = false; return o }(), prog.DefaultConfig()},
+		{"fac", FACOptions(), facLink},
+	}
+	for seed := int64(1); seed <= int64(n); seed++ {
+		src, want := generateProgram(seed)
+		for _, v := range variants {
+			got := runDiff(t, src, v.opts, v.link)
+			if got != want {
+				t.Fatalf("seed %d toolchain %s: got %q, want %q\n--- source ---\n%s",
+					seed, v.name, got, want, src)
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// peephole performs window-local cleanups on the generated assembly text.
+// It is deliberately conservative: every rule only fires on adjacent lines
+// with no intervening labels or branches, so the transformations are safe
+// regardless of control flow. The pass is opt-in (Options.Peephole) so the
+// paper-reproduction code shapes stay untouched by default.
+//
+// Rules:
+//  1. store-to-load forwarding:  sw $rX, N($sp) ; lw $rY, N($sp)
+//     becomes sw $rX, N($sp) ; move $rY, $rX (and the move drops when X=Y)
+//  2. self-move elimination:     move $rX, $rX  ->  (removed)
+//  3. jump-to-next elimination:  j .L ; .L:     ->  .L:
+func peephole(asmText string) string {
+	lines := strings.Split(asmText, "\n")
+	out := make([]string, 0, len(lines))
+
+	for i := 0; i < len(lines); i++ {
+		line := lines[i]
+		trimmed := strings.TrimSpace(line)
+
+		// Rule 3: j .L followed immediately by the label .L:.
+		if target, ok := parseJump(trimmed); ok && i+1 < len(lines) {
+			next := strings.TrimSpace(lines[i+1])
+			if next == target+":" {
+				continue // drop the jump; the label line follows
+			}
+		}
+
+		// Rule 2: move $x, $x.
+		if dst, src, ok := parseMove(trimmed); ok && dst == src {
+			continue
+		}
+
+		// Rule 1: sw/lw forwarding through the same stack slot.
+		if len(out) > 0 {
+			if sReg, sOff, ok := parseSpMem(strings.TrimSpace(out[len(out)-1]), "sw"); ok {
+				if lReg, lOff, ok2 := parseSpMem(trimmed, "lw"); ok2 && sOff == lOff {
+					if lReg == sReg {
+						continue // the value is already in the register
+					}
+					out = append(out, fmt.Sprintf("\tmove %s, %s", lReg, sReg))
+					continue
+				}
+			}
+		}
+
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
+// parseJump matches "j LABEL".
+func parseJump(line string) (string, bool) {
+	rest, ok := strings.CutPrefix(line, "j ")
+	if !ok {
+		return "", false
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" || strings.ContainsAny(rest, " ,($") {
+		return "", false
+	}
+	if rest[0] >= '0' && rest[0] <= '9' {
+		return "", false // numeric target
+	}
+	return rest, true
+}
+
+// parseMove matches "move $dst, $src".
+func parseMove(line string) (dst, src string, ok bool) {
+	rest, found := strings.CutPrefix(line, "move ")
+	if !found {
+		return "", "", false
+	}
+	parts := strings.SplitN(rest, ",", 2)
+	if len(parts) != 2 {
+		return "", "", false
+	}
+	return strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]), true
+}
+
+// parseSpMem matches "<op> $reg, N($sp)".
+func parseSpMem(line, op string) (reg, off string, ok bool) {
+	rest, found := strings.CutPrefix(line, op+" ")
+	if !found {
+		return "", "", false
+	}
+	parts := strings.SplitN(rest, ",", 2)
+	if len(parts) != 2 {
+		return "", "", false
+	}
+	reg = strings.TrimSpace(parts[0])
+	mem := strings.TrimSpace(parts[1])
+	if !strings.HasSuffix(mem, "($sp)") {
+		return "", "", false
+	}
+	off = strings.TrimSuffix(mem, "($sp)")
+	if off == "" {
+		return "", "", false
+	}
+	for _, c := range off {
+		if c != '-' && (c < '0' || c > '9') {
+			return "", "", false
+		}
+	}
+	return reg, off, true
+}

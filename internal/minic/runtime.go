@@ -1,0 +1,80 @@
+package minic
+
+import "fmt"
+
+// runtimePrelude returns the MiniC source of the runtime library. The
+// dynamic allocator is a bump allocator over the sbrk syscall whose
+// alignment is the paper's software-support knob (8 bytes stock, 32 bytes
+// with fast-address-calculation optimizations). free is a no-op; the
+// benchmark workloads bound their live heap.
+func runtimePrelude(mallocAlign int) string {
+	return fmt.Sprintf(`
+int __rt_seed;
+char *__rt_bump;
+int __rt_avail;
+
+char *malloc(int n) {
+	char *p;
+	int a;
+	a = %d;
+	n = (n + a - 1) & ~(a - 1);
+	if (__rt_avail < n) {
+		int chunk;
+		chunk = 1 << 16;
+		if (chunk < n) {
+			chunk = n;
+		}
+		__rt_bump = sbrk(chunk);
+		__rt_avail = chunk;
+	}
+	p = __rt_bump;
+	__rt_bump = __rt_bump + n;
+	__rt_avail = __rt_avail - n;
+	return p;
+}
+
+void free(char *p) {
+}
+
+void srand(int s) {
+	__rt_seed = s;
+}
+
+int rand() {
+	__rt_seed = __rt_seed * 1103515245 + 12345;
+	return (__rt_seed >> 16) & 32767;
+}
+
+void memset(char *d, int v, int n) {
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		d[i] = v;
+	}
+}
+
+void memcpy(char *d, char *s, int n) {
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		d[i] = s[i];
+	}
+}
+
+int strlen(char *s) {
+	int n;
+	n = 0;
+	while (s[n]) {
+		n = n + 1;
+	}
+	return n;
+}
+
+int strcmp(char *a, char *b) {
+	int i;
+	i = 0;
+	while (a[i] && a[i] == b[i]) {
+		i = i + 1;
+	}
+	return a[i] - b[i];
+}
+`, mallocAlign)
+}

@@ -1,0 +1,519 @@
+package minic
+
+// sema resolves names, checks types, inserts numeric conversions, and
+// gathers the per-function symbol lists the code generator allocates.
+
+type scope struct {
+	parent *scope
+	syms   map[string]*symbol
+}
+
+func (s *scope) lookup(name string) *symbol {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.syms[name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+type semaCtx struct {
+	u         *unit
+	fn        *function
+	scope     *scope
+	loopDepth int
+}
+
+func analyze(u *unit) error {
+	globals := &scope{syms: make(map[string]*symbol)}
+	for _, g := range u.globals {
+		globals.syms[g.name] = g
+	}
+	if _, ok := u.funcs["main"]; !ok {
+		return errf(1, "no main function")
+	}
+	for _, f := range u.order {
+		c := &semaCtx{u: u, fn: f}
+		c.scope = &scope{parent: globals, syms: make(map[string]*symbol)}
+		for i := range f.params {
+			pm := &f.params[i]
+			sym := &symbol{name: pm.name, ty: pm.ty, param: true, reg: -1}
+			if dup := c.scope.syms[pm.name]; dup != nil {
+				return errf(f.line, "duplicate parameter %q", pm.name)
+			}
+			c.scope.syms[pm.name] = sym
+			f.syms = append(f.syms, sym)
+		}
+		if err := c.stmts(f.body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *semaCtx) pushScope() { c.scope = &scope{parent: c.scope, syms: make(map[string]*symbol)} }
+func (c *semaCtx) popScope()  { c.scope = c.scope.parent }
+
+func (c *semaCtx) stmts(list []*stmt) error {
+	c.pushScope()
+	defer c.popScope()
+	for _, st := range list {
+		if err := c.stmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *semaCtx) stmt(st *stmt) error {
+	switch st.op {
+	case sExpr:
+		_, err := c.expr(st.expr)
+		return err
+	case sDecl:
+		sym := st.decl
+		if sym.ty.kind == tyVoid {
+			return errf(st.line, "void variable %q", sym.name)
+		}
+		if dup := c.scope.syms[sym.name]; dup != nil {
+			return errf(st.line, "duplicate variable %q", sym.name)
+		}
+		c.scope.syms[sym.name] = sym
+		c.fn.syms = append(c.fn.syms, sym)
+		if st.init != nil {
+			ty, err := c.expr(st.init)
+			if err != nil {
+				return err
+			}
+			if !compatible(sym.ty, ty) {
+				return errf(st.line, "cannot initialize %s with %s", sym.ty, ty)
+			}
+			st.init = convertTo(st.init, sym.ty)
+		}
+		return nil
+	case sIf:
+		if err := c.condExpr(st.cond, st.line); err != nil {
+			return err
+		}
+		if err := c.stmts(st.body); err != nil {
+			return err
+		}
+		return c.stmts(st.elseBody)
+	case sWhile, sDoWhile:
+		if err := c.condExpr(st.cond, st.line); err != nil {
+			return err
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.stmts(st.body)
+	case sFor:
+		c.pushScope()
+		defer c.popScope()
+		if st.forInit != nil {
+			if err := c.stmt(st.forInit); err != nil {
+				return err
+			}
+		}
+		if st.cond != nil {
+			if err := c.condExpr(st.cond, st.line); err != nil {
+				return err
+			}
+		}
+		if st.forPost != nil {
+			if err := c.stmt(st.forPost); err != nil {
+				return err
+			}
+		}
+		c.loopDepth++
+		defer func() { c.loopDepth-- }()
+		return c.stmts(st.body)
+	case sReturn:
+		if st.expr == nil {
+			if c.fn.ret.kind != tyVoid {
+				return errf(st.line, "missing return value in %q", c.fn.name)
+			}
+			return nil
+		}
+		if c.fn.ret.kind == tyVoid {
+			return errf(st.line, "return value in void function %q", c.fn.name)
+		}
+		ty, err := c.expr(st.expr)
+		if err != nil {
+			return err
+		}
+		if !compatible(c.fn.ret, ty) {
+			return errf(st.line, "cannot return %s from %s %q", ty, c.fn.ret, c.fn.name)
+		}
+		st.expr = convertTo(st.expr, c.fn.ret)
+		return nil
+	case sBreak, sContinue:
+		if c.loopDepth == 0 {
+			return errf(st.line, "break/continue outside loop")
+		}
+		return nil
+	case sBlock:
+		return c.stmts(st.body)
+	}
+	return errf(st.line, "internal: unknown statement")
+}
+
+func (c *semaCtx) condExpr(e *expr, line int) error {
+	ty, err := c.expr(e)
+	if err != nil {
+		return err
+	}
+	if !ty.decay().isScalar() {
+		return errf(line, "condition has non-scalar type %s", ty)
+	}
+	return nil
+}
+
+// convertTo wraps e in a numeric conversion when needed. st.expr trees are
+// rewritten in place by the caller.
+func convertTo(e *expr, want *ctype) *expr {
+	have := e.ty.decay()
+	want = want.decay()
+	if have.kind == tyDouble && want.kind != tyDouble && want.isNumeric() {
+		return &expr{op: eCvt, line: e.line, lhs: e, ty: typeInt}
+	}
+	if have.kind != tyDouble && want.kind == tyDouble && have.isNumeric() {
+		return &expr{op: eCvt, line: e.line, lhs: e, ty: typeDouble}
+	}
+	return e
+}
+
+// isLvalue reports whether e designates a storage location.
+func isLvalue(e *expr) bool {
+	switch e.op {
+	case eVar:
+		return true
+	case eDeref, eIndex:
+		return true
+	case eField:
+		return isLvalue(e.lhs)
+	}
+	return false
+}
+
+func (c *semaCtx) expr(e *expr) (*ctype, error) {
+	ty, err := c.exprInner(e)
+	if err != nil {
+		return nil, err
+	}
+	e.ty = ty
+	return ty, nil
+}
+
+func (c *semaCtx) exprInner(e *expr) (*ctype, error) {
+	switch e.op {
+	case eIntLit:
+		return typeInt, nil
+	case eFloatLit:
+		return typeDouble, nil
+	case eStrLit:
+		return ptrTo(typeChar), nil
+	case eVar:
+		sym := c.scope.lookup(e.sval)
+		if sym == nil {
+			return nil, errf(e.line, "undefined variable %q", e.sval)
+		}
+		sym.uses++
+		e.sym = sym
+		return sym.ty, nil
+	case eCall:
+		fn, ok := c.u.funcs[e.sval]
+		if !ok {
+			return nil, errf(e.line, "undefined function %q", e.sval)
+		}
+		if len(e.args) != len(fn.params) {
+			return nil, errf(e.line, "%q takes %d arguments, got %d", e.sval, len(fn.params), len(e.args))
+		}
+		for i, arg := range e.args {
+			ty, err := c.expr(arg)
+			if err != nil {
+				return nil, err
+			}
+			want := fn.params[i].ty
+			if !compatible(want, ty) {
+				return nil, errf(e.line, "argument %d of %q: cannot pass %s as %s", i+1, e.sval, ty, want)
+			}
+			e.args[i] = convertTo(arg, want)
+		}
+		e.fn = fn
+		c.fn.makesCall = true
+		return fn.ret, nil
+	case eAssign:
+		lty, err := c.expr(e.lhs)
+		if err != nil {
+			return nil, err
+		}
+		if !isLvalue(e.lhs) {
+			return nil, errf(e.line, "assignment to non-lvalue")
+		}
+		if lty.kind == tyArray || lty.kind == tyStruct {
+			return nil, errf(e.line, "cannot assign aggregate %s (use memcpy)", lty)
+		}
+		rty, err := c.expr(e.rhs)
+		if err != nil {
+			return nil, err
+		}
+		if !compatible(lty, rty) {
+			return nil, errf(e.line, "cannot assign %s to %s", rty, lty)
+		}
+		e.rhs = convertTo(e.rhs, lty)
+		return lty, nil
+	case eAdd, eSub:
+		lty, err := c.expr(e.lhs)
+		if err != nil {
+			return nil, err
+		}
+		rty, err := c.expr(e.rhs)
+		if err != nil {
+			return nil, err
+		}
+		ld, rd := lty.decay(), rty.decay()
+		switch {
+		case ld.isPtr() && rd.isInteger():
+			return ld, nil // pointer arithmetic, scaled by codegen
+		case e.op == eAdd && ld.isInteger() && rd.isPtr():
+			// Normalize to ptr + int.
+			e.lhs, e.rhs = e.rhs, e.lhs
+			return rd, nil
+		case e.op == eSub && ld.isPtr() && rd.isPtr():
+			return typeInt, nil
+		case ld.isNumeric() && rd.isNumeric():
+			return c.arith(e, ld, rd)
+		}
+		return nil, errf(e.line, "invalid operands %s, %s", lty, rty)
+	case eMul, eDiv:
+		return c.binNumeric(e, true)
+	case eMod, eShl, eShr, eBitAnd, eBitOr, eBitXor:
+		return c.binInteger(e)
+	case eLt, eLe, eGt, eGe, eEq, eNe:
+		lty, err := c.expr(e.lhs)
+		if err != nil {
+			return nil, err
+		}
+		rty, err := c.expr(e.rhs)
+		if err != nil {
+			return nil, err
+		}
+		ld, rd := lty.decay(), rty.decay()
+		if ld.isPtr() && rd.isPtr() || ld.isPtr() && rd.isInteger() || ld.isInteger() && rd.isPtr() {
+			return typeInt, nil
+		}
+		if ld.isNumeric() && rd.isNumeric() {
+			if ld.kind == tyDouble || rd.kind == tyDouble {
+				e.lhs = convertTo(e.lhs, typeDouble)
+				e.rhs = convertTo(e.rhs, typeDouble)
+			}
+			return typeInt, nil
+		}
+		return nil, errf(e.line, "invalid comparison %s, %s", lty, rty)
+	case eLAnd, eLOr:
+		for _, sub := range []*expr{e.lhs, e.rhs} {
+			ty, err := c.expr(sub)
+			if err != nil {
+				return nil, err
+			}
+			if !ty.decay().isScalar() {
+				return nil, errf(e.line, "non-scalar operand of logical operator")
+			}
+		}
+		return typeInt, nil
+	case eNot:
+		ty, err := c.expr(e.lhs)
+		if err != nil {
+			return nil, err
+		}
+		if !ty.decay().isScalar() {
+			return nil, errf(e.line, "non-scalar operand of !")
+		}
+		return typeInt, nil
+	case eNeg:
+		ty, err := c.expr(e.lhs)
+		if err != nil {
+			return nil, err
+		}
+		if !ty.isNumeric() {
+			return nil, errf(e.line, "non-numeric operand of unary -")
+		}
+		if ty.kind == tyDouble {
+			return typeDouble, nil
+		}
+		return typeInt, nil
+	case eBitNot:
+		ty, err := c.expr(e.lhs)
+		if err != nil {
+			return nil, err
+		}
+		if !ty.isInteger() {
+			return nil, errf(e.line, "non-integer operand of ~")
+		}
+		return typeInt, nil
+	case eAddr:
+		ty, err := c.expr(e.lhs)
+		if err != nil {
+			return nil, err
+		}
+		if !isLvalue(e.lhs) {
+			return nil, errf(e.line, "cannot take address of non-lvalue")
+		}
+		markAddrTaken(e.lhs)
+		return ptrTo(ty), nil
+	case eDeref:
+		ty, err := c.expr(e.lhs)
+		if err != nil {
+			return nil, err
+		}
+		d := ty.decay()
+		if !d.isPtr() {
+			return nil, errf(e.line, "cannot dereference %s", ty)
+		}
+		if d.elem.kind == tyVoid {
+			return nil, errf(e.line, "cannot dereference void*")
+		}
+		return d.elem, nil
+	case eIndex:
+		ty, err := c.expr(e.lhs)
+		if err != nil {
+			return nil, err
+		}
+		ity, err := c.expr(e.rhs)
+		if err != nil {
+			return nil, err
+		}
+		d := ty.decay()
+		if !d.isPtr() {
+			return nil, errf(e.line, "cannot index %s", ty)
+		}
+		if !ity.decay().isInteger() {
+			return nil, errf(e.line, "array index has type %s", ity)
+		}
+		return d.elem, nil
+	case eField:
+		ty, err := c.expr(e.lhs)
+		if err != nil {
+			return nil, err
+		}
+		if ty.kind != tyStruct {
+			return nil, errf(e.line, "request for field %q in non-struct %s", e.sval, ty)
+		}
+		for i := range ty.sdef.fields {
+			if ty.sdef.fields[i].name == e.sval {
+				e.field = &ty.sdef.fields[i]
+				return e.field.ty, nil
+			}
+		}
+		return nil, errf(e.line, "struct %s has no field %q", ty, e.sval)
+	case eCvt:
+		return e.ty, nil // inserted pre-typed
+	case eCond:
+		if err := c.condExpr(e.lhs, e.line); err != nil {
+			return nil, err
+		}
+		tty, err := c.expr(e.args[0])
+		if err != nil {
+			return nil, err
+		}
+		ety, err := c.expr(e.args[1])
+		if err != nil {
+			return nil, err
+		}
+		td, ed := tty.decay(), ety.decay()
+		switch {
+		case td.kind == tyDouble || ed.kind == tyDouble:
+			if !td.isNumeric() || !ed.isNumeric() {
+				return nil, errf(e.line, "mismatched ?: arms %s, %s", tty, ety)
+			}
+			e.args[0] = convertTo(e.args[0], typeDouble)
+			e.args[1] = convertTo(e.args[1], typeDouble)
+			return typeDouble, nil
+		case td.isPtr() || ed.isPtr():
+			if !compatible(td, ed) {
+				return nil, errf(e.line, "mismatched ?: arms %s, %s", tty, ety)
+			}
+			if td.isPtr() {
+				return td, nil
+			}
+			return ed, nil
+		case td.isInteger() && ed.isInteger():
+			return typeInt, nil
+		}
+		return nil, errf(e.line, "mismatched ?: arms %s, %s", tty, ety)
+	case ePostInc, ePostDec:
+		ty, err := c.expr(e.lhs)
+		if err != nil {
+			return nil, err
+		}
+		if !isLvalue(e.lhs) {
+			return nil, errf(e.line, "increment of non-lvalue")
+		}
+		d := ty.decay()
+		if !d.isInteger() && !d.isPtr() {
+			return nil, errf(e.line, "cannot increment %s", ty)
+		}
+		return d, nil
+	}
+	return nil, errf(e.line, "internal: unknown expression op %d", e.op)
+}
+
+// arith applies the usual arithmetic conversions to a binary node.
+func (c *semaCtx) arith(e *expr, ld, rd *ctype) (*ctype, error) {
+	if ld.kind == tyDouble || rd.kind == tyDouble {
+		e.lhs = convertTo(e.lhs, typeDouble)
+		e.rhs = convertTo(e.rhs, typeDouble)
+		return typeDouble, nil
+	}
+	return typeInt, nil
+}
+
+func (c *semaCtx) binNumeric(e *expr, allowDouble bool) (*ctype, error) {
+	lty, err := c.expr(e.lhs)
+	if err != nil {
+		return nil, err
+	}
+	rty, err := c.expr(e.rhs)
+	if err != nil {
+		return nil, err
+	}
+	ld, rd := lty.decay(), rty.decay()
+	if !ld.isNumeric() || !rd.isNumeric() {
+		return nil, errf(e.line, "invalid operands %s, %s", lty, rty)
+	}
+	if (ld.kind == tyDouble || rd.kind == tyDouble) && !allowDouble {
+		return nil, errf(e.line, "operator requires integer operands")
+	}
+	return c.arith(e, ld, rd)
+}
+
+func (c *semaCtx) binInteger(e *expr) (*ctype, error) {
+	lty, err := c.expr(e.lhs)
+	if err != nil {
+		return nil, err
+	}
+	rty, err := c.expr(e.rhs)
+	if err != nil {
+		return nil, err
+	}
+	if !lty.decay().isInteger() || !rty.decay().isInteger() {
+		return nil, errf(e.line, "operator requires integer operands, got %s, %s", lty, rty)
+	}
+	return typeInt, nil
+}
+
+// markAddrTaken flags the root variable of an lvalue whose address escapes,
+// forcing it into memory.
+func markAddrTaken(e *expr) {
+	switch e.op {
+	case eVar:
+		if e.sym != nil {
+			e.sym.addrTaken = true
+		}
+	case eField:
+		markAddrTaken(e.lhs)
+	case eDeref, eIndex:
+		// The storage is already in memory through a pointer; the root
+		// variable itself need not be spilled.
+	}
+}

@@ -1,0 +1,329 @@
+package minic
+
+import "fmt"
+
+// strengthReduce rewrites counted for-loops so that array accesses indexed
+// by the induction variable walk derived pointers instead (the classic
+// strength reduction of subscript expressions, ASU86). After the rewrite,
+// a[i] inside the loop compiles to a zero-offset load through a pointer
+// that is bumped in the loop's post statement, and a[i+1] to a small
+// constant offset off the same pointer — exactly the code GCC produces for
+// the paper when strength reduction succeeds. When the pass does not apply
+// (non-induction subscripts, modified bases), code generation falls back to
+// register+register addressing.
+func strengthReduce(u *unit) {
+	for _, f := range u.order {
+		sr := &reducer{fn: f}
+		sr.stmts(f.body)
+	}
+}
+
+type reducer struct {
+	fn      *function
+	counter int
+}
+
+func (r *reducer) stmts(list []*stmt) {
+	for _, st := range list {
+		r.stmt(st)
+	}
+}
+
+func (r *reducer) stmt(st *stmt) {
+	switch st.op {
+	case sIf:
+		r.stmts(st.body)
+		r.stmts(st.elseBody)
+	case sWhile, sDoWhile, sBlock:
+		r.stmts(st.body)
+	case sFor:
+		// Inner loops first: their rewrites may still use this loop's IV.
+		r.stmts(st.body)
+		r.reduceFor(st)
+	}
+}
+
+// ivPattern extracts the induction variable and step from a for statement,
+// or returns nil.
+func forInduction(st *stmt) (iv *symbol, startE *expr, step int64) {
+	if st.forInit == nil || st.cond == nil || st.forPost == nil {
+		return nil, nil, 0
+	}
+	init := st.forInit.expr
+	if init == nil || init.op != eAssign || init.lhs.op != eVar {
+		return nil, nil, 0
+	}
+	sym := init.lhs.sym
+	if sym == nil || sym.global || sym.addrTaken || sym.ty.kind != tyInt {
+		return nil, nil, 0
+	}
+	// Start must be re-evaluable without side effects.
+	if !sideEffectFree(init.rhs) {
+		return nil, nil, 0
+	}
+	post := st.forPost.expr
+	if post == nil {
+		return nil, nil, 0
+	}
+	// i++ / i-- post statements.
+	if (post.op == ePostInc || post.op == ePostDec) && post.lhs.op == eVar && post.lhs.sym == sym {
+		if post.op == ePostInc {
+			return sym, init.rhs, 1
+		}
+		return sym, init.rhs, -1
+	}
+	if post.op != eAssign || post.lhs.op != eVar || post.lhs.sym != sym {
+		return nil, nil, 0
+	}
+	rhs := post.rhs
+	switch {
+	case rhs.op == eAdd && rhs.lhs.op == eVar && rhs.lhs.sym == sym && rhs.rhs.op == eIntLit:
+		return sym, init.rhs, rhs.rhs.ival
+	case rhs.op == eSub && rhs.lhs.op == eVar && rhs.lhs.sym == sym && rhs.rhs.op == eIntLit:
+		return sym, init.rhs, -rhs.rhs.ival
+	}
+	return nil, nil, 0
+}
+
+// sideEffectFree reports whether an expression can be evaluated twice.
+func sideEffectFree(e *expr) bool {
+	if e == nil {
+		return true
+	}
+	switch e.op {
+	case eAssign, eCall, ePostInc, ePostDec:
+		return false
+	}
+	if !sideEffectFree(e.lhs) || !sideEffectFree(e.rhs) {
+		return false
+	}
+	for _, a := range e.args {
+		if !sideEffectFree(a) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *reducer) reduceFor(st *stmt) {
+	iv, startE, step := forInduction(st)
+	if iv == nil {
+		return
+	}
+	// The IV must not be assigned inside the loop body.
+	if assignsSym(st.body, iv) {
+		return
+	}
+	// Collect candidate bases: loop-invariant array/pointer variables
+	// indexed by the IV with scalar elements.
+	cands := map[*symbol][]*expr{}
+	collectIndexAccesses(st.body, iv, cands)
+	if st.cond != nil {
+		collectIndexAccesses1(st.cond, iv, cands)
+	}
+	for base, uses := range cands {
+		if base.addrTaken || assignsSym(st.body, base) || len(uses) == 0 {
+			delete(cands, base)
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+
+	var newInits []*stmt
+	var newPosts []*stmt
+	for base, uses := range cands {
+		elem := base.ty.decay().elem
+		ptrTy := ptrTo(elem)
+		r.counter++
+		p := &symbol{
+			name: fmt.Sprintf("__sr_%s_%d", base.name, r.counter),
+			ty:   ptrTy,
+			reg:  -1,
+			uses: len(uses) + 2,
+		}
+		r.fn.syms = append(r.fn.syms, p)
+
+		// p = &base[start]
+		baseRef := &expr{op: eVar, sval: base.name, sym: base, ty: base.ty}
+		initIdx := &expr{op: eIndex, lhs: baseRef, rhs: cloneExpr(startE), ty: elem}
+		initAddr := &expr{op: eAddr, lhs: initIdx, ty: ptrTy}
+		pRef := func() *expr { return &expr{op: eVar, sval: p.name, sym: p, ty: ptrTy} }
+		newInits = append(newInits, &stmt{
+			op:   sExpr,
+			line: st.line,
+			expr: &expr{op: eAssign, lhs: pRef(), rhs: initAddr, ty: ptrTy},
+		})
+
+		// p = p + step
+		bump := &expr{
+			op:  eAdd,
+			lhs: pRef(),
+			rhs: &expr{op: eIntLit, ival: step, ty: typeInt},
+			ty:  ptrTy,
+		}
+		newPosts = append(newPosts, &stmt{
+			op:   sExpr,
+			line: st.line,
+			expr: &expr{op: eAssign, lhs: pRef(), rhs: bump, ty: ptrTy},
+		})
+
+		// Rewrite each access in place.
+		for _, use := range uses {
+			c := indexConstPart(use.rhs, iv)
+			use.lhs = pRef()
+			if c == 0 {
+				// a[i] -> *p
+				use.op = eDeref
+				use.rhs = nil
+			} else {
+				// a[i+c] -> p[c]
+				use.rhs = &expr{op: eIntLit, ival: c, ty: typeInt}
+			}
+		}
+		iv.uses -= len(uses)
+		if iv.uses < 1 {
+			iv.uses = 1
+		}
+	}
+
+	// Chain the new initializations after the loop init, and the pointer
+	// bumps after the loop post (continue statements jump to the post
+	// label, so increments stay paired with the IV update).
+	st.forInit = &stmt{op: sBlock, line: st.line, body: append([]*stmt{st.forInit}, newInits...)}
+	st.forPost = &stmt{op: sBlock, line: st.line, body: append([]*stmt{st.forPost}, newPosts...)}
+}
+
+// indexConstPart returns c for index expressions of the form i, i+c, c+i,
+// or i-c.
+func indexConstPart(idx *expr, iv *symbol) int64 {
+	switch {
+	case idx.op == eVar && idx.sym == iv:
+		return 0
+	case idx.op == eAdd && idx.lhs.op == eVar && idx.lhs.sym == iv && idx.rhs.op == eIntLit:
+		return idx.rhs.ival
+	case idx.op == eAdd && idx.rhs.op == eVar && idx.rhs.sym == iv && idx.lhs.op == eIntLit:
+		return idx.lhs.ival
+	case idx.op == eSub && idx.lhs.op == eVar && idx.lhs.sym == iv && idx.rhs.op == eIntLit:
+		return -idx.rhs.ival
+	}
+	return 0
+}
+
+// isIVIndex reports whether idx matches the shapes indexConstPart handles.
+func isIVIndex(idx *expr, iv *symbol) bool {
+	switch {
+	case idx.op == eVar && idx.sym == iv:
+		return true
+	case idx.op == eAdd && idx.lhs.op == eVar && idx.lhs.sym == iv && idx.rhs.op == eIntLit:
+		return true
+	case idx.op == eAdd && idx.rhs.op == eVar && idx.rhs.sym == iv && idx.lhs.op == eIntLit:
+		return true
+	case idx.op == eSub && idx.lhs.op == eVar && idx.lhs.sym == iv && idx.rhs.op == eIntLit:
+		return true
+	}
+	return false
+}
+
+// collectIndexAccesses gathers eIndex(base, f(iv)) nodes with scalar
+// element types, grouped by base symbol.
+func collectIndexAccesses(list []*stmt, iv *symbol, out map[*symbol][]*expr) {
+	var visitS func(st *stmt)
+	visitS = func(st *stmt) {
+		if st == nil {
+			return
+		}
+		collectIndexAccesses1(st.expr, iv, out)
+		collectIndexAccesses1(st.init, iv, out)
+		collectIndexAccesses1(st.cond, iv, out)
+		visitS(st.forInit)
+		visitS(st.forPost)
+		for _, b := range st.body {
+			visitS(b)
+		}
+		for _, b := range st.elseBody {
+			visitS(b)
+		}
+	}
+	for _, st := range list {
+		visitS(st)
+	}
+}
+
+func collectIndexAccesses1(e *expr, iv *symbol, out map[*symbol][]*expr) {
+	if e == nil {
+		return
+	}
+	if e.op == eIndex && e.lhs.op == eVar && e.lhs.sym != nil && e.ty.isScalar() &&
+		isIVIndex(e.rhs, iv) && e.lhs.sym != iv {
+		base := e.lhs.sym
+		if base.ty.decay().isPtr() {
+			out[base] = append(out[base], e)
+		}
+		return // the index subtree is consumed by the rewrite
+	}
+	collectIndexAccesses1(e.lhs, iv, out)
+	collectIndexAccesses1(e.rhs, iv, out)
+	for _, a := range e.args {
+		collectIndexAccesses1(a, iv, out)
+	}
+}
+
+// assignsSym reports whether any statement in list assigns to sym.
+func assignsSym(list []*stmt, sym *symbol) bool {
+	found := false
+	var visitE func(e *expr)
+	visitE = func(e *expr) {
+		if e == nil || found {
+			return
+		}
+		if (e.op == eAssign || e.op == ePostInc || e.op == ePostDec) &&
+			e.lhs.op == eVar && e.lhs.sym == sym {
+			found = true
+			return
+		}
+		visitE(e.lhs)
+		visitE(e.rhs)
+		for _, a := range e.args {
+			visitE(a)
+		}
+	}
+	var visitS func(st *stmt)
+	visitS = func(st *stmt) {
+		if st == nil || found {
+			return
+		}
+		visitE(st.expr)
+		visitE(st.init)
+		visitE(st.cond)
+		visitS(st.forInit)
+		visitS(st.forPost)
+		for _, b := range st.body {
+			visitS(b)
+		}
+		for _, b := range st.elseBody {
+			visitS(b)
+		}
+	}
+	for _, st := range list {
+		visitS(st)
+	}
+	return found
+}
+
+// cloneExpr deep-copies a side-effect-free expression.
+func cloneExpr(e *expr) *expr {
+	if e == nil {
+		return nil
+	}
+	c := *e
+	c.lhs = cloneExpr(e.lhs)
+	c.rhs = cloneExpr(e.rhs)
+	if e.args != nil {
+		c.args = make([]*expr, len(e.args))
+		for i, a := range e.args {
+			c.args[i] = cloneExpr(a)
+		}
+	}
+	return &c
+}

@@ -1,0 +1,69 @@
+// Package minic implements MCC, a small C-subset compiler targeting the
+// extended MIPS-like ISA of this study. It stands in for the paper's GNU GCC
+// 2.6 toolchain: it produces the same code shapes the paper analyses
+// (global-pointer, stack-pointer, and general-pointer addressing;
+// register+register array indexing when strength reduction is off; index
+// constants; structure offsets) and implements the paper's Section 4
+// software support (stack-frame, static, structure, and dynamic allocation
+// alignment) behind options.
+//
+// Language: int (32-bit), char (8-bit), double (64-bit), pointers, fixed
+// arrays, structs; functions; if/else, while, for, break, continue, return;
+// the usual C operators with short-circuit && and ||; string and character
+// literals; sizeof. No casts (pointer types convert implicitly), no
+// unsigned, no typedef, no preprocessor.
+package minic
+
+import "fmt"
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tIntLit
+	tCharLit
+	tStrLit
+	tFloatLit
+	tPunct
+	tKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	ival int64
+	fval float64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of file"
+	case tIntLit:
+		return fmt.Sprintf("%d", t.ival)
+	case tFloatLit:
+		return fmt.Sprintf("%g", t.fval)
+	default:
+		return t.text
+	}
+}
+
+var keywords = map[string]bool{
+	"int": true, "char": true, "double": true, "void": true,
+	"struct": true, "if": true, "else": true, "while": true, "for": true, "do": true,
+	"return": true, "break": true, "continue": true, "sizeof": true,
+}
+
+// Error is a compile error with a source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...interface{}) error {
+	return &Error{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,215 @@
+// Package pipeline implements the cycle-level timing model of the paper's
+// baseline machine (Table 5): a 4-way in-order-issue superscalar with
+// out-of-order completion, a 5-stage pipe (IF ID EX MEM WB), a BTB branch
+// predictor, banked functional units, a non-blocking data cache with a
+// non-merging store buffer — extended with fast address calculation
+// (Section 5.5): loads and stores may access the data cache speculatively in
+// EX using the predicted effective address, replaying in MEM on a
+// misprediction.
+//
+// The model is trace-driven: a functional emulator supplies the dynamic
+// instruction stream (with operand values for the predictor), and this
+// package accounts time.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/fac"
+)
+
+// Latency describes one operation class: Result is the number of cycles
+// until a dependent may issue; Interval is the unit's issue interval
+// (cycles until the unit accepts another operation).
+type Latency struct {
+	Result   int
+	Interval int
+}
+
+// Config describes the machine. DefaultConfig matches the paper's Table 5.
+type Config struct {
+	FetchWidth int // contiguous instructions fetched per cycle
+	IssueWidth int // in-order issue width
+
+	IntALUs     int // pipelined single-cycle ALUs
+	LoadStore   int // load/store (AGU) units
+	FPAdders    int // pipelined FP add/compare/convert units
+	IntALULat   Latency
+	IntMulLat   Latency
+	IntDivLat   Latency
+	FPAddLat    Latency
+	FPMulLat    Latency
+	FPDivLat    Latency
+	LoadLatency int // cycles from issue to use for a cache-hit load (2 = addr calc + access)
+
+	BTBEntries        int
+	MispredictPenalty int
+
+	ICache cache.Config
+	DCache cache.Config
+	// PerfectICache / PerfectDCache force every access to hit.
+	PerfectICache bool
+	PerfectDCache bool
+
+	// Cache bandwidth: each cycle the data cache services up to
+	// DCacheReadsPerCycle loads or one store (Table 5), speculative or
+	// otherwise.
+	DCacheReadsPerCycle int
+
+	StoreBufferEntries int
+
+	// Fast address calculation.
+	FAC             bool       // enable speculative EX-stage cache access
+	FACGeom         fac.Config // predictor geometry (derived from DCache if zero)
+	SpeculateRegReg bool       // speculate register+register-mode accesses
+	SpeculateStores bool       // speculate stores (enter buffer in EX)
+
+	// AGI selects the alternative pipeline organization of Jouppi (1989)
+	// discussed in the paper's Related Work: a dedicated address-generation
+	// stage with ALU execution pushed to the cache-access stage. It removes
+	// the load-use hazard (a load's consumer executes a stage later) but
+	// introduces an address-use hazard (an ALU result feeding a base
+	// register costs a bubble) and lengthens the branch resolution path;
+	// callers should also raise MispredictPenalty by one (MachineConfig's
+	// "agi" machine does). Mutually exclusive with FAC.
+	AGI bool
+}
+
+// DefaultConfig returns the paper's baseline machine. Values flagged as
+// OCR-ambiguous in the source text are documented in DESIGN.md.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth: 4,
+		IssueWidth: 4,
+
+		IntALUs:     4,
+		LoadStore:   2,
+		FPAdders:    2,
+		IntALULat:   Latency{1, 1},
+		IntMulLat:   Latency{3, 1},
+		IntDivLat:   Latency{20, 19},
+		FPAddLat:    Latency{2, 1},
+		FPMulLat:    Latency{4, 1},
+		FPDivLat:    Latency{12, 12},
+		LoadLatency: 2,
+
+		BTBEntries:        1024,
+		MispredictPenalty: 2,
+
+		ICache: cache.Config{Size: 16 << 10, BlockSize: 32, Assoc: 1, MissLatency: 16},
+		DCache: cache.Config{Size: 16 << 10, BlockSize: 32, Assoc: 1, MissLatency: 16, MSHRs: 8},
+
+		DCacheReadsPerCycle: 2,
+		StoreBufferEntries:  16,
+
+		SpeculateStores: true,
+	}
+}
+
+// facGeometry derives the predictor geometry from the data cache when the
+// caller did not set one explicitly.
+func (c Config) facGeometry() fac.Config {
+	g := c.FACGeom
+	if g.BlockBits == 0 && g.SetBits == 0 {
+		g.BlockBits = log2(uint(c.DCache.BlockSize))
+		g.SetBits = log2(uint(c.DCache.Size / c.DCache.Assoc))
+	}
+	return g
+}
+
+func log2(v uint) uint {
+	n := uint(0)
+	for 1<<n < v {
+		n++
+	}
+	return n
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.FetchWidth <= 0 || c.IssueWidth <= 0 {
+		return fmt.Errorf("pipeline: non-positive widths")
+	}
+	if c.IntALUs <= 0 || c.LoadStore <= 0 || c.FPAdders <= 0 {
+		return fmt.Errorf("pipeline: non-positive unit counts")
+	}
+	if c.LoadLatency < 1 || c.LoadLatency > 2 {
+		return fmt.Errorf("pipeline: LoadLatency must be 1 or 2")
+	}
+	if !c.PerfectICache {
+		if err := c.ICache.Validate(); err != nil {
+			return err
+		}
+	}
+	if !c.PerfectDCache {
+		if err := c.DCache.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.DCacheReadsPerCycle <= 0 {
+		return fmt.Errorf("pipeline: DCacheReadsPerCycle must be positive")
+	}
+	if c.StoreBufferEntries <= 0 {
+		return fmt.Errorf("pipeline: StoreBufferEntries must be positive")
+	}
+	if c.FAC {
+		if err := c.facGeometry().Validate(); err != nil {
+			return err
+		}
+	}
+	if c.FAC && c.AGI {
+		return fmt.Errorf("pipeline: FAC and AGI are mutually exclusive")
+	}
+	return nil
+}
+
+// Stats is the result of a timing run.
+type Stats struct {
+	Cycles uint64
+	Insts  uint64
+	Loads  uint64
+	Stores uint64
+
+	// Fast address calculation outcome counts.
+	LoadsSpeculated  uint64
+	StoresSpeculated uint64
+	LoadSpecFailed   uint64
+	StoreSpecFailed  uint64
+	// ExtraAccesses is the number of data-cache accesses wasted on
+	// mispredicted speculative attempts (Table 6's bandwidth overhead).
+	ExtraAccesses uint64
+
+	BranchLookups     uint64
+	BranchMispredicts uint64
+
+	StoreBufferFullStalls uint64
+
+	ICache cache.Stats
+	DCache cache.Stats
+}
+
+// IPC returns instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Insts) / float64(s.Cycles)
+}
+
+// LoadFailRate returns the fraction of speculated loads that mispredicted.
+func (s Stats) LoadFailRate() float64 { return ratio(s.LoadSpecFailed, s.LoadsSpeculated) }
+
+// StoreFailRate returns the fraction of speculated stores that mispredicted.
+func (s Stats) StoreFailRate() float64 { return ratio(s.StoreSpecFailed, s.StoresSpeculated) }
+
+// BandwidthOverhead returns extra cache accesses as a fraction of total
+// memory references (the paper's Table 6 metric).
+func (s Stats) BandwidthOverhead() float64 { return ratio(s.ExtraAccesses, s.Loads+s.Stores) }
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

@@ -1,0 +1,126 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// randTraceProgram builds a random but well-formed straight-line dynamic
+// trace (contiguous PCs; occasional taken branches redirecting to the next
+// trace element's PC).
+func randTraceProgram(r *rand.Rand, n int) []emu.Trace {
+	trs := make([]emu.Trace, 0, n)
+	pc := uint32(0x400000)
+	reg := func() isa.Reg { return isa.Reg(8 + r.Intn(8)) } // t0..t7
+	for len(trs) < n {
+		var in isa.Inst
+		tr := emu.Trace{PC: pc}
+		switch r.Intn(10) {
+		case 0, 1, 2, 3:
+			in = isa.Inst{Op: isa.ADD, Rd: reg(), Rs: reg(), Rt: reg()}
+		case 4:
+			in = isa.Inst{Op: isa.MUL, Rd: reg(), Rs: reg(), Rt: reg()}
+		case 5:
+			in = isa.Inst{Op: isa.FADD, Rd: isa.Reg(r.Intn(32)), Rs: isa.Reg(r.Intn(32)), Rt: isa.Reg(r.Intn(32))}
+		case 6, 7:
+			in = isa.Inst{Op: isa.LW, Rd: reg(), Rs: reg(), Imm: int32(r.Intn(256) * 4)}
+			base := r.Uint32() &^ 3
+			tr.Base, tr.Offset = base, uint32(in.Imm)
+			tr.EffAddr = base + uint32(in.Imm)
+		case 8:
+			in = isa.Inst{Op: isa.SW, Rt: reg(), Rs: reg(), Imm: int32(r.Intn(64) * 4)}
+			base := r.Uint32() &^ 3
+			tr.Base, tr.Offset = base, uint32(in.Imm)
+			tr.EffAddr = base + uint32(in.Imm)
+		case 9:
+			// A branch; taken half the time (target = next PC anyway, so
+			// the stream stays consistent by branching to pc+4... use a
+			// short forward hop of 0 to keep contiguity: not-taken).
+			in = isa.Inst{Op: isa.BNE, Rs: reg(), Rt: reg(), Imm: 8}
+			tr.Taken = false
+		}
+		tr.Inst = in
+		tr.NextPC = pc + 4
+		trs = append(trs, tr)
+		pc += 4
+	}
+	return trs
+}
+
+// TestRandomTraceInvariants drives many random instruction streams through
+// several machine configurations and checks global invariants of the
+// timing model.
+func TestRandomTraceInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	configs := []func() Config{
+		fastCfg,
+		func() Config { c := fastCfg(); c.FAC = true; return c },
+		func() Config { c := fastCfg(); c.FAC = true; c.SpeculateRegReg = true; return c },
+		func() Config { c := DefaultConfig(); return c },
+		func() Config { c := DefaultConfig(); c.FAC = true; return c },
+		func() Config { c := fastCfg(); c.AGI = true; return c },
+		func() Config { c := fastCfg(); c.LoadLatency = 1; return c },
+	}
+	for trial := 0; trial < 40; trial++ {
+		n := 50 + r.Intn(500)
+		trs := randTraceProgram(r, n)
+		for ci, mk := range configs {
+			cfg := mk()
+			st, err := Run(cfg, &sliceSource{trs: append([]emu.Trace(nil), trs...)})
+			if err != nil {
+				t.Fatalf("trial %d config %d: %v", trial, ci, err)
+			}
+			if st.Insts != uint64(n) {
+				t.Fatalf("trial %d config %d: executed %d of %d", trial, ci, st.Insts, n)
+			}
+			// The machine cannot beat its issue width.
+			if st.Cycles < uint64((n+cfg.IssueWidth-1)/cfg.IssueWidth) {
+				t.Fatalf("trial %d config %d: %d cycles for %d insts exceeds issue width",
+					trial, ci, st.Cycles, n)
+			}
+			// Speculation accounting is internally consistent.
+			if st.LoadSpecFailed > st.LoadsSpeculated || st.StoresSpeculated > st.Stores ||
+				st.LoadsSpeculated > st.Loads || st.StoreSpecFailed > st.StoresSpeculated {
+				t.Fatalf("trial %d config %d: inconsistent speculation stats %+v", trial, ci, st)
+			}
+			if st.ExtraAccesses != st.LoadSpecFailed+st.StoreSpecFailed {
+				t.Fatalf("trial %d config %d: extra accesses %d != failed speculations %d+%d",
+					trial, ci, st.ExtraAccesses, st.LoadSpecFailed, st.StoreSpecFailed)
+			}
+			if !cfg.FAC && (st.LoadsSpeculated != 0 || st.StoresSpeculated != 0) {
+				t.Fatalf("trial %d config %d: speculation without FAC", trial, ci)
+			}
+		}
+	}
+}
+
+// TestFACNeverCatastrophic: on adversarial random traces (~50% of
+// predictions fail and memory operations are dense), FAC costs at most a
+// bounded amount of extra bandwidth contention. The paper acknowledges
+// this failure mode ("the processor may end up stalling more often on the
+// store buffer, possibly resulting in overall worse performance",
+// Section 3.1); on the real workload suite FAC never degrades more than
+// ~3% (see the experiments package tests).
+func TestFACNeverCatastrophic(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		trs := randTraceProgram(r, 400)
+		base, err := Run(fastCfg(), &sliceSource{trs: append([]emu.Trace(nil), trs...)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := fastCfg()
+		cfg.FAC = true
+		facStats, err := Run(cfg, &sliceSource{trs: append([]emu.Trace(nil), trs...)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(facStats.Cycles) > 1.20*float64(base.Cycles)+4 {
+			t.Fatalf("trial %d: FAC %d cycles vs baseline %d (degradation beyond bound)",
+				trial, facStats.Cycles, base.Cycles)
+		}
+	}
+}

@@ -1,0 +1,536 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/emu"
+	"repro/internal/fac"
+	"repro/internal/isa"
+)
+
+// Source supplies the dynamic instruction stream in program order. Next
+// returns false when the program has finished.
+type Source interface {
+	Next() (emu.Trace, bool, error)
+}
+
+// ringBits sizes the per-cycle cache-port reservation ring. Reservations
+// only ever target the current or next cycle, so a small ring suffices.
+const ringBits = 6
+
+type sim struct {
+	cfg  Config
+	geom fac.Config
+	src  Source
+
+	icache *cache.Cache
+	dcache *cache.Cache
+	btb    *bpred.BTB
+
+	stats Stats
+
+	// Fetch.
+	nextFetchCycle uint64
+	lookahead      emu.Trace
+	haveLookahead  bool
+	srcDone        bool
+
+	// Issue queue (fetched, not yet issued), in program order.
+	pending []qent
+
+	// Scoreboard: cycle at which each unified register can be sourced.
+	regReady [isa.NumURegs]uint64
+
+	// Non-pipelined unit reservation.
+	intMDFree uint64
+	fpMDFree  uint64
+
+	// Per-cycle cache port reservations.
+	readsAt [1 << ringBits]uint8
+	storeAt [1 << ringBits]bool
+
+	// Store buffer (FIFO of entry-ready cycles).
+	storeBuf []storeEnt
+
+	// FAC replay rule: accesses in the cycle after a mispredict may not
+	// speculate, except a load directly after a misspeculated load.
+	lastMispredCycle   uint64
+	lastMispredWasLoad bool
+	haveMispred        bool
+
+	lastEvent uint64 // completion time of the latest activity seen
+}
+
+type qent struct {
+	tr       emu.Trace
+	earliest uint64 // fetchCycle + 2 (IF, ID, then EX)
+}
+
+type storeEnt struct {
+	addr    uint32
+	entered uint64
+}
+
+// Run simulates the instruction stream and returns timing statistics.
+func Run(cfg Config, src Source) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	s := &sim{cfg: cfg, src: src, btb: bpred.New(cfg.BTBEntries)}
+	if cfg.FAC {
+		s.geom = cfg.facGeometry()
+	}
+	if !cfg.PerfectICache {
+		s.icache = cache.New(cfg.ICache)
+	}
+	if !cfg.PerfectDCache {
+		s.dcache = cache.New(cfg.DCache)
+	}
+	if err := s.run(); err != nil {
+		return Stats{}, err
+	}
+	if s.icache != nil {
+		s.stats.ICache = s.icache.Stats()
+	}
+	if s.dcache != nil {
+		s.stats.DCache = s.dcache.Stats()
+	}
+	return s.stats, nil
+}
+
+func (s *sim) run() error {
+	var now uint64
+	lastProgress := uint64(0)
+	prevInsts, prevBuf := uint64(0), 0
+	for {
+		if s.srcDone && !s.haveLookahead && len(s.pending) == 0 && len(s.storeBuf) == 0 {
+			break
+		}
+		// Clear the reservation slot two cycles ahead (reservations only
+		// target now or now+1).
+		s.readsAt[(now+2)&(1<<ringBits-1)] = 0
+		s.storeAt[(now+2)&(1<<ringBits-1)] = false
+
+		if err := s.fetch(now); err != nil {
+			return err
+		}
+		if err := s.issue(now); err != nil {
+			return err
+		}
+		s.retireStores(now)
+
+		if s.stats.Insts != prevInsts || len(s.storeBuf) != prevBuf {
+			prevInsts, prevBuf = s.stats.Insts, len(s.storeBuf)
+			lastProgress = now
+		}
+		if now-lastProgress > 1_000_000 {
+			return fmt.Errorf("pipeline: no progress for 1M cycles at cycle %d (%d pending, %d store buffer)",
+				now, len(s.pending), len(s.storeBuf))
+		}
+		now++
+	}
+	s.stats.Cycles = s.lastEvent
+	return nil
+}
+
+func (s *sim) note(cycle uint64) {
+	if cycle > s.lastEvent {
+		s.lastEvent = cycle
+	}
+}
+
+// peekTrace exposes the next dynamic instruction without consuming it.
+func (s *sim) peekTrace() (emu.Trace, bool, error) {
+	if s.haveLookahead {
+		return s.lookahead, true, nil
+	}
+	if s.srcDone {
+		return emu.Trace{}, false, nil
+	}
+	tr, ok, err := s.src.Next()
+	if err != nil {
+		return emu.Trace{}, false, err
+	}
+	if !ok {
+		s.srcDone = true
+		return emu.Trace{}, false, nil
+	}
+	s.lookahead, s.haveLookahead = tr, true
+	return tr, true, nil
+}
+
+func (s *sim) takeTrace() { s.haveLookahead = false }
+
+// fetch models the IF stage: up to FetchWidth contiguous instructions per
+// cycle through the I-cache, ending early at predicted- or actually-taken
+// control transfers, charging the BTB misprediction penalty.
+func (s *sim) fetch(now uint64) error {
+	if now < s.nextFetchCycle {
+		return nil
+	}
+	if len(s.pending)+s.cfg.FetchWidth > 2*s.cfg.FetchWidth+s.cfg.IssueWidth {
+		return nil // issue queue full; fetch stalls
+	}
+	first, ok, err := s.peekTrace()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+
+	// I-cache access for the group's first block (and, if the group
+	// crosses, its successor block, fetched the same cycle).
+	groupReady := now
+	if s.icache != nil {
+		res := s.icache.Access(first.PC, false, now)
+		if res.Ready > groupReady {
+			groupReady = res.Ready
+		}
+	}
+	blockMask := uint32(0)
+	if s.icache != nil {
+		blockMask = ^uint32(s.cfg.ICache.BlockSize - 1)
+	}
+
+	fetched := 0
+	expectPC := first.PC
+	redirected := false
+	for fetched < s.cfg.FetchWidth {
+		tr, ok, err := s.peekTrace()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if tr.PC != expectPC {
+			break // discontiguous (should not happen: redirects end groups)
+		}
+		if s.icache != nil && tr.PC&blockMask != first.PC&blockMask {
+			res := s.icache.Access(tr.PC, false, now)
+			if res.Ready > groupReady {
+				groupReady = res.Ready
+			}
+		}
+		s.takeTrace()
+		s.pending = append(s.pending, qent{tr: tr, earliest: groupReady + 2})
+		fetched++
+		expectPC = tr.PC + isa.InstBytes
+
+		if tr.Inst.Op.IsControl() {
+			taken := tr.NextPC != tr.PC+isa.InstBytes
+			predTaken, _ := s.btb.Predict(tr.PC)
+			mis := s.btb.Update(tr.PC, taken, tr.NextPC)
+			s.stats.BranchLookups++
+			if mis {
+				s.stats.BranchMispredicts++
+				s.nextFetchCycle = groupReady + 1 + uint64(s.cfg.MispredictPenalty)
+				redirected = true
+				break
+			}
+			if taken || predTaken {
+				// Correctly predicted taken: fetch resumes at the target
+				// next cycle.
+				s.nextFetchCycle = groupReady + 1
+				redirected = true
+				break
+			}
+			// Correctly predicted not-taken: the group continues.
+		}
+	}
+	if !redirected {
+		s.nextFetchCycle = groupReady + 1
+	}
+	return nil
+}
+
+// Cache port helpers ("up to two loads or one store each cycle").
+
+func (s *sim) slot(c uint64) int { return int(c & (1<<ringBits - 1)) }
+
+func (s *sim) readFree(c uint64) bool {
+	i := s.slot(c)
+	return !s.storeAt[i] && int(s.readsAt[i]) < s.cfg.DCacheReadsPerCycle
+}
+
+func (s *sim) useRead(c uint64) { s.readsAt[s.slot(c)]++ }
+
+func (s *sim) storeFree(c uint64) bool {
+	i := s.slot(c)
+	return !s.storeAt[i] && s.readsAt[i] == 0
+}
+
+func (s *sim) useStore(c uint64) { s.storeAt[s.slot(c)] = true }
+
+// dcacheAccess performs a data-cache access at the given cycle, retrying
+// past MSHR-full conditions, and returns the cycle the data is available.
+func (s *sim) dcacheAccess(addr uint32, write bool, c uint64) uint64 {
+	if s.dcache == nil {
+		return c // perfect cache
+	}
+	for {
+		res := s.dcache.Access(addr, write, c)
+		if !res.MSHRFull {
+			return res.Ready
+		}
+		c = res.Ready
+	}
+}
+
+// issue models the in-order issue stage: up to IssueWidth operations leave
+// the queue per cycle, blocking on operand readiness, functional units, and
+// memory structural hazards.
+func (s *sim) issue(now uint64) error {
+	issued := 0
+	memIssued := 0
+	aluUsed := 0
+	fpAddUsed := 0
+	var usesBuf [4]uint8
+
+	for issued < s.cfg.IssueWidth && len(s.pending) > 0 {
+		q := &s.pending[0]
+		if q.earliest > now {
+			break
+		}
+		op := q.tr.Inst.Op
+
+		// In the AGI organization ALU-class operations execute one stage
+		// later than address generation: their operands are needed one
+		// cycle later (hiding load-use latency) and their results arrive
+		// one cycle later (the address-use hazard).
+		needAt := now
+		aluShift := uint64(0)
+		if s.cfg.AGI {
+			switch op.Class() {
+			case isa.ClassIntALU, isa.ClassBranch, isa.ClassJump, isa.ClassSyscall:
+				needAt = now + 1
+				aluShift = 1
+			}
+		}
+
+		// In-order issue: all source operands must be ready.
+		ready := true
+		for _, u := range q.tr.Inst.Uses(usesBuf[:0]) {
+			if s.regReady[u] > needAt {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			break
+		}
+
+		var resultReady uint64
+		switch op.Class() {
+		case isa.ClassIntALU, isa.ClassBranch, isa.ClassJump, isa.ClassSyscall:
+			if aluUsed >= s.cfg.IntALUs {
+				goto stall
+			}
+			aluUsed++
+			resultReady = now + uint64(s.cfg.IntALULat.Result) + aluShift
+		case isa.ClassIntMul:
+			if s.intMDFree > now {
+				goto stall
+			}
+			s.intMDFree = now + uint64(s.cfg.IntMulLat.Interval)
+			resultReady = now + uint64(s.cfg.IntMulLat.Result)
+		case isa.ClassIntDiv:
+			if s.intMDFree > now {
+				goto stall
+			}
+			s.intMDFree = now + uint64(s.cfg.IntDivLat.Interval)
+			resultReady = now + uint64(s.cfg.IntDivLat.Result)
+		case isa.ClassFPAdd:
+			if fpAddUsed >= s.cfg.FPAdders {
+				goto stall
+			}
+			fpAddUsed++
+			resultReady = now + uint64(s.cfg.FPAddLat.Result)
+		case isa.ClassFPMul:
+			if s.fpMDFree > now {
+				goto stall
+			}
+			s.fpMDFree = now + uint64(s.cfg.FPMulLat.Interval)
+			resultReady = now + uint64(s.cfg.FPMulLat.Result)
+		case isa.ClassFPDiv:
+			if s.fpMDFree > now {
+				goto stall
+			}
+			s.fpMDFree = now + uint64(s.cfg.FPDivLat.Interval)
+			resultReady = now + uint64(s.cfg.FPDivLat.Result)
+		case isa.ClassLoad:
+			if memIssued >= s.cfg.LoadStore {
+				goto stall
+			}
+			ok, rdy := s.scheduleLoad(q.tr, now)
+			if !ok {
+				goto stall
+			}
+			memIssued++
+			resultReady = rdy
+			s.stats.Loads++
+		case isa.ClassStore:
+			if memIssued >= s.cfg.LoadStore {
+				goto stall
+			}
+			if !s.scheduleStore(q.tr, now) {
+				goto stall
+			}
+			memIssued++
+			resultReady = now + 1 // post-increment base writeback
+			s.stats.Stores++
+		}
+
+		// Update the scoreboard. Post-increment memory ops write their base
+		// register from the AGU one cycle after issue regardless of the
+		// access latency.
+		for _, d := range q.tr.Inst.Defs(usesBuf[:0]) {
+			rdy := resultReady
+			if q.tr.Inst.Op.Mode() == isa.AMPost && d == isa.UInt(q.tr.Inst.Rs) {
+				rdy = now + 1
+			}
+			s.regReady[d] = rdy
+		}
+		s.note(resultReady)
+		s.stats.Insts++
+		s.pending = s.pending[1:]
+		issued++
+		continue
+
+	stall:
+		break
+	}
+	return nil
+}
+
+// facEligible reports whether the access may speculate under fast address
+// calculation at this cycle.
+func (s *sim) facEligible(tr emu.Trace, now uint64, isLoad bool) bool {
+	if !s.cfg.FAC {
+		return false
+	}
+	if tr.Inst.Op.Mode() == isa.AMReg && !s.cfg.SpeculateRegReg {
+		return false
+	}
+	if !isLoad && !s.cfg.SpeculateStores {
+		return false
+	}
+	// Accesses in the cycle after a mispredict stall to MEM — except a
+	// load immediately after a misspeculated load (Section 5.5).
+	if s.haveMispred && now == s.lastMispredCycle+1 {
+		if !(isLoad && s.lastMispredWasLoad) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *sim) noteMispredict(now uint64, wasLoad bool) {
+	s.lastMispredCycle = now
+	s.lastMispredWasLoad = wasLoad
+	s.haveMispred = true
+}
+
+// scheduleLoad books cache bandwidth and computes the cycle the loaded
+// value becomes available. It returns ok=false when the load must stall
+// this cycle for a structural hazard.
+func (s *sim) scheduleLoad(tr emu.Trace, now uint64) (bool, uint64) {
+	if s.facEligible(tr, now, true) {
+		if !s.readFree(now) {
+			return false, 0
+		}
+		pred := s.geom.Predict(tr.Base, tr.Offset, tr.IsRegOffset)
+		s.stats.LoadsSpeculated++
+		s.useRead(now)
+		if pred.OK {
+			ready := s.dcacheAccess(tr.EffAddr, false, now)
+			return true, maxU64(ready+1, now+1)
+		}
+		// Misprediction: the EX-cycle access is wasted; the load replays in
+		// MEM with the architectural address (replays bypass the port
+		// limit but are counted).
+		s.stats.LoadSpecFailed++
+		s.stats.ExtraAccesses++
+		s.noteMispredict(now, true)
+		s.useRead(now + 1)
+		ready := s.dcacheAccess(tr.EffAddr, false, now+1)
+		return true, maxU64(ready+1, now+2)
+	}
+
+	accessCycle := now + uint64(s.cfg.LoadLatency-1)
+	if !s.readFree(accessCycle) {
+		return false, 0
+	}
+	s.useRead(accessCycle)
+	ready := s.dcacheAccess(tr.EffAddr, false, accessCycle)
+	return true, maxU64(ready+1, accessCycle+1)
+}
+
+// scheduleStore books the store's tag probe and a store-buffer entry.
+func (s *sim) scheduleStore(tr emu.Trace, now uint64) bool {
+	if len(s.storeBuf) >= s.cfg.StoreBufferEntries {
+		// Full buffer stalls the pipeline while the oldest entry retires
+		// (handled in retireStores via the forced path).
+		s.stats.StoreBufferFullStalls++
+		return false
+	}
+	if s.facEligible(tr, now, false) {
+		if !s.storeFree(now) {
+			return false
+		}
+		pred := s.geom.Predict(tr.Base, tr.Offset, tr.IsRegOffset)
+		s.stats.StoresSpeculated++
+		s.useStore(now)
+		if pred.OK {
+			s.storeBuf = append(s.storeBuf, storeEnt{addr: tr.EffAddr, entered: now})
+			return true
+		}
+		// Mispredicted store: re-probe next cycle with the architectural
+		// address and fix up the buffered entry.
+		s.stats.StoreSpecFailed++
+		s.stats.ExtraAccesses++
+		s.noteMispredict(now, false)
+		s.useStore(now + 1)
+		s.storeBuf = append(s.storeBuf, storeEnt{addr: tr.EffAddr, entered: now + 1})
+		return true
+	}
+
+	probeCycle := now + 1 // MEM stage
+	if !s.storeFree(probeCycle) {
+		return false
+	}
+	s.useStore(probeCycle)
+	s.storeBuf = append(s.storeBuf, storeEnt{addr: tr.EffAddr, entered: probeCycle})
+	return true
+}
+
+// retireStores drains the store buffer during cycles in which the data
+// cache is otherwise unused, or forcibly when the buffer is full.
+func (s *sim) retireStores(now uint64) {
+	if len(s.storeBuf) == 0 {
+		return
+	}
+	i := s.slot(now)
+	idle := s.readsAt[i] == 0 && !s.storeAt[i]
+	full := len(s.storeBuf) >= s.cfg.StoreBufferEntries
+	if !idle && !full {
+		return
+	}
+	e := s.storeBuf[0]
+	if e.entered >= now {
+		return // entries need a cycle in the buffer before retiring
+	}
+	s.storeBuf = s.storeBuf[1:]
+	ready := s.dcacheAccess(e.addr, true, now)
+	s.note(ready)
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,80 @@
+package profile
+
+// TLB models the paper's data TLB experiment (Section 5.4): a 64-entry,
+// fully-associative, randomly-replaced translation buffer with 4KB pages,
+// used to check that the software alignment support does not hurt virtual
+// memory behaviour.
+
+// TLBConfig sizes the TLB.
+type TLBConfig struct {
+	Entries  int
+	PageBits uint
+}
+
+// DefaultTLBConfig matches the paper: 64 entries, 4KB pages.
+func DefaultTLBConfig() TLBConfig { return TLBConfig{Entries: 64, PageBits: 12} }
+
+// TLB is the translation buffer model.
+type TLB struct {
+	cfg    TLBConfig
+	pages  []uint32
+	valid  []bool
+	index  map[uint32]int
+	rng    uint32 // deterministic LCG for random replacement
+	access uint64
+	misses uint64
+}
+
+// NewTLB creates a TLB.
+func NewTLB(cfg TLBConfig) *TLB {
+	return &TLB{
+		cfg:   cfg,
+		pages: make([]uint32, cfg.Entries),
+		valid: make([]bool, cfg.Entries),
+		index: make(map[uint32]int, cfg.Entries),
+		rng:   0x2545F491,
+	}
+}
+
+// Access translates one data address, updating miss statistics.
+func (t *TLB) Access(addr uint32) (hit bool) {
+	t.access++
+	page := addr >> t.cfg.PageBits
+	if _, ok := t.index[page]; ok {
+		return true
+	}
+	t.misses++
+	// Fill an invalid entry if one exists; otherwise replace at random
+	// (xorshift for determinism).
+	slot := -1
+	for i, v := range t.valid {
+		if !v {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		t.rng ^= t.rng << 13
+		t.rng ^= t.rng >> 17
+		t.rng ^= t.rng << 5
+		slot = int(t.rng % uint32(t.cfg.Entries))
+	}
+	if t.valid[slot] {
+		delete(t.index, t.pages[slot])
+	}
+	t.pages[slot] = page
+	t.valid[slot] = true
+	t.index[page] = slot
+	return false
+}
+
+// MissRatio returns misses/accesses.
+func (t *TLB) MissRatio() float64 {
+	if t.access == 0 {
+		return 0
+	}
+	return float64(t.misses) / float64(t.access)
+}
+
+// Counts returns (accesses, misses).
+func (t *TLB) Counts() (uint64, uint64) { return t.access, t.misses }

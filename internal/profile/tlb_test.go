@@ -1,0 +1,86 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestTLBHitsAndMisses(t *testing.T) {
+	tlb := NewTLB(DefaultTLBConfig())
+	if tlb.Access(0x1000) {
+		t.Error("cold access hit")
+	}
+	if !tlb.Access(0x1FFC) { // same 4KB page
+		t.Error("same-page access missed")
+	}
+	if tlb.Access(0x2000) { // next page
+		t.Error("new page hit")
+	}
+	acc, miss := tlb.Counts()
+	if acc != 3 || miss != 2 {
+		t.Errorf("counts = %d/%d", acc, miss)
+	}
+	if tlb.MissRatio() != 2.0/3 {
+		t.Errorf("miss ratio = %v", tlb.MissRatio())
+	}
+}
+
+func TestTLBCapacity(t *testing.T) {
+	cfg := TLBConfig{Entries: 4, PageBits: 12}
+	tlb := NewTLB(cfg)
+	// Touch 4 pages, then re-touch: all hits (capacity holds them).
+	for p := uint32(0); p < 4; p++ {
+		tlb.Access(p << 12)
+	}
+	for p := uint32(0); p < 4; p++ {
+		if !tlb.Access(p << 12) {
+			t.Errorf("page %d evicted within capacity", p)
+		}
+	}
+	// A working set far beyond capacity must keep missing.
+	misses := 0
+	for i := 0; i < 1000; i++ {
+		if !tlb.Access(uint32(i%100) << 12) {
+			misses++
+		}
+	}
+	if misses < 500 {
+		t.Errorf("only %d misses on a 100-page working set in a 4-entry TLB", misses)
+	}
+}
+
+func TestTLBDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		tlb := NewTLB(DefaultTLBConfig())
+		for i := 0; i < 5000; i++ {
+			tlb.Access(uint32(i*7%200) << 12)
+		}
+		return tlb.Counts()
+	}
+	a1, m1 := run()
+	a2, m2 := run()
+	if a1 != a2 || m1 != m2 {
+		t.Error("TLB replacement not deterministic")
+	}
+}
+
+func TestTLBEmptyRatio(t *testing.T) {
+	tlb := NewTLB(DefaultTLBConfig())
+	if tlb.MissRatio() != 0 {
+		t.Error("empty TLB miss ratio not 0")
+	}
+}
+
+func TestProfilerTracksTLB(t *testing.T) {
+	p := New()
+	p.Note(mkTrace(isa.LW, isa.GP, 0x10000000, 0, false))
+	p.Note(mkTrace(isa.LW, isa.GP, 0x10000004, 0, false)) // same page
+	p.Note(mkTrace(isa.LW, isa.GP, 0x20000000, 0, false)) // new page
+	if p.P.TLBAccesses != 3 || p.P.TLBMisses != 2 {
+		t.Errorf("profiler TLB counts = %d/%d", p.P.TLBAccesses, p.P.TLBMisses)
+	}
+	if p.P.DTLBMissRatio() != 2.0/3 {
+		t.Errorf("DTLBMissRatio = %v", p.P.DTLBMissRatio())
+	}
+}

@@ -1,0 +1,344 @@
+// Package prog defines the relocatable object produced by the assembler and
+// the linked program image consumed by the emulator and the timing
+// simulator. The linker implements the global-pointer placement policies of
+// the paper: by default the global region lands wherever the data segment
+// ends (an unaligned global pointer, as with stock GNU GLD); with AlignGP
+// the region is relocated to a power-of-two boundary larger than the largest
+// offset applied to it and all global-pointer offsets are positive
+// (Section 4, "Global Pointer Accesses").
+package prog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// SectionKind identifies one of the program sections.
+type SectionKind uint8
+
+const (
+	SecText  SectionKind = iota
+	SecSData             // global region addressed via $gp
+	SecData              // other initialized data
+	SecBSS               // uninitialized data
+	NumSections
+)
+
+func (s SectionKind) String() string {
+	switch s {
+	case SecText:
+		return ".text"
+	case SecSData:
+		return ".sdata"
+	case SecData:
+		return ".data"
+	case SecBSS:
+		return ".bss"
+	}
+	return ".sec?"
+}
+
+// RelocKind identifies how a symbol address patches an instruction or datum.
+type RelocKind uint8
+
+const (
+	RelHi16   RelocKind = iota // upper 16 bits of (sym+addend) into imm
+	RelLo16                    // lower 16 bits of (sym+addend) into imm
+	RelGPRel                   // (sym+addend) - GP into signed imm16
+	RelJump                    // absolute (sym+addend) into a J/JAL target
+	RelWord32                  // absolute (sym+addend) into a data word
+)
+
+// Reloc is a pending symbol reference.
+type Reloc struct {
+	Kind   RelocKind
+	Sym    string
+	Addend int32
+	// For instruction relocs, InstIndex is the index into Object.Text.
+	// For RelWord32, Section/Off locate the data word.
+	InstIndex int
+	Section   SectionKind
+	Off       uint32
+}
+
+// Symbol is a named location in a section.
+type Symbol struct {
+	Name    string
+	Section SectionKind
+	Off     uint32 // offset within section
+	Size    uint32
+}
+
+// Object is the output of the assembler: section images plus relocations.
+type Object struct {
+	Text    []isa.Inst
+	SData   []byte
+	Data    []byte
+	BSSSize uint32
+	Symbols map[string]Symbol
+	Relocs  []Reloc
+	// SrcLines maps text instruction index to a source line number, for
+	// diagnostics (optional).
+	SrcLines []int
+}
+
+// Config controls program layout.
+type Config struct {
+	TextBase uint32 // default 0x00400000
+	DataBase uint32 // default 0x10000000
+	StackTop uint32 // default 0x7FFFF000; initial SP
+	// AlignGP applies the paper's software support for global pointer
+	// accesses: the global region starts on a power-of-two boundary no
+	// smaller than the region size, and GP points at its base so every
+	// global-pointer offset is positive.
+	AlignGP bool
+}
+
+// DefaultConfig returns the standard layout.
+func DefaultConfig() Config {
+	return Config{TextBase: 0x00400000, DataBase: 0x10000000, StackTop: 0x7FFFF000}
+}
+
+// Program is a fully linked executable image.
+type Program struct {
+	Insts    []isa.Inst // decoded text, indexed by (pc-TextBase)/4
+	Words    []uint32   // encoded text (the image is validated encodable)
+	TextBase uint32
+	Entry    uint32 // address of the entry symbol
+	GP       uint32 // initial global pointer
+	SP       uint32 // initial stack pointer
+	HeapBase uint32 // initial program break
+	Symbols  map[string]uint32
+
+	dataSegs []dataSeg
+}
+
+type dataSeg struct {
+	base  uint32
+	bytes []byte
+}
+
+// Link assigns final addresses to an object and resolves relocations.
+func Link(o *Object, cfg Config) (*Program, error) {
+	if cfg.TextBase == 0 {
+		cfg.TextBase = 0x00400000
+	}
+	if cfg.DataBase == 0 {
+		cfg.DataBase = 0x10000000
+	}
+	if cfg.StackTop == 0 {
+		cfg.StackTop = 0x7FFFF000
+	}
+
+	secBase := make([]uint32, NumSections)
+	secBase[SecText] = cfg.TextBase
+
+	align := func(v, a uint32) uint32 {
+		if a == 0 {
+			a = 1
+		}
+		return (v + a - 1) &^ (a - 1)
+	}
+	pow2Ceil := func(v uint32) uint32 {
+		p := uint32(1)
+		for p < v {
+			p <<= 1
+		}
+		return p
+	}
+
+	var gp uint32
+	if cfg.AlignGP {
+		// Global region first, on a power-of-two boundary at least as large
+		// as the region itself, so carry-free addition succeeds for every
+		// (positive) global-pointer offset.
+		boundary := pow2Ceil(uint32(len(o.SData)))
+		if boundary < 16 {
+			boundary = 16
+		}
+		secBase[SecSData] = align(cfg.DataBase, boundary)
+		gp = secBase[SecSData]
+		secBase[SecData] = align(secBase[SecSData]+uint32(len(o.SData)), 16)
+		secBase[SecBSS] = align(secBase[SecData]+uint32(len(o.Data)), 16)
+	} else {
+		// Stock layout: data first, the global region wherever it lands.
+		// The resulting GP value depends on the data segment size and is
+		// not usefully aligned, as with an unmodified linker.
+		secBase[SecData] = cfg.DataBase
+		secBase[SecSData] = align(secBase[SecData]+uint32(len(o.Data)), 8)
+		gp = secBase[SecSData]
+		secBase[SecBSS] = align(secBase[SecSData]+uint32(len(o.SData)), 16)
+	}
+	heap := align(secBase[SecBSS]+o.BSSSize, 1<<mem.PageBits)
+
+	symAddr := func(name string) (uint32, bool) {
+		s, ok := o.Symbols[name]
+		if !ok {
+			return 0, false
+		}
+		return secBase[s.Section] + s.Off, true
+	}
+
+	// Copy section images so relocation patching does not mutate the object.
+	sdata := append([]byte(nil), o.SData...)
+	data := append([]byte(nil), o.Data...)
+	insts := append([]isa.Inst(nil), o.Text...)
+
+	patchData := func(sec SectionKind, off uint32, v uint32) error {
+		var img []byte
+		switch sec {
+		case SecSData:
+			img = sdata
+		case SecData:
+			img = data
+		default:
+			return fmt.Errorf("prog: word reloc in section %v", sec)
+		}
+		if int(off)+4 > len(img) {
+			return fmt.Errorf("prog: word reloc offset %d out of range", off)
+		}
+		img[off] = byte(v)
+		img[off+1] = byte(v >> 8)
+		img[off+2] = byte(v >> 16)
+		img[off+3] = byte(v >> 24)
+		return nil
+	}
+
+	for _, r := range o.Relocs {
+		addr, ok := symAddr(r.Sym)
+		if !ok {
+			return nil, fmt.Errorf("prog: undefined symbol %q", r.Sym)
+		}
+		v := addr + uint32(r.Addend)
+		switch r.Kind {
+		case RelWord32:
+			if err := patchData(r.Section, r.Off, v); err != nil {
+				return nil, err
+			}
+		case RelHi16:
+			// Pair with a signed Lo16: round up when the low half is
+			// negative as a signed 16-bit quantity.
+			hi := (v + 0x8000) >> 16
+			insts[r.InstIndex].Imm = int32(hi)
+		case RelLo16:
+			insts[r.InstIndex].Imm = int32(int16(v & 0xFFFF))
+		case RelGPRel:
+			d := int64(v) - int64(gp)
+			if d < -32768 || d > 32767 {
+				return nil, fmt.Errorf("prog: symbol %q out of gp range (offset %d)", r.Sym, d)
+			}
+			if cfg.AlignGP && d < 0 {
+				return nil, fmt.Errorf("prog: internal error: negative gp offset %d for %q with AlignGP", d, r.Sym)
+			}
+			insts[r.InstIndex].Imm = int32(d)
+		case RelJump:
+			insts[r.InstIndex].Imm = int32(v)
+		default:
+			return nil, fmt.Errorf("prog: unknown reloc kind %d", r.Kind)
+		}
+	}
+
+	// Validate that every instruction is encodable at its final address.
+	words := make([]uint32, len(insts))
+	for i, in := range insts {
+		pc := cfg.TextBase + uint32(i*isa.InstBytes)
+		w, err := isa.Encode(in, pc)
+		if err != nil {
+			line := -1
+			if i < len(o.SrcLines) {
+				line = o.SrcLines[i]
+			}
+			return nil, fmt.Errorf("prog: inst %d (line %d) %v: %v", i, line, in, err)
+		}
+		words[i] = w
+	}
+
+	entry, ok := symAddr("_start")
+	if !ok {
+		if entry, ok = symAddr("main"); !ok {
+			return nil, fmt.Errorf("prog: no _start or main symbol")
+		}
+	}
+
+	symbols := make(map[string]uint32, len(o.Symbols))
+	for name := range o.Symbols {
+		a, _ := symAddr(name)
+		symbols[name] = a
+	}
+
+	p := &Program{
+		Insts:    insts,
+		Words:    words,
+		TextBase: cfg.TextBase,
+		Entry:    entry,
+		GP:       gp,
+		SP:       cfg.StackTop,
+		HeapBase: heap,
+		Symbols:  symbols,
+	}
+	if len(sdata) > 0 {
+		p.dataSegs = append(p.dataSegs, dataSeg{secBase[SecSData], sdata})
+	}
+	if len(data) > 0 {
+		p.dataSegs = append(p.dataSegs, dataSeg{secBase[SecData], data})
+	}
+	return p, nil
+}
+
+// NewMemory materializes a fresh memory image holding the program's
+// initialized data (text is not stored in data memory; instruction fetch is
+// modeled separately).
+func (p *Program) NewMemory() *mem.Memory {
+	m := mem.New()
+	for _, s := range p.dataSegs {
+		m.WriteBytes(s.base, s.bytes)
+	}
+	return m
+}
+
+// InstAt returns the decoded instruction at pc, or false if pc is outside
+// the text segment.
+func (p *Program) InstAt(pc uint32) (isa.Inst, bool) {
+	if pc < p.TextBase || pc&3 != 0 {
+		return isa.Inst{}, false
+	}
+	i := (pc - p.TextBase) / isa.InstBytes
+	if int(i) >= len(p.Insts) {
+		return isa.Inst{}, false
+	}
+	return p.Insts[i], true
+}
+
+// TextEnd returns the first address past the text segment.
+func (p *Program) TextEnd() uint32 {
+	return p.TextBase + uint32(len(p.Insts)*isa.InstBytes)
+}
+
+// SymbolNames returns the defined symbol names in sorted order.
+func (p *Program) SymbolNames() []string {
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FuncName returns the name of the function symbol covering pc, for
+// diagnostics. It returns the nearest non-local text symbol (local labels
+// start with '.') at or below pc.
+func (p *Program) FuncName(pc uint32) string {
+	best, bestAddr := "?", uint32(0)
+	for n, a := range p.Symbols {
+		if len(n) > 0 && n[0] == '.' {
+			continue
+		}
+		if a <= pc && a >= bestAddr && a >= p.TextBase && a < p.TextEnd() {
+			best, bestAddr = n, a
+		}
+	}
+	return best
+}

@@ -1,0 +1,155 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// object builds a minimal hand-assembled object for linker tests.
+func object() *Object {
+	return &Object{
+		Text: []isa.Inst{
+			{Op: isa.LW, Rd: isa.T0, Rs: isa.GP}, // patched via gprel
+			{Op: isa.LUI, Rd: isa.AT},            // patched via hi16
+			{Op: isa.LW, Rd: isa.T1, Rs: isa.AT}, // patched via lo16
+			{Op: isa.JAL},                        // patched via jump
+			{Op: isa.JR, Rs: isa.RA},
+			{Op: isa.JR, Rs: isa.RA}, // "helper"
+		},
+		SData:   []byte{1, 0, 0, 0, 2, 0, 0, 0},
+		Data:    make([]byte, 64),
+		BSSSize: 128,
+		Symbols: map[string]Symbol{
+			"main":   {Name: "main", Section: SecText, Off: 0},
+			"helper": {Name: "helper", Section: SecText, Off: 20},
+			"small":  {Name: "small", Section: SecSData, Off: 4},
+			"big":    {Name: "big", Section: SecData, Off: 8},
+			"buf":    {Name: "buf", Section: SecBSS, Off: 0, Size: 128},
+		},
+		Relocs: []Reloc{
+			{Kind: RelGPRel, Sym: "small", InstIndex: 0},
+			{Kind: RelHi16, Sym: "big", InstIndex: 1},
+			{Kind: RelLo16, Sym: "big", InstIndex: 2},
+			{Kind: RelJump, Sym: "helper", InstIndex: 3},
+			{Kind: RelWord32, Sym: "helper", Section: SecData, Off: 0},
+		},
+	}
+}
+
+func TestLinkResolvesRelocs(t *testing.T) {
+	p, err := Link(object(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Entry != p.Symbols["main"] {
+		t.Errorf("entry = %#x", p.Entry)
+	}
+	// gprel: small is at gp+4 in the stock layout (gp = sdata base).
+	if p.Insts[0].Imm != int32(p.Symbols["small"]-p.GP) {
+		t.Errorf("gprel imm = %d", p.Insts[0].Imm)
+	}
+	// hi/lo pair reconstructs the address.
+	addr := uint32(p.Insts[1].Imm)<<16 + uint32(p.Insts[2].Imm)
+	if addr != p.Symbols["big"] {
+		t.Errorf("hi/lo = %#x, want %#x", addr, p.Symbols["big"])
+	}
+	if uint32(p.Insts[3].Imm) != p.Symbols["helper"] {
+		t.Errorf("jump target = %#x", uint32(p.Insts[3].Imm))
+	}
+	m := p.NewMemory()
+	if got := m.Read32(p.Symbols["big"] - 8); got != p.Symbols["helper"] {
+		t.Errorf("word reloc = %#x", got)
+	}
+	// Data image contents survive.
+	if m.Read32(p.Symbols["small"]) != 2 {
+		t.Error("sdata image wrong")
+	}
+}
+
+func TestLinkAlignGPPositiveOffsets(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AlignGP = true
+	p, err := Link(object(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.GP%16 != 0 {
+		t.Errorf("gp = %#x not aligned", p.GP)
+	}
+	if p.Insts[0].Imm < 0 {
+		t.Errorf("gp offset negative with AlignGP: %d", p.Insts[0].Imm)
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	o := object()
+	o.Relocs = append(o.Relocs, Reloc{Kind: RelGPRel, Sym: "missing", InstIndex: 0})
+	if _, err := Link(o, DefaultConfig()); err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Errorf("undefined symbol error missing: %v", err)
+	}
+
+	o = object()
+	delete(o.Symbols, "main")
+	if _, err := Link(o, DefaultConfig()); err == nil || !strings.Contains(err.Error(), "_start or main") {
+		t.Errorf("missing entry error: %v", err)
+	}
+
+	o = object()
+	o.Relocs[4].Off = 9999
+	if _, err := Link(o, DefaultConfig()); err == nil {
+		t.Error("out-of-range word reloc accepted")
+	}
+
+	// Unencodable instruction (immediate overflow) rejected with line info.
+	o = object()
+	o.Text = append(o.Text, isa.Inst{Op: isa.ADDI, Rd: isa.T0, Imm: 1 << 20})
+	o.SrcLines = []int{1, 2, 3, 4, 5, 6, 7}
+	if _, err := Link(o, DefaultConfig()); err == nil {
+		t.Error("unencodable instruction accepted")
+	}
+}
+
+func TestProgramQueries(t *testing.T) {
+	p, err := Link(object(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, ok := p.InstAt(p.TextBase)
+	if !ok || in.Op != isa.LW {
+		t.Error("InstAt(base) wrong")
+	}
+	if _, ok := p.InstAt(p.TextBase - 4); ok {
+		t.Error("InstAt before text succeeded")
+	}
+	if _, ok := p.InstAt(p.TextEnd()); ok {
+		t.Error("InstAt past text succeeded")
+	}
+	if _, ok := p.InstAt(p.TextBase + 2); ok {
+		t.Error("InstAt unaligned succeeded")
+	}
+	if p.TextEnd() != p.TextBase+6*4 {
+		t.Errorf("TextEnd = %#x", p.TextEnd())
+	}
+	if got := p.FuncName(p.Symbols["helper"] + 4); got != "helper" {
+		t.Errorf("FuncName = %q", got)
+	}
+	names := p.SymbolNames()
+	if len(names) != 5 || names[0] > names[1] {
+		t.Errorf("SymbolNames = %v", names)
+	}
+	if p.HeapBase%4096 != 0 || p.HeapBase < p.Symbols["buf"]+128 {
+		t.Errorf("heap base %#x", p.HeapBase)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	p, err := Link(object(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TextBase != 0x00400000 || p.SP != 0x7FFFF000 {
+		t.Errorf("defaults not applied: %#x %#x", p.TextBase, p.SP)
+	}
+}

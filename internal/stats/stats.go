@@ -1,0 +1,123 @@
+// Package stats provides the small table-formatting and aggregation
+// helpers shared by the experiment harness: fixed-width text tables in the
+// style of the paper's tables, and the run-time-weighted means the paper
+// uses for its INT/FP averages.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(f float64) string { return fmt.Sprintf("%.1f", 100*f) }
+
+// PctSigned formats a signed relative change as a percentage.
+func PctSigned(f float64) string { return fmt.Sprintf("%+.1f", 100*f) }
+
+// F2 formats with two decimals.
+func F2(f float64) string { return fmt.Sprintf("%.2f", f) }
+
+// F3 formats with three decimals.
+func F3(f float64) string { return fmt.Sprintf("%.3f", f) }
+
+// Mil formats a count in millions with two decimals.
+func Mil(n uint64) string { return fmt.Sprintf("%.2f", float64(n)/1e6) }
+
+// KB formats a byte count in binary kilobytes.
+func KB(n uint64) string { return fmt.Sprintf("%dk", n>>10) }
+
+// WeightedMean returns sum(w_i * x_i) / sum(w_i): the paper's
+// run-time-weighted average (weights are baseline cycle counts).
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) != len(ws) || len(xs) == 0 {
+		return 0
+	}
+	var num, den float64
+	for i := range xs {
+		num += xs[i] * ws[i]
+		den += ws[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// GeoMean returns the geometric mean (used by ablation summaries).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

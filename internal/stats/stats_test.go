@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:   "T",
+		Headers: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", 12)
+	tb.AddRow("b", 3.5)
+	out := tb.String()
+	if !strings.Contains(out, "T\n=") {
+		t.Error("missing title underline")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, underline, header, separator, 2 rows -> 6? title+ul+hdr+sep+2 = 6
+		if len(lines) != 6 {
+			t.Errorf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "12") {
+		t.Error("row content missing")
+	}
+	// Columns align: header "name" padded to width of "alpha".
+	if !strings.Contains(out, "name   value") {
+		t.Errorf("alignment wrong:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Pct(0.1234) != "12.3" {
+		t.Errorf("Pct = %q", Pct(0.1234))
+	}
+	if PctSigned(0.05) != "+5.0" || PctSigned(-0.05) != "-5.0" {
+		t.Error("PctSigned wrong")
+	}
+	if F2(1.005) != "1.00" && F2(1.005) != "1.01" {
+		t.Errorf("F2 = %q", F2(1.005))
+	}
+	if F3(1.2345) != "1.234" && F3(1.2345) != "1.235" {
+		t.Errorf("F3 = %q", F3(1.2345))
+	}
+	if Mil(1_500_000) != "1.50" {
+		t.Errorf("Mil = %q", Mil(1_500_000))
+	}
+	if KB(65536) != "64k" {
+		t.Errorf("KB = %q", KB(65536))
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	got := WeightedMean([]float64{1, 3}, []float64{1, 1})
+	if got != 2 {
+		t.Errorf("equal weights: %v", got)
+	}
+	got = WeightedMean([]float64{1, 3}, []float64{3, 1})
+	if got != 1.5 {
+		t.Errorf("skewed weights: %v", got)
+	}
+	if WeightedMean(nil, nil) != 0 {
+		t.Error("empty mean not 0")
+	}
+	if WeightedMean([]float64{1}, []float64{0}) != 0 {
+		t.Error("zero weight mean not 0")
+	}
+	if WeightedMean([]float64{1, 2}, []float64{1}) != 0 {
+		t.Error("mismatched lengths not 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{2, 8})
+	if math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean not 0")
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("non-positive geomean not 0")
+	}
+}

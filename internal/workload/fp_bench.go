@@ -1,0 +1,322 @@
+package workload
+
+// Floating-point benchmarks: analogues of the paper's FP codes, exercising
+// double-precision array sweeps (stencil, filter, dense algebra), indirect
+// indexing (sparse algebra), recursion-free compute loops (Monte Carlo),
+// and struct-of-double physics (n-body).
+
+func init() {
+	register(Workload{
+		Name:     "stencil",
+		Analogue: "Tomcatv: 2D relaxation sweeps over double grids",
+		Class:    FP,
+		Source:   srcStencil,
+		Expected: "stencil ok 50 5085\n",
+	})
+	register(Workload{
+		Name:     "nbody",
+		Analogue: "Doduc/Mdljdp2: particle simulation over structs of doubles",
+		Class:    FP,
+		Source:   srcNbody,
+		Expected: "nbody ok 31 832\n",
+	})
+	register(Workload{
+		Name:     "fir",
+		Analogue: "Ear: FIR filtering of a generated signal",
+		Class:    FP,
+		Source:   srcFir,
+		Expected: "fir ok 4064 62752\n",
+	})
+	register(Workload{
+		Name:     "mcarlo",
+		Analogue: "Ora: Monte-Carlo integration",
+		Class:    FP,
+		Source:   srcMcarlo,
+		Expected: "mcarlo ok 32618 20000\n",
+	})
+	register(Workload{
+		Name:     "matmul",
+		Analogue: "Su2cor: dense matrix algebra",
+		Class:    FP,
+		Source:   srcMatmul,
+		Expected: "matmul ok 32 38376\n",
+	})
+	register(Workload{
+		Name:     "sparse",
+		Analogue: "Spice: sparse matrix-vector products with index arrays",
+		Class:    FP,
+		Source:   srcSparse,
+		Expected: "sparse ok 400 12414\n",
+	})
+}
+
+const srcStencil = `
+/* 5-point relaxation on a 48x48 double grid. Row size is not a power of
+   two, so index scaling needs real multiplies (strength reduction of the
+   outer subscript fails, as in the paper's Tomcatv discussion). */
+double g[48][48];
+double h[48][48];
+
+int main() {
+	int i; int j; int sweep;
+	double acc;
+	int scaled;
+	for (i = 0; i < 48; i = i + 1) {
+		for (j = 0; j < 48; j = j + 1) {
+			g[i][j] = (i * 7 + j * 3) % 23;
+			h[i][j] = 0.0;
+		}
+	}
+	for (sweep = 0; sweep < 12; sweep = sweep + 1) {
+		for (i = 1; i < 47; i = i + 1) {
+			for (j = 1; j < 47; j = j + 1) {
+				h[i][j] = (g[i - 1][j] + g[i + 1][j] + g[i][j - 1] + g[i][j + 1]) * 0.25;
+			}
+		}
+		for (i = 1; i < 47; i = i + 1) {
+			for (j = 1; j < 47; j = j + 1) {
+				g[i][j] = (h[i][j] + g[i][j]) * 0.5;
+			}
+		}
+	}
+	acc = 0.0;
+	for (i = 0; i < 48; i = i + 1) {
+		acc = acc + g[i][i];
+	}
+	scaled = acc * 10.0;
+	print_str("stencil ok ");
+	print_int((scaled / 100) % 100); print_char(' ');
+	print_int(scaled);
+	print_char(10);
+	return 0;
+}
+`
+
+const srcNbody = `
+/* Softened-gravity n-body with velocity Verlet-ish stepping. */
+struct body {
+	double x; double y; double z;
+	double vx; double vy; double vz;
+	double m;
+};
+struct body bodies[32];
+
+double mysqrt(double v) {
+	double r; int i;
+	if (v <= 0.0) { return 0.0; }
+	r = v;
+	if (r > 1.0) { r = v * 0.5 + 0.5; }
+	for (i = 0; i < 12; i = i + 1) {
+		r = (r + v / r) * 0.5;
+	}
+	return r;
+}
+
+int main() {
+	int i; int j; int step; int alive; int scaled;
+	double dx; double dy; double dz; double d2; double f; double dist;
+	double ke;
+	srand(17);
+	for (i = 0; i < 32; i = i + 1) {
+		bodies[i].x = (rand() % 1000) * 0.01;
+		bodies[i].y = (rand() % 1000) * 0.01;
+		bodies[i].z = (rand() % 1000) * 0.01;
+		bodies[i].vx = 0.0;
+		bodies[i].vy = 0.0;
+		bodies[i].vz = 0.0;
+		bodies[i].m = 1.0 + (rand() % 100) * 0.01;
+	}
+	for (step = 0; step < 8; step = step + 1) {
+		for (i = 0; i < 32; i = i + 1) {
+			for (j = 0; j < 32; j = j + 1) {
+				if (i != j) {
+					dx = bodies[j].x - bodies[i].x;
+					dy = bodies[j].y - bodies[i].y;
+					dz = bodies[j].z - bodies[i].z;
+					d2 = dx * dx + dy * dy + dz * dz + 0.1;
+					dist = mysqrt(d2);
+					f = 0.001 * bodies[j].m / (d2 * dist);
+					bodies[i].vx = bodies[i].vx + dx * f;
+					bodies[i].vy = bodies[i].vy + dy * f;
+					bodies[i].vz = bodies[i].vz + dz * f;
+				}
+			}
+		}
+		for (i = 0; i < 32; i = i + 1) {
+			bodies[i].x = bodies[i].x + bodies[i].vx;
+			bodies[i].y = bodies[i].y + bodies[i].vy;
+			bodies[i].z = bodies[i].z + bodies[i].vz;
+		}
+	}
+	ke = 0.0;
+	alive = 0;
+	for (i = 0; i < 32; i = i + 1) {
+		double v2;
+		v2 = bodies[i].vx * bodies[i].vx + bodies[i].vy * bodies[i].vy + bodies[i].vz * bodies[i].vz;
+		ke = ke + 0.5 * bodies[i].m * v2;
+		if (v2 > 0.0) { alive = alive + 1; }
+	}
+	scaled = ke * 100000.0;
+	print_str("nbody ok ");
+	print_int(alive - 1); print_char(' ');
+	print_int(scaled % 100000);
+	print_char(10);
+	return 0;
+}
+`
+
+const srcFir = `
+/* 32-tap FIR filter over a 4096-sample generated signal. */
+double signal[4096];
+double coef[32];
+double outsig[4096];
+
+int main() {
+	int i; int k; int n; int scaled;
+	double acc; double energy;
+	srand(8);
+	n = 4096;
+	for (i = 0; i < n; i = i + 1) {
+		signal[i] = ((rand() % 2000) - 1000) * 0.001;
+	}
+	for (k = 0; k < 32; k = k + 1) {
+		coef[k] = 0.03125 * (1.0 + 0.1 * (k % 5));
+	}
+	for (i = 0; i + 32 <= n; i = i + 1) {
+		acc = 0.0;
+		for (k = 0; k < 32; k = k + 1) {
+			acc = acc + signal[i + k] * coef[k];
+		}
+		outsig[i] = acc;
+	}
+	energy = 0.0;
+	for (i = 0; i < n; i = i + 1) {
+		energy = energy + outsig[i] * outsig[i];
+	}
+	scaled = energy * 1000.0;
+	print_str("fir ok ");
+	print_int(n - 32); print_char(' ');
+	print_int(scaled);
+	print_char(10);
+	return 0;
+}
+`
+
+const srcMcarlo = `
+/* Monte-Carlo estimate of pi: tight scalar FP loop, no memory traffic in
+   the kernel beyond globals. */
+int main() {
+	int i; int inside; int trials; int scaled;
+	double x; double y; double pi;
+	srand(424242);
+	trials = 20000;
+	inside = 0;
+	for (i = 0; i < trials; i = i + 1) {
+		x = (rand() % 10000) * 0.0001;
+		y = (rand() % 10000) * 0.0001;
+		if (x * x + y * y < 1.0) {
+			inside = inside + 1;
+		}
+	}
+	pi = 4.0 * inside / trials;
+	scaled = pi * 10000.0;
+	print_str("mcarlo ok ");
+	print_int(scaled); print_char(' ');
+	print_int(trials);
+	print_char(10);
+	return 0;
+}
+`
+
+const srcMatmul = `
+/* 32x32 double matrix multiply. */
+double A[32][32];
+double B[32][32];
+double C[32][32];
+
+int main() {
+	int i; int j; int k; int scaled;
+	double acc; double trace;
+	for (i = 0; i < 32; i = i + 1) {
+		for (j = 0; j < 32; j = j + 1) {
+			A[i][j] = ((i * 31 + j * 17) % 13) * 0.25;
+			B[i][j] = ((i * 5 + j * 29) % 11) * 0.5;
+		}
+	}
+	for (i = 0; i < 32; i = i + 1) {
+		for (j = 0; j < 32; j = j + 1) {
+			acc = 0.0;
+			for (k = 0; k < 32; k = k + 1) {
+				acc = acc + A[i][k] * B[k][j];
+			}
+			C[i][j] = acc;
+		}
+	}
+	trace = 0.0;
+	for (i = 0; i < 32; i = i + 1) {
+		trace = trace + C[i][i];
+	}
+	scaled = trace * 10.0;
+	print_str("matmul ok ");
+	print_int(32); print_char(' ');
+	print_int(scaled);
+	print_char(10);
+	return 0;
+}
+`
+
+const srcSparse = `
+/* Sparse matrix-vector products in CSR form: the value loads are indexed
+   through a column array, so subscripts cannot be strength-reduced and the
+   accesses use register+register addressing, as in Spice. */
+double val[3600];
+int colidx[3600];
+int rowptr[401];
+double x[400];
+double y[400];
+
+int main() {
+	int i; int k; int r; int nnz; int iter; int scaled;
+	double acc; double norm;
+	srand(2025);
+	nnz = 0;
+	for (r = 0; r < 400; r = r + 1) {
+		int cnt;
+		rowptr[r] = nnz;
+		cnt = 5 + (rand() & 7);
+		for (k = 0; k < cnt; k = k + 1) {
+			if (nnz < 3600) {
+				colidx[nnz] = rand() % 400;
+				val[nnz] = 0.001 * (1 + rand() % 999);
+				nnz = nnz + 1;
+			}
+		}
+	}
+	rowptr[400] = nnz;
+	for (i = 0; i < 400; i = i + 1) {
+		x[i] = 1.0 + (i % 7) * 0.125;
+	}
+	for (iter = 0; iter < 10; iter = iter + 1) {
+		for (r = 0; r < 400; r = r + 1) {
+			acc = 0.0;
+			for (k = rowptr[r]; k < rowptr[r + 1]; k = k + 1) {
+				acc = acc + val[k] * x[colidx[k]];
+			}
+			y[r] = acc;
+		}
+		for (i = 0; i < 400; i = i + 1) {
+			x[i] = 0.5 * x[i] + 0.1 * y[i] / (1.0 + 0.01 * (i % 10));
+		}
+	}
+	norm = 0.0;
+	for (i = 0; i < 400; i = i + 1) {
+		norm = norm + x[i] * x[i];
+	}
+	scaled = norm * 100.0;
+	print_str("sparse ok ");
+	print_int(400); print_char(' ');
+	print_int(scaled % 100000);
+	print_char(10);
+	return 0;
+}
+`

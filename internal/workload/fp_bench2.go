@@ -1,0 +1,90 @@
+package workload
+
+// Second wave of floating-point benchmarks.
+
+func init() {
+	register(Workload{
+		Name:     "dct",
+		Analogue: "Ear: 8x8 block DCT over an image (coefficient tables from a series-evaluated cosine)",
+		Class:    FP,
+		Source:   srcDct,
+		Expected: "dct ok 16 30001\n",
+	})
+}
+
+const srcDct = `
+/* 2D 8x8 discrete cosine transform over a 32x32 synthetic image. The
+   cosine table is computed in-program with range reduction plus a Taylor
+   series (the runtime has no math library, as on the paper's target). */
+double ctab[8][8];
+double img[32][32];
+double coef[32][32];
+double tmp[8][8];
+
+double mycos(double x) {
+	double x2; double term; double sum; int k;
+	/* Range-reduce into [-pi, pi]. */
+	while (x > 3.14159265358979) { x = x - 6.28318530717959; }
+	while (x < -3.14159265358979) { x = x + 6.28318530717959; }
+	x2 = x * x;
+	term = 1.0;
+	sum = 1.0;
+	for (k = 1; k <= 8; k = k + 1) {
+		term = -term * x2 / ((2 * k - 1) * (2 * k));
+		sum = sum + term;
+	}
+	return sum;
+}
+
+int main() {
+	int u; int v; int x; int y; int bx; int by; int scaled;
+	double acc; double energy;
+	/* DCT basis: ctab[u][x] = cos((2x+1) u pi / 16). */
+	for (u = 0; u < 8; u = u + 1) {
+		for (x = 0; x < 8; x = x + 1) {
+			ctab[u][x] = mycos((2 * x + 1) * u * 0.19634954084936);
+		}
+	}
+	srand(300);
+	for (y = 0; y < 32; y = y + 1) {
+		for (x = 0; x < 32; x = x + 1) {
+			img[y][x] = ((rand() % 256) - 128) * 0.0078125;
+		}
+	}
+	/* Per 8x8 block: rows then columns. */
+	for (by = 0; by < 4; by = by + 1) {
+		for (bx = 0; bx < 4; bx = bx + 1) {
+			for (u = 0; u < 8; u = u + 1) {
+				for (y = 0; y < 8; y = y + 1) {
+					acc = 0.0;
+					for (x = 0; x < 8; x = x + 1) {
+						acc = acc + img[by * 8 + y][bx * 8 + x] * ctab[u][x];
+					}
+					tmp[y][u] = acc;
+				}
+			}
+			for (u = 0; u < 8; u = u + 1) {
+				for (v = 0; v < 8; v = v + 1) {
+					acc = 0.0;
+					for (y = 0; y < 8; y = y + 1) {
+						acc = acc + tmp[y][v] * ctab[u][y];
+					}
+					coef[by * 8 + u][bx * 8 + v] = acc * 0.0625;
+				}
+			}
+		}
+	}
+	energy = 0.0;
+	for (y = 0; y < 32; y = y + 1) {
+		for (x = 0; x < 32; x = x + 1) {
+			energy = energy + coef[y][x] * coef[y][x];
+		}
+	}
+	scaled = energy * 1000.0;
+	print_str("dct ok ");
+	print_int(16); print_char(' ');
+	print_int(scaled);
+	print_char(10);
+	return 0;
+}
+`

@@ -1,0 +1,129 @@
+package workload
+
+// Third wave of floating-point benchmarks, completing the suite at the
+// paper's count of 19 programs (10 integer, 9 FP).
+
+func init() {
+	register(Workload{
+		Name:     "ode",
+		Analogue: "Mdljsp2: explicit ODE integration (4th-order Runge-Kutta)",
+		Class:    FP,
+		Source:   srcOde,
+		Expected: "ode ok 2000 34813\n",
+	})
+	register(Workload{
+		Name:     "wave",
+		Analogue: "Su2cor/Tomcatv: leapfrog integration of the 1D wave equation",
+		Class:    FP,
+		Source:   srcWave,
+		Expected: "wave ok 180 15813\n",
+	})
+}
+
+const srcOde = `
+/* Runge-Kutta (RK4) integration of a damped oscillator system: heavy
+   scalar double arithmetic with small state arrays. */
+double ys[8];
+double k1[8];
+double k2[8];
+double k3[8];
+double k4[8];
+double tmp[8];
+
+/* dy/dt for 4 coupled damped oscillators: y'' = -k y - c y'. */
+void deriv(double *y, double *dy) {
+	int i;
+	for (i = 0; i < 4; i++) {
+		dy[i] = y[i + 4];
+		dy[i + 4] = -(1.0 + 0.1 * i) * y[i] - 0.05 * y[i + 4];
+	}
+}
+
+void axpy(double *out, double *y, double *k, double h) {
+	int i;
+	for (i = 0; i < 8; i++) {
+		out[i] = y[i] + h * k[i];
+	}
+}
+
+int main() {
+	int step; int i; int scaled;
+	double h; double energy;
+	h = 0.01;
+	for (i = 0; i < 4; i++) {
+		ys[i] = 1.0 + 0.25 * i;
+		ys[i + 4] = 0.0;
+	}
+	for (step = 0; step < 2000; step++) {
+		deriv(ys, k1);
+		axpy(tmp, ys, k1, h * 0.5);
+		deriv(tmp, k2);
+		axpy(tmp, ys, k2, h * 0.5);
+		deriv(tmp, k3);
+		axpy(tmp, ys, k3, h);
+		deriv(tmp, k4);
+		for (i = 0; i < 8; i++) {
+			ys[i] = ys[i] + h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+		}
+	}
+	energy = 0.0;
+	for (i = 0; i < 4; i++) {
+		energy = energy + (1.0 + 0.1 * i) * ys[i] * ys[i] + ys[i + 4] * ys[i + 4];
+	}
+	scaled = energy * 10000.0;
+	print_str("ode ok ");
+	print_int(2000); print_char(' ');
+	print_int(scaled);
+	print_char(10);
+	return 0;
+}
+`
+
+const srcWave = `
+/* Leapfrog integration of the 1D wave equation on a 512-point string with
+   fixed ends: three double arrays swept in lockstep. */
+double prev[512];
+double cur[512];
+double next[512];
+
+int main() {
+	int i; int step; int scaled;
+	double c2; double energy;
+	c2 = 0.25;
+	for (i = 0; i < 512; i++) {
+		prev[i] = 0.0;
+		cur[i] = 0.0;
+	}
+	/* Initial pluck: a triangular displacement around one third. */
+	for (i = 100; i < 172; i++) {
+		double d;
+		d = i < 136 ? (i - 100) * 1.0 : (171 - i) * 1.0;
+		cur[i] = d * 0.03;
+		prev[i] = cur[i];
+	}
+	for (step = 0; step < 180; step++) {
+		for (i = 1; i < 511; i++) {
+			next[i] = 2.0 * cur[i] - prev[i] + c2 * (cur[i - 1] - 2.0 * cur[i] + cur[i + 1]);
+		}
+		next[0] = 0.0;
+		next[511] = 0.0;
+		for (i = 0; i < 512; i++) {
+			prev[i] = cur[i];
+			cur[i] = next[i];
+		}
+	}
+	energy = 0.0;
+	for (i = 1; i < 511; i++) {
+		double v; double dx;
+		v = cur[i] - prev[i];
+		dx = cur[i + 1] - cur[i];
+		energy = energy + v * v + c2 * dx * dx;
+	}
+	scaled = energy * 1000000.0;
+	print_str("wave ok ");
+	print_int(180); print_char(' ');
+	print_int(scaled);
+	print_char(10);
+	return 0;
+}
+`

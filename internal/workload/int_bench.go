@@ -1,0 +1,465 @@
+package workload
+
+// Integer benchmarks. Each stands in for one or more of the paper's integer
+// codes, matched on reference behaviour rather than function: what matters
+// to fast address calculation is the mix of global/stack/general-pointer
+// addressing, offset sizes, and pointer alignment.
+
+func init() {
+	register(Workload{
+		Name:     "compress",
+		Analogue: "Compress (SPEC92): LZW compression, hashed dictionary",
+		Class:    Int,
+		Source:   srcCompress,
+		Expected: "compress ok 3542 1771 26232\n",
+	})
+	register(Workload{
+		Name:     "eqn",
+		Analogue: "Eqntott/Espresso: bit-vector boolean function manipulation",
+		Class:    Int,
+		Source:   srcEqn,
+		Expected: "eqn ok 4096 62043 7055\n",
+	})
+	register(Workload{
+		Name:     "qsortst",
+		Analogue: "Sc: record sorting and searching over structs",
+		Class:    Int,
+		Source:   srcQsortSt,
+		Expected: "qsortst ok 1 60066 1000\n",
+	})
+	register(Workload{
+		Name:     "queens",
+		Analogue: "Xlisp (li-input: queens): recursion and stack traffic",
+		Class:    Int,
+		Source:   srcQueens,
+		Expected: "queens ok 352\n",
+	})
+	register(Workload{
+		Name:     "match",
+		Analogue: "Grep/Elvis: string scanning and replacement",
+		Class:    Int,
+		Source:   srcMatch,
+		Expected: "match ok 168 1696 4744616\n",
+	})
+	register(Workload{
+		Name:     "hashp",
+		Analogue: "Perl/GCC: pointer-chasing hash table over an arena allocator",
+		Class:    Int,
+		Source:   srcHashp,
+		Expected: "hashp ok 1007 1031216 -1986\n",
+	})
+	register(Workload{
+		Name:     "route",
+		Analogue: "YACR-2: channel routing (interval track assignment)",
+		Class:    Int,
+		Source:   srcRoute,
+		Expected: "route ok 46 65927\n",
+	})
+}
+
+const srcCompress = `
+/* LZW compression with a hashed dictionary, 12-bit codes. */
+char text[12288];
+char outbuf[24576];
+int dict_key[8192];
+int dict_code[8192];
+int words[8];
+
+void gentext(int n) {
+	int i; int w; int j; int len;
+	char *p;
+	i = 0;
+	while (i < n - 12) {
+		w = rand() & 7;
+		len = 3 + (w & 3);
+		for (j = 0; j < len; j = j + 1) {
+			text[i] = 'a' + ((words[w] >> (j * 3)) & 7);
+			i = i + 1;
+		}
+		text[i] = ' ';
+		i = i + 1;
+	}
+	while (i < n) { text[i] = '.'; i = i + 1; }
+}
+
+int main() {
+	int i; int n; int w; int c; int next; int h; int key;
+	int outlen; int csum; int codes;
+	srand(1234);
+	for (i = 0; i < 8; i = i + 1) { words[i] = rand(); }
+	n = 12288;
+	gentext(n);
+	for (i = 0; i < 8192; i = i + 1) { dict_key[i] = -1; }
+	next = 256;
+	outlen = 0;
+	codes = 0;
+	w = text[0];
+	for (i = 1; i < n; i = i + 1) {
+		c = text[i];
+		key = w * 256 + c;
+		h = (key * 31) & 8191;
+		while (dict_key[h] != -1 && dict_key[h] != key) {
+			h = (h + 1) & 8191;
+		}
+		if (dict_key[h] == key) {
+			w = dict_code[h];
+		} else {
+			outbuf[outlen] = w >> 4;
+			outbuf[outlen + 1] = (w & 15) * 16;
+			outlen = outlen + 2;
+			codes = codes + 1;
+			if (next < 4096) {
+				dict_key[h] = key;
+				dict_code[h] = next;
+				next = next + 1;
+			}
+			w = c;
+		}
+	}
+	csum = 0;
+	for (i = 0; i < outlen; i = i + 1) {
+		csum = (csum + outbuf[i] * (i & 255)) & 65535;
+	}
+	print_str("compress ok ");
+	print_int(outlen); print_char(' ');
+	print_int(codes); print_char(' ');
+	print_int(csum);
+	print_char(10);
+	return 0;
+}
+`
+
+const srcEqn = `
+/* Bit-vector manipulation of boolean functions over 16 variables:
+   build covers, apply set operations, count minterms. */
+int fa[2048];
+int fb[2048];
+int fc[2048];
+int tmp[2048];
+
+int popcount(int *v, int n) {
+	int i; int x; int count;
+	count = 0;
+	for (i = 0; i < n; i = i + 1) {
+		x = v[i];
+		while (x) {
+			x = x & (x - 1);
+			count = count + 1;
+		}
+	}
+	return count;
+}
+
+int main() {
+	int i; int pass; int ones; int agree; int total;
+	srand(7);
+	for (i = 0; i < 2048; i = i + 1) {
+		fa[i] = rand() * 65536 + rand();
+		fb[i] = rand() * 65536 + rand();
+	}
+	total = 0;
+	for (pass = 0; pass < 6; pass = pass + 1) {
+		for (i = 0; i < 2048; i = i + 1) {
+			fc[i] = fa[i] & fb[i];
+		}
+		for (i = 0; i < 2048; i = i + 1) {
+			tmp[i] = (fa[i] | fb[i]) ^ fc[i];
+		}
+		ones = popcount(tmp, 2048);
+		total = (total + ones) & 65535;
+		for (i = 0; i < 2048; i = i + 1) {
+			fa[i] = fa[i] ^ (tmp[i] >> 1);
+			fb[i] = fb[i] | (fc[i] << 1);
+		}
+	}
+	agree = 0;
+	for (i = 0; i < 2048; i = i + 1) {
+		if ((fa[i] & fb[i]) == fc[i]) { agree = agree + 1; }
+		else { agree = agree + (fa[i] == fb[i]); }
+	}
+	print_str("eqn ok ");
+	print_int(2048 * 2 / 2 * 2); print_char(' ');
+	print_int(total); print_char(' ');
+	print_int(agree + popcount(fc, 2048) % 10000);
+	print_char(10);
+	return 0;
+}
+`
+
+const srcQsortSt = `
+/* Quicksort and binary search over an array of records. */
+struct rec { int key; int val; int tag; };
+struct rec recs[2000];
+
+void swap(struct rec *a, struct rec *b) {
+	int t;
+	t = a->key; a->key = b->key; b->key = t;
+	t = a->val; a->val = b->val; b->val = t;
+	t = a->tag; a->tag = b->tag; b->tag = t;
+}
+
+void qs(int lo, int hi) {
+	int i; int j; int pivot;
+	if (lo >= hi) { return; }
+	pivot = recs[(lo + hi) / 2].key;
+	i = lo; j = hi;
+	while (i <= j) {
+		while (recs[i].key < pivot) { i = i + 1; }
+		while (recs[j].key > pivot) { j = j - 1; }
+		if (i <= j) {
+			swap(&recs[i], &recs[j]);
+			i = i + 1;
+			j = j - 1;
+		}
+	}
+	qs(lo, j);
+	qs(i, hi);
+}
+
+int search(int key) {
+	int lo; int hi; int mid;
+	lo = 0; hi = 1999;
+	while (lo <= hi) {
+		mid = (lo + hi) / 2;
+		if (recs[mid].key == key) { return mid; }
+		if (recs[mid].key < key) { lo = mid + 1; }
+		else { hi = mid - 1; }
+	}
+	return -1;
+}
+
+int main() {
+	int i; int sorted; int found; int csum;
+	srand(99);
+	for (i = 0; i < 2000; i = i + 1) {
+		recs[i].key = rand() * 4 + (rand() & 3);
+		recs[i].val = i;
+		recs[i].tag = rand() & 255;
+	}
+	qs(0, 1999);
+	sorted = 1;
+	for (i = 1; i < 2000; i = i + 1) {
+		if (recs[i].key < recs[i - 1].key) { sorted = 0; }
+	}
+	found = 0;
+	csum = 0;
+	for (i = 0; i < 1000; i = i + 1) {
+		int idx;
+		idx = search(recs[(i * 7) % 2000].key);
+		if (idx >= 0) { found = found + 1; csum = (csum + recs[idx].tag) & 65535; }
+	}
+	print_str("qsortst ok ");
+	print_int(sorted); print_char(' ');
+	print_int(csum + recs[0].key % 1000 + recs[1999].tag); print_char(' ');
+	print_int(found);
+	print_char(10);
+	return 0;
+}
+`
+
+const srcQueens = `
+/* N-queens via recursive backtracking: deep call stacks, small frames. */
+int cols[16];
+int diag1[32];
+int diag2[32];
+int n;
+int solutions;
+
+void place(int row) {
+	int c;
+	if (row == n) {
+		solutions = solutions + 1;
+		return;
+	}
+	for (c = 0; c < n; c = c + 1) {
+		if (!cols[c] && !diag1[row + c] && !diag2[row - c + n]) {
+			cols[c] = 1; diag1[row + c] = 1; diag2[row - c + n] = 1;
+			place(row + 1);
+			cols[c] = 0; diag1[row + c] = 0; diag2[row - c + n] = 0;
+		}
+	}
+}
+
+int main() {
+	n = 9;
+	solutions = 0;
+	place(0);
+	print_str("queens ok ");
+	print_int(solutions);
+	print_char(10);
+	return 0;
+}
+`
+
+const srcMatch = `
+/* Text scanning with literal pattern search and replacement. */
+char text[8192];
+char outbuf[16384];
+char pats[4][8];
+
+int main() {
+	int i; int j; int k; int n; int hits; int outlen; int csum;
+	int plen;
+	char *p;
+	srand(5);
+	n = 8192;
+	for (i = 0; i < n; i = i + 1) {
+		text[i] = 'a' + (rand() % 6);
+	}
+	/* plant patterns */
+	memcpy(&pats[0][0], "abca", 5);
+	memcpy(&pats[1][0], "bddc", 5);
+	memcpy(&pats[2][0], "cafe", 5);
+	memcpy(&pats[3][0], "feed", 5);
+	for (i = 0; i < 150; i = i + 1) {
+		j = rand() % (n - 8);
+		memcpy(&text[j], &pats[rand() & 3][0], 4);
+	}
+	hits = 0;
+	outlen = 0;
+	for (i = 0; i + 4 <= n; i = i + 1) {
+		for (k = 0; k < 4; k = k + 1) {
+			p = &pats[k][0];
+			j = 0;
+			while (j < 4 && text[i + j] == p[j]) { j = j + 1; }
+			if (j == 4) {
+				hits = hits + 1;
+				/* replace: copy pattern uppercased into out */
+				for (j = 0; j < 4; j = j + 1) {
+					outbuf[outlen] = p[j] - 32;
+					outlen = outlen + 1;
+				}
+			}
+		}
+		if ((i & 7) == 0) {
+			outbuf[outlen] = text[i];
+			outlen = outlen + 1;
+		}
+	}
+	csum = 0;
+	for (i = 0; i < outlen; i = i + 1) {
+		csum = csum + outbuf[i] * ((i & 63) + 1);
+	}
+	print_str("match ok ");
+	print_int(hits); print_char(' ');
+	print_int(outlen); print_char(' ');
+	print_int(csum);
+	print_char(10);
+	return 0;
+}
+`
+
+const srcHashp = `
+/* Chained hash table whose nodes come from a domain-specific arena
+   allocator that packs allocations densely (the paper's GCC obstack
+   pathology: word-aligned but never block-aligned pointers). */
+struct entry { int key; int val; struct entry *next; };
+struct entry *buckets[1024];
+char pool[65536];
+int poolpos;
+
+char *arena(int nbytes) {
+	char *p;
+	p = &pool[poolpos];
+	poolpos = poolpos + ((nbytes + 3) & ~3);
+	return p;
+}
+
+void insert(int key, int val) {
+	struct entry *e;
+	int h;
+	e = arena(sizeof(struct entry));
+	h = (key * 2654435) & 1023;
+	e->key = key;
+	e->val = val;
+	e->next = buckets[h];
+	buckets[h] = e;
+}
+
+int lookup(int key) {
+	struct entry *e;
+	int h;
+	h = (key * 2654435) & 1023;
+	for (e = buckets[h]; e != 0; e = e->next) {
+		if (e->key == key) { return e->val; }
+	}
+	return -1;
+}
+
+int main() {
+	int i; int found; int csum; int misses;
+	srand(2718);
+	for (i = 0; i < 2000; i = i + 1) {
+		insert(i * 3 + (rand() & 1), i);
+	}
+	found = 0; csum = 0; misses = 0;
+	for (i = 0; i < 4000; i = i + 1) {
+		int v;
+		v = lookup((i * 3) % 6100);
+		if (v >= 0) { found = found + 1; csum = (csum + v) & 1048575; }
+		else { misses = misses + 1; }
+	}
+	print_str("hashp ok ");
+	print_int(found); print_char(' ');
+	print_int(csum + misses); print_char(' ');
+	print_int(found - misses);
+	print_char(10);
+	return 0;
+}
+`
+
+const srcRoute = `
+/* Channel routing: greedy track assignment for intervals (YACR-2-like). */
+int start[600];
+int endc[600];
+int track[600];
+int lastend[64];
+int order[600];
+
+int main() {
+	int i; int j; int t; int ntracks; int n; int csum;
+	srand(31);
+	n = 600;
+	for (i = 0; i < n; i = i + 1) {
+		start[i] = rand() % 900;
+		endc[i] = start[i] + 1 + rand() % 80;
+		order[i] = i;
+	}
+	/* insertion sort nets by start column */
+	for (i = 1; i < n; i = i + 1) {
+		int key; int oi;
+		key = start[order[i]];
+		oi = order[i];
+		j = i - 1;
+		while (j >= 0 && start[order[j]] > key) {
+			order[j + 1] = order[j];
+			j = j - 1;
+		}
+		order[j + 1] = oi;
+	}
+	for (t = 0; t < 64; t = t + 1) { lastend[t] = -1; }
+	ntracks = 0;
+	for (i = 0; i < n; i = i + 1) {
+		int net;
+		net = order[i];
+		t = 0;
+		while (t < 64 && lastend[t] >= start[net]) { t = t + 1; }
+		if (t < 64) {
+			track[net] = t;
+			lastend[t] = endc[net];
+			if (t + 1 > ntracks) { ntracks = t + 1; }
+		} else {
+			track[net] = -1;
+		}
+	}
+	csum = 0;
+	for (i = 0; i < n; i = i + 1) {
+		if (track[i] >= 0) { csum = csum + track[i] * (i & 15); }
+	}
+	print_str("route ok ");
+	print_int(ntracks); print_char(' ');
+	print_int(csum);
+	print_char(10);
+	return 0;
+}
+`

@@ -1,0 +1,263 @@
+package workload
+
+// Second wave of integer benchmarks, widening the suite toward the paper's
+// ten integer codes.
+
+func init() {
+	register(Workload{
+		Name:     "huffman",
+		Analogue: "Compress/Eqntott: Huffman coding — tree building and bit packing",
+		Class:    Int,
+		Source:   srcHuffman,
+		Expected: "huffman ok 38685 40 133497\n",
+	})
+	register(Workload{
+		Name:     "tsp",
+		Analogue: "Sc/YACR-2: combinatorial optimization (nearest neighbour + 2-opt)",
+		Class:    Int,
+		Source:   srcTsp,
+		Expected: "tsp ok 1 441622 1\n",
+	})
+	register(Workload{
+		Name:     "life",
+		Analogue: "Espresso: dense 2D table updates (cellular automaton)",
+		Class:    Int,
+		Source:   srcLife,
+		Expected: "life ok 765 56748\n",
+	})
+}
+
+const srcHuffman = `
+/* Huffman coding: frequency counting, array-based tree construction by
+   repeated minimum extraction, and bit-level encoding of the text. */
+char text[8192];
+int freq[512];
+int left[512];
+int right[512];
+int parent[512];
+int codelen[256];
+int codebits[256];
+char outbuf[16384];
+
+void gentext(int n) {
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		int r;
+		r = rand() % 100;
+		if (r < 40) { text[i] = 'e' - (r % 5); }
+		else {
+			if (r < 75) { text[i] = 'a' + (r % 16); }
+			else { text[i] = 'A' + (r % 26); }
+		}
+	}
+}
+
+int main() {
+	int i; int n; int nodes; int a; int b;
+	int outbits; int csum; int depth; int node;
+	srand(77);
+	n = 8192;
+	gentext(n);
+	for (i = 0; i < 512; i = i + 1) {
+		freq[i] = 0; left[i] = -1; right[i] = -1; parent[i] = -1;
+	}
+	for (i = 0; i < n; i = i + 1) {
+		freq[text[i]] = freq[text[i]] + 1;
+	}
+	/* Build the tree: nodes 0..255 are leaves; repeatedly join the two
+	   smallest live roots. */
+	nodes = 256;
+	while (1) {
+		a = -1; b = -1;
+		for (i = 0; i < nodes; i = i + 1) {
+			if (freq[i] > 0 && parent[i] < 0) {
+				if (a < 0 || freq[i] < freq[a]) { b = a; a = i; }
+				else {
+					if (b < 0 || freq[i] < freq[b]) { b = i; }
+				}
+			}
+		}
+		if (b < 0) { break; }
+		left[nodes] = a; right[nodes] = b;
+		freq[nodes] = freq[a] + freq[b];
+		parent[a] = nodes; parent[b] = nodes;
+		nodes = nodes + 1;
+	}
+	/* Extract code lengths and (reversed) bit patterns per symbol. */
+	for (i = 0; i < 256; i = i + 1) {
+		codelen[i] = 0; codebits[i] = 0;
+		if (freq[i] > 0) {
+			depth = 0;
+			node = i;
+			while (parent[node] >= 0) {
+				codebits[i] = codebits[i] * 2 + (right[parent[node]] == node);
+				depth = depth + 1;
+				node = parent[node];
+			}
+			codelen[i] = depth;
+			if (depth == 0) { codelen[i] = 1; }
+		}
+	}
+	/* Encode. */
+	outbits = 0;
+	for (i = 0; i < n; i = i + 1) {
+		int c; int k;
+		c = text[i];
+		for (k = 0; k < codelen[c]; k = k + 1) {
+			int bit; int byteidx;
+			bit = (codebits[c] >> k) & 1;
+			byteidx = outbits >> 3;
+			outbuf[byteidx] = outbuf[byteidx] | (bit << (outbits & 7));
+			outbits = outbits + 1;
+		}
+	}
+	csum = 0;
+	for (i = 0; i < (outbits >> 3); i = i + 1) {
+		csum = (csum * 31 + outbuf[i]) & 1048575;
+	}
+	print_str("huffman ok ");
+	print_int(outbits); print_char(' ');
+	print_int(nodes - 256); print_char(' ');
+	print_int(csum);
+	print_char(10);
+	return 0;
+}
+`
+
+const srcTsp = `
+/* Travelling salesman: nearest-neighbour construction then 2-opt
+   improvement, on squared integer distances. */
+int xs[90];
+int ys[90];
+int tour[90];
+int used[90];
+
+int dist2(int i, int j) {
+	int dx; int dy;
+	dx = xs[i] - xs[j];
+	dy = ys[i] - ys[j];
+	return dx * dx + dy * dy;
+}
+
+int tourlen() {
+	int i; int sum;
+	sum = 0;
+	for (i = 0; i < 89; i = i + 1) {
+		sum = sum + dist2(tour[i], tour[i + 1]);
+	}
+	return sum + dist2(tour[89], tour[0]);
+}
+
+int main() {
+	int i; int j; int cur; int best; int bestd; int n;
+	int improved; int pass; int before; int after;
+	srand(4242);
+	n = 90;
+	for (i = 0; i < n; i = i + 1) {
+		xs[i] = rand() % 1000;
+		ys[i] = rand() % 1000;
+		used[i] = 0;
+	}
+	/* Nearest neighbour. */
+	cur = 0;
+	used[0] = 1;
+	tour[0] = 0;
+	for (i = 1; i < n; i = i + 1) {
+		best = -1; bestd = 0;
+		for (j = 0; j < n; j = j + 1) {
+			if (!used[j]) {
+				int d;
+				d = dist2(cur, j);
+				if (best < 0 || d < bestd) { best = j; bestd = d; }
+			}
+		}
+		tour[i] = best;
+		used[best] = 1;
+		cur = best;
+	}
+	before = tourlen();
+	/* 2-opt passes: reverse segments that shorten the tour. */
+	for (pass = 0; pass < 4; pass = pass + 1) {
+		improved = 0;
+		for (i = 0; i < n - 2; i = i + 1) {
+			for (j = i + 2; j < n - 1; j = j + 1) {
+				int d1; int d2;
+				d1 = dist2(tour[i], tour[i + 1]) + dist2(tour[j], tour[j + 1]);
+				d2 = dist2(tour[i], tour[j]) + dist2(tour[i + 1], tour[j + 1]);
+				if (d2 < d1) {
+					int lo; int hi;
+					lo = i + 1; hi = j;
+					while (lo < hi) {
+						int t;
+						t = tour[lo]; tour[lo] = tour[hi]; tour[hi] = t;
+						lo = lo + 1; hi = hi - 1;
+					}
+					improved = 1;
+				}
+			}
+		}
+		if (!improved) { break; }
+	}
+	after = tourlen();
+	print_str("tsp ok ");
+	print_int(before > after); print_char(' ');
+	print_int(after % 1000000); print_char(' ');
+	print_int(tour[0] == 0);
+	print_char(10);
+	return 0;
+}
+`
+
+const srcLife = `
+/* Conway's game of life on a 64x64 toroidal grid. */
+char grid[64][64];
+char next[64][64];
+
+int main() {
+	int x; int y; int gen; int pop; int csum;
+	srand(1001);
+	for (y = 0; y < 64; y = y + 1) {
+		for (x = 0; x < 64; x = x + 1) {
+			grid[y][x] = (rand() % 100) < 35;
+		}
+	}
+	for (gen = 0; gen < 12; gen = gen + 1) {
+		for (y = 0; y < 64; y = y + 1) {
+			int ym; int yp;
+			ym = (y + 63) & 63;
+			yp = (y + 1) & 63;
+			for (x = 0; x < 64; x = x + 1) {
+				int xm; int xp; int nbr;
+				xm = (x + 63) & 63;
+				xp = (x + 1) & 63;
+				nbr = grid[ym][xm] + grid[ym][x] + grid[ym][xp]
+				    + grid[y][xm] + grid[y][xp]
+				    + grid[yp][xm] + grid[yp][x] + grid[yp][xp];
+				if (grid[y][x]) {
+					next[y][x] = nbr == 2 || nbr == 3;
+				} else {
+					next[y][x] = nbr == 3;
+				}
+			}
+		}
+		for (y = 0; y < 64; y = y + 1) {
+			for (x = 0; x < 64; x = x + 1) {
+				grid[y][x] = next[y][x];
+			}
+		}
+	}
+	pop = 0;
+	csum = 0;
+	for (y = 0; y < 64; y = y + 1) {
+		for (x = 0; x < 64; x = x + 1) {
+			pop = pop + grid[y][x];
+			csum = (csum * 2 + grid[y][x]) % 65521;
+		}
+	}
+	print_str("life ok ");
+	print_int(pop); print_char(' ');
+	print_int(csum);
+	print_char(10);
+	return 0;
+}
+`

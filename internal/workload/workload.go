@@ -1,0 +1,125 @@
+// Package workload provides the benchmark suite used throughout the
+// reproduction. The paper evaluated 15 SPEC92 programs plus four other
+// codes; those inputs and binaries are not reproducible here, so the suite
+// substitutes MiniC programs spanning the same reference-behavior classes
+// the paper's analysis depends on (Section 2): compression, logic
+// minimization, recursive search, string matching, pointer-chasing hash
+// tables (including a GCC-style domain-specific arena allocator), struct
+// sorting, channel routing, and FP stencil / n-body / filter / Monte-Carlo
+// / dense and sparse linear algebra kernels. Every program prints a
+// checksum that the validation tests pin.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/minic"
+	"repro/internal/prog"
+)
+
+// Class tags a workload as integer or floating-point, mirroring the paper's
+// grouping when averaging results.
+type Class uint8
+
+const (
+	Int Class = iota
+	FP
+)
+
+func (c Class) String() string {
+	if c == FP {
+		return "fp"
+	}
+	return "int"
+}
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name string
+	// Analogue names the paper benchmark(s) whose reference behaviour this
+	// program stands in for.
+	Analogue string
+	Class    Class
+	Source   string
+	// Expected is the program's full output (checksum); runs are validated
+	// against it.
+	Expected string
+}
+
+var registry []Workload
+
+func register(w Workload) { registry = append(registry, w) }
+
+// All returns the full suite, integer programs first (the paper's table
+// ordering), each class alphabetical.
+func All() []Workload {
+	out := append([]Workload(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ByName returns one workload.
+func ByName(name string) (Workload, error) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// Names lists the suite's benchmark names in All() order.
+func Names() []string {
+	ws := All()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// Toolchain bundles compiler options with the matching linker config: the
+// two halves of the paper's "software support" axis.
+type Toolchain struct {
+	Name string
+	Opts minic.Options
+	Link prog.Config
+}
+
+// BaseToolchain is the paper's stock GCC 2.6 analogue: optimizing, no
+// fast-address-calculation alignment support.
+func BaseToolchain() Toolchain {
+	return Toolchain{Name: "base", Opts: minic.BaseOptions(), Link: prog.DefaultConfig()}
+}
+
+// FACToolchain enables all Section 4 software support (compiler alignment
+// options plus linker global-pointer alignment).
+func FACToolchain() Toolchain {
+	link := prog.DefaultConfig()
+	link.AlignGP = true
+	return Toolchain{Name: "fac", Opts: minic.FACOptions(), Link: link}
+}
+
+// Build compiles and links a workload with the given toolchain.
+func Build(w Workload, tc Toolchain) (*prog.Program, error) {
+	asmText, err := minic.Compile(w.Source, tc.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	obj, err := asm.Assemble(asmText)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	p, err := prog.Link(obj, tc.Link)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	return p, nil
+}
