@@ -10,11 +10,14 @@
 package repro
 
 import (
+	"os"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/emu"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/workload"
 )
@@ -165,6 +168,59 @@ func BenchmarkAblations(b *testing.B) {
 			mshr += row.MSHR1Rel
 		}
 		b.ReportMetric(mshr/float64(len(r.Rows)), "mshr1-rel-cycles")
+	}
+}
+
+// BenchmarkPipeline is the repo's perf-trajectory benchmark: it measures
+// timing-simulator throughput (cycles simulated per second) on the
+// compress workload for the baseline and FAC machines, and writes the
+// run records plus throughput metrics to BENCH_pipeline.json — the
+// artifact successive PRs diff (`go run ./cmd/experiments -diff`) to
+// detect simulator performance or statistics regressions.
+func BenchmarkPipeline(b *testing.B) {
+	w, err := workload.ByName("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := workload.Build(w, workload.BaseToolchain())
+	if err != nil {
+		b.Fatal(err)
+	}
+	machines := []experiments.Machine{experiments.MBase32, experiments.MFAC32}
+	rep := obs.NewReport("go test -bench BenchmarkPipeline", runtime.Version())
+	var cycles, insts uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range machines {
+			cfg, err := experiments.MachineConfig(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := core.Run(p, cfg, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += res.Stats.Cycles
+			insts += res.Stats.Insts
+			if i == 0 {
+				rep.Add(res.Stats.Record(w.Name, w.Class.String(), "base", string(m)))
+			}
+		}
+	}
+	b.StopTimer()
+	sec := b.Elapsed().Seconds()
+	b.ReportMetric(float64(cycles)/sec/1e6, "Mcycles/s")
+	b.ReportMetric(float64(insts)/sec/1e6, "Minsts/s")
+	rep.Metrics = map[string]float64{
+		"mcycles_per_sec": float64(cycles) / sec / 1e6,
+		"minsts_per_sec":  float64(insts) / sec / 1e6,
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_pipeline.json", data, 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

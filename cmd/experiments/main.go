@@ -5,9 +5,13 @@
 //
 // Usage:
 //
-//	experiments            # run everything
-//	experiments -fig2      # one experiment (also -table1 -fig3 -table3
-//	                       #   -table4 -fig6 -table6 -ablate)
+//	experiments                      # run everything
+//	experiments -fig2                # one experiment (also -table1 -fig3
+//	                                 #   -table3 -table4 -fig6 -table6 -ablate)
+//	experiments -fig6 -json out.json # also export every timing run as a
+//	                                 #   machine-readable obs.RunRecord report
+//	experiments -diff old.json new.json  # compare two exported reports and
+//	                                 #   print cycle/IPC regressions
 package main
 
 import (
@@ -17,23 +21,35 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		fig2   = flag.Bool("fig2", false, "Figure 2: impact of load latency on IPC")
-		table1 = flag.Bool("table1", false, "Table 1: program reference behavior")
-		fig3   = flag.Bool("fig3", false, "Figure 3: load offset distributions")
-		table3 = flag.Bool("table3", false, "Table 3: stats without software support")
-		table4 = flag.Bool("table4", false, "Table 4: stats with software support")
-		fig6   = flag.Bool("fig6", false, "Figure 6: speedups")
-		table6 = flag.Bool("table6", false, "Table 6: bandwidth overhead")
-		ablate = flag.Bool("ablate", false, "ablations (tag adder, store buffer, MSHRs, block size)")
-		ltbCmp = flag.Bool("ltb", false, "FAC vs load target buffer comparison (related work)")
-		agiCmp = flag.Bool("agi", false, "FAC vs AGI pipeline organization (related work)")
-		sweep  = flag.Bool("sweep", false, "cache-size sensitivity sweep")
+		fig2     = flag.Bool("fig2", false, "Figure 2: impact of load latency on IPC")
+		table1   = flag.Bool("table1", false, "Table 1: program reference behavior")
+		fig3     = flag.Bool("fig3", false, "Figure 3: load offset distributions")
+		table3   = flag.Bool("table3", false, "Table 3: stats without software support")
+		table4   = flag.Bool("table4", false, "Table 4: stats with software support")
+		fig6     = flag.Bool("fig6", false, "Figure 6: speedups")
+		table6   = flag.Bool("table6", false, "Table 6: bandwidth overhead")
+		ablate   = flag.Bool("ablate", false, "ablations (tag adder, store buffer, MSHRs, block size)")
+		ltbCmp   = flag.Bool("ltb", false, "FAC vs load target buffer comparison (related work)")
+		agiCmp   = flag.Bool("agi", false, "FAC vs AGI pipeline organization (related work)")
+		sweep    = flag.Bool("sweep", false, "cache-size sensitivity sweep")
+		jsonOut  = flag.String("json", "", "write every timing run as a RunRecord report to this file")
+		diffMode = flag.Bool("diff", false, "compare two RunRecord reports: -diff old.json new.json")
+		tol      = flag.Float64("tolerance", 0.005, "relative change reported by -diff")
 	)
 	flag.Parse()
+
+	if *diffMode {
+		if err := runDiff(flag.Args(), *tol); err != nil {
+			fmt.Fprintln(os.Stderr, "diff failed:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	all := !(*fig2 || *table1 || *fig3 || *table3 || *table4 || *fig6 || *table6 || *ablate || *ltbCmp || *agiCmp || *sweep)
 
 	s := experiments.NewSuite()
@@ -133,4 +149,52 @@ func main() {
 		fmt.Println(out)
 		fmt.Printf("[%s regenerated in %.1fs]\n\n", st.name, time.Since(t0).Seconds())
 	}
+
+	if *jsonOut != "" {
+		rep := s.Report("cmd/experiments")
+		data, err := rep.Encode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "json export failed:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "json export failed:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%d run records written to %s]\n", len(rep.Records), *jsonOut)
+	}
+}
+
+// runDiff loads two exported reports and prints the records whose
+// cycles/IPC/stall totals moved by more than tol (docs/OBSERVABILITY.md
+// describes the workflow). It exits non-zero via the caller on I/O or
+// schema errors; differences alone are not an error.
+func runDiff(args []string, tol float64) error {
+	if len(args) != 2 {
+		return fmt.Errorf("need exactly two report files, got %d", len(args))
+	}
+	load := func(path string) (*obs.Report, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return obs.DecodeReport(data)
+	}
+	oldRep, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	newRep, err := load(args[1])
+	if err != nil {
+		return err
+	}
+	lines := obs.Diff(oldRep, newRep, tol)
+	if len(lines) == 0 {
+		fmt.Printf("no differences above %.2f%% (%d records compared)\n", 100*tol, len(newRep.Records))
+		return nil
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	return nil
 }

@@ -5,6 +5,15 @@
 // function — the analysis the paper's Section 5.4 performed to diagnose
 // "array index failures" and "domain-specific storage allocators".
 //
+// Site attribution consumes the timing simulator's observability event
+// stream (internal/obs): the program runs on the FAC machine with an
+// obs.SiteCollector attached, so the table reflects the accesses the
+// machine actually speculated (register+register speculation is enabled
+// to attribute that failure class too). The header's failure rates come
+// from the functional profile over every executed access, so the two can
+// differ slightly: an access in the shadow of a misprediction does not
+// speculate and therefore produces no event.
+//
 // Usage:
 //
 //	facprof [-falign] [-block 32] [-top 20] -benchmark compress
@@ -15,25 +24,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 
 	"repro/internal/asm"
 	"repro/internal/core"
-	"repro/internal/emu"
 	"repro/internal/fac"
 	"repro/internal/minic"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/profile"
 	"repro/internal/prog"
 	"repro/internal/workload"
 )
-
-type site struct {
-	pc       uint32
-	total    uint64
-	fails    uint64
-	failMask fac.Failure
-}
 
 func main() {
 	var (
@@ -54,58 +56,41 @@ func main() {
 	}
 	geom := fac.Config{BlockBits: blockBits, SetBits: 14}
 
-	e := emu.New(p)
-	e.MaxInsts = 2_000_000_000
-	prof := profile.New(geom)
-	sites := make(map[uint32]*site)
-	for !e.Halted {
-		tr, err := e.Step()
-		if err != nil {
-			fatal(err)
-		}
-		prof.Note(tr)
-		if !tr.Inst.Op.IsMem() {
-			continue
-		}
-		s := sites[tr.PC]
-		if s == nil {
-			s = &site{pc: tr.PC}
-			sites[tr.PC] = s
-		}
-		s.total++
-		if res := geom.Predict(tr.Base, tr.Offset, tr.IsRegOffset); !res.OK {
-			s.fails++
-			s.failMask |= res.Failure
-		}
+	// Functional pass: the Section 2 reference-behaviour summary over
+	// every executed access.
+	prof, _, err := profile.Run(p, 2_000_000_000, geom)
+	if err != nil {
+		fatal(err)
 	}
 
-	pr := &prof.P
-	fmt.Printf("instructions %d, loads %d, stores %d\n", pr.Insts, pr.Loads, pr.Stores)
+	// Timing pass: the FAC machine with a site collector on the event
+	// stream, attributing each speculative access to its static site.
+	cfg := pipeline.DefaultConfig()
+	cfg.FAC = true
+	cfg.SpeculateRegReg = true // attribute R+R failures too
+	cfg.DCache.BlockSize = *block
+	sites := obs.NewSiteCollector()
+	if _, err := core.RunWithSink(p, cfg, 2_000_000_000, sites); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("instructions %d, loads %d, stores %d\n", prof.Insts, prof.Loads, prof.Stores)
 	fmt.Printf("load breakdown: global %.1f%%, stack %.1f%%, general %.1f%%\n",
-		100*pr.LoadTypeShare(profile.Global),
-		100*pr.LoadTypeShare(profile.Stack),
-		100*pr.LoadTypeShare(profile.General))
+		100*prof.LoadTypeShare(profile.Global),
+		100*prof.LoadTypeShare(profile.Stack),
+		100*prof.LoadTypeShare(profile.General))
 	fmt.Printf("failure rates (block %d): loads %.1f%%, stores %.1f%% (no-R+R: %.1f%% / %.1f%%)\n\n",
-		*block, 100*pr.LoadFailRate(0), 100*pr.StoreFailRate(0),
-		100*pr.LoadFailRateNoRR(0), 100*pr.StoreFailRateNoRR(0))
+		*block, 100*prof.LoadFailRate(0), 100*prof.StoreFailRate(0),
+		100*prof.LoadFailRateNoRR(0), 100*prof.StoreFailRateNoRR(0))
 
-	var list []*site
-	for _, s := range sites {
-		if s.fails > 0 {
-			list = append(list, s)
-		}
-	}
-	sort.Slice(list, func(i, j int) bool { return list[i].fails > list[j].fails })
-	fmt.Printf("top mispredicting sites:\n")
+	list := sites.TopFailing(*top)
+	fmt.Printf("top mispredicting sites (speculated accesses on the FAC machine):\n")
 	fmt.Printf("%-10s %-10s %-8s %-24s %-28s %s\n", "pc", "fails", "rate", "signals", "instruction", "function")
-	for i, s := range list {
-		if i >= *top {
-			break
-		}
-		in, _ := p.InstAt(s.pc)
+	for _, s := range list {
+		in, _ := p.InstAt(s.PC)
 		fmt.Printf("%#08x  %-10d %6.1f%%  %-24s %-28s %s\n",
-			s.pc, s.fails, 100*float64(s.fails)/float64(s.total),
-			s.failMask.String(), in.String(), p.FuncName(s.pc))
+			s.PC, s.Fails, 100*s.FailRate(),
+			s.FailMask.String(), in.String(), p.FuncName(s.PC))
 	}
 	if len(list) == 0 {
 		fmt.Println("  (none — every access predicted)")

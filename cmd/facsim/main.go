@@ -1,6 +1,7 @@
 // Command facsim runs a program on the timing simulator and reports the
-// paper's statistics: cycles, IPC, cache behaviour, and — when fast address
-// calculation is enabled — prediction and bandwidth outcomes.
+// paper's statistics: cycles, IPC, cache behaviour, the per-cause stall
+// breakdown, and — when fast address calculation is enabled — prediction
+// and bandwidth outcomes.
 //
 // The input is either a MiniC file (compiled on the fly), an assembly file
 // (*.s), or a built-in benchmark (-benchmark NAME).
@@ -9,6 +10,13 @@
 //
 //	facsim [-fac] [-rr] [-falign] [-block 32] [-functional] input.c
 //	facsim -fac -falign -benchmark qsortst
+//	facsim -fac -benchmark compress -json run.json   # RunRecord export
+//	facsim -fac -trace 40 -benchmark qsortst         # annotated issue trace
+//
+// -trace consumes the simulator's observability event stream
+// (internal/obs): each line is one issued instruction; memory operations
+// are annotated with their effective address and, when the simulated
+// machine speculated, the verification verdict of that access.
 package main
 
 import (
@@ -20,10 +28,12 @@ import (
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/emu"
-	"repro/internal/fac"
+	"repro/internal/isa"
 	"repro/internal/minic"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/prog"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -37,7 +47,9 @@ func main() {
 		maxInsts   = flag.Uint64("max-insts", 2_000_000_000, "instruction budget")
 		bench      = flag.String("benchmark", "", "run a built-in benchmark")
 		showOut    = flag.Bool("show-output", true, "echo program output")
-		traceN     = flag.Int("trace", 0, "print the first N executed instructions with predictor annotations")
+		traceN     = flag.Int("trace", 0, "print the first N issued instructions with predictor annotations")
+		hist       = flag.Bool("hist", false, "print the load-latency histogram")
+		jsonOut    = flag.String("json", "", "write the run's RunRecord report to this file")
 	)
 	flag.Parse()
 
@@ -46,8 +58,13 @@ func main() {
 		fatal(err)
 	}
 
+	cfg := pipeline.DefaultConfig()
+	cfg.FAC = *facOn
+	cfg.SpeculateRegReg = *rr
+	cfg.DCache.BlockSize = *block
+
 	if *traceN > 0 {
-		if err := printTrace(p, *traceN, *block); err != nil {
+		if err := printTrace(p, cfg, *traceN); err != nil {
 			fatal(err)
 		}
 		return
@@ -65,10 +82,6 @@ func main() {
 		return
 	}
 
-	cfg := pipeline.DefaultConfig()
-	cfg.FAC = *facOn
-	cfg.SpeculateRegReg = *rr
-	cfg.DCache.BlockSize = *block
 	res, err := core.Run(p, cfg, *maxInsts)
 	if err != nil {
 		fatal(err)
@@ -91,6 +104,17 @@ mem footprint     %d KB
 		pct(st.BranchMispredicts, st.BranchLookups), st.BranchMispredicts, st.BranchLookups,
 		100*st.ICache.MissRatio(), 100*st.DCache.MissRatio(),
 		st.StoreBufferFullStalls, res.MemFootprint>>10)
+
+	fmt.Printf("stall cycles      %d (of %d issue cycles active)\n",
+		st.StallTotal(), st.IssueActiveCycles+st.StallTotal())
+	for c := obs.StallCause(0); c < obs.NumStallCauses; c++ {
+		if n := st.StallCycles[c]; n > 0 {
+			fmt.Printf("  %-14s  %d (%.1f%%)\n", c, n, pct(n, st.StallTotal()))
+		}
+	}
+	if *hist {
+		fmt.Printf("load latency (issue to use, cycles):\n%s", stats.FormatHist(st.LoadLatency, "cyc"))
+	}
 	if *facOn {
 		fmt.Printf(`fast address calculation:
   loads speculated   %d (%.1f%% failed)
@@ -100,38 +124,110 @@ mem footprint     %d KB
 			st.StoresSpeculated, 100*st.StoreFailRate(),
 			100*st.BandwidthOverhead())
 	}
+
+	if *jsonOut != "" {
+		name := *bench
+		if name == "" && flag.NArg() == 1 {
+			name = flag.Arg(0)
+		}
+		tc := "base"
+		if *falign {
+			tc = "fac"
+		}
+		rep := obs.NewReport("cmd/facsim", "")
+		rep.Add(st.Record(name, "", tc, machineName(cfg)))
+		data, err := rep.Encode()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("run record written to %s\n", *jsonOut)
+	}
 }
 
-// printTrace disassembles the first n executed instructions, annotating
-// memory accesses with their effective address and the fast-address-
-// calculation outcome.
-func printTrace(p *prog.Program, n, block int) error {
-	blockBits := uint(5)
-	if block == 16 {
-		blockBits = 4
+// machineName summarizes the CLI-configured machine for the RunRecord.
+func machineName(cfg pipeline.Config) string {
+	name := "base"
+	if cfg.FAC {
+		name = "fac"
 	}
-	geom := fac.Config{BlockBits: blockBits, SetBits: 14}
-	e := emu.New(p)
-	e.MaxInsts = uint64(n) + 1
-	for i := 0; i < n && !e.Halted; i++ {
-		tr, err := e.Step()
-		if err != nil {
-			return err
+	name += fmt.Sprintf("%d", cfg.DCache.BlockSize)
+	if cfg.SpeculateRegReg {
+		name += "+rr"
+	}
+	return name
+}
+
+// traceSink renders the first N issued instructions from the event
+// stream. In-order issue delivers instructions in program order, so the
+// Nth issue event corresponds to the Nth trace the source produced; a
+// KindFACPredict event always immediately precedes the issue event of
+// the access it belongs to.
+type traceSink struct {
+	traces   []emu.Trace
+	idx      int
+	havePred bool
+	pred     obs.Event
+}
+
+func (t *traceSink) Event(e obs.Event) {
+	switch e.Kind {
+	case obs.KindFACPredict:
+		t.pred, t.havePred = e, true
+	case obs.KindIssue:
+		if t.idx >= len(t.traces) {
+			return
 		}
-		line := fmt.Sprintf("%8d  %#08x  %-30s", i, tr.PC, tr.Inst.String())
+		tr := t.traces[t.idx]
+		line := fmt.Sprintf("%8d  %#08x  %-30s", t.idx, tr.PC, tr.Inst.String())
 		if tr.Inst.Op.IsMem() {
-			res := geom.Predict(tr.Base, tr.Offset, tr.IsRegOffset)
-			verdict := "fac:ok"
-			if !res.OK {
-				verdict = "fac:" + res.Failure.String()
+			line += fmt.Sprintf("  ea=%#08x", tr.EffAddr)
+			if t.havePred && t.pred.PC == e.PC {
+				verdict := "fac:ok"
+				if t.pred.Fail != 0 {
+					verdict = "fac:" + t.pred.Fail.String()
+				}
+				line += "  " + verdict
 			}
-			line += fmt.Sprintf("  ea=%#08x  %s", tr.EffAddr, verdict)
-		} else if tr.Inst.Op.IsControl() && tr.NextPC != tr.PC+4 {
+		} else if tr.Inst.Op.IsControl() && tr.NextPC != tr.PC+isa.InstBytes {
 			line += fmt.Sprintf("  -> %#08x", tr.NextPC)
 		}
 		fmt.Println(line)
+		t.idx++
+		t.havePred = false
 	}
-	return nil
+}
+
+// limitedSource feeds at most n dynamic instructions to the pipeline,
+// recording each trace for the sink to render.
+type limitedSource struct {
+	e    *emu.Emulator
+	n    int
+	sink *traceSink
+}
+
+func (s *limitedSource) Next() (emu.Trace, bool, error) {
+	if s.n <= 0 || s.e.Halted {
+		return emu.Trace{}, false, nil
+	}
+	tr, err := s.e.Step()
+	if err != nil {
+		return emu.Trace{}, false, err
+	}
+	s.n--
+	s.sink.traces = append(s.sink.traces, tr)
+	return tr, true, nil
+}
+
+// printTrace simulates the first n instructions on the configured
+// machine, printing each issue with its observability annotations.
+func printTrace(p *prog.Program, cfg pipeline.Config, n int) error {
+	sink := &traceSink{}
+	src := &limitedSource{e: emu.New(p), n: n, sink: sink}
+	_, err := pipeline.RunObserved(cfg, src, sink)
+	return err
 }
 
 func buildInput(bench string, args []string, falign bool) (*prog.Program, error) {

@@ -5,7 +5,11 @@
 // port scheduling (two reads or one store per cycle) is the pipeline's job.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Config describes one cache.
 type Config struct {
@@ -38,6 +42,10 @@ type Stats struct {
 	DelayedHits uint64 // hits on a block still being filled
 	Evictions   uint64
 	Writebacks  uint64
+	// MSHROcc samples the number of outstanding misses at each miss
+	// (after allocation), i.e. the occupancy the new miss observes.
+	// Only populated when the cache bounds outstanding misses.
+	MSHROcc obs.Hist
 }
 
 // MissRatio returns misses/accesses.
@@ -66,6 +74,8 @@ type Cache struct {
 	stats     Stats
 
 	outstanding []uint64 // ready cycles of in-flight misses (MSHR tracking)
+
+	sink obs.Sink // nil = no event stream (the common, free case)
 }
 
 // New builds a cache; it panics on invalid geometry (configuration is a
@@ -98,6 +108,10 @@ func (c *Cache) Config() Config { return c.cfg }
 
 // Stats returns the accumulated statistics.
 func (c *Cache) Stats() Stats { return c.stats }
+
+// SetSink attaches an event sink (nil detaches). Every Access emits one
+// KindCacheAccess event; emission is free when no sink is attached.
+func (c *Cache) SetSink(s obs.Sink) { c.sink = s }
 
 // Result describes the outcome of one access.
 type Result struct {
@@ -142,7 +156,13 @@ func (c *Cache) Access(addr uint32, write bool, now uint64) Result {
 			}
 			if l.ready > now {
 				c.stats.DelayedHits++
+				if c.sink != nil {
+					c.emit(addr, write, now, l.ready, obs.FlagDelayedHit)
+				}
 				return Result{Ready: l.ready, DelayedHit: true}
+			}
+			if c.sink != nil {
+				c.emit(addr, write, now, now, obs.FlagHit)
 			}
 			return Result{Ready: now, Hit: true}
 		}
@@ -159,6 +179,9 @@ func (c *Cache) Access(addr uint32, write bool, now uint64) Result {
 				}
 			}
 			c.stats.Accesses-- // the access did not happen; it must retry
+			if c.sink != nil {
+				c.emit(addr, write, now, earliest, obs.FlagMSHRFull)
+			}
 			return Result{Ready: earliest, MSHRFull: true}
 		}
 	}
@@ -186,8 +209,21 @@ func (c *Cache) Access(addr uint32, write bool, now uint64) Result {
 	*v = line{valid: true, dirty: write, tag: tag, ready: ready, lru: now}
 	if c.cfg.MSHRs > 0 {
 		c.outstanding = append(c.outstanding, ready)
+		c.stats.MSHROcc.Add(uint64(len(c.outstanding)))
+	}
+	if c.sink != nil {
+		c.emit(addr, write, now, ready, 0)
 	}
 	return Result{Ready: ready}
+}
+
+// emit sends one cache-access event; callers guard on c.sink != nil so
+// the event value never materializes on the disabled path.
+func (c *Cache) emit(addr uint32, write bool, now, ready uint64, flags obs.Flags) {
+	if write {
+		flags |= obs.FlagStore
+	}
+	c.sink.Event(obs.Event{Kind: obs.KindCacheAccess, Flags: flags, Cycle: now, Addr: addr, Val: ready})
 }
 
 // Probe reports whether addr currently hits (resident and filled) without

@@ -2,6 +2,8 @@ package cache
 
 import (
 	"math/rand"
+
+	"repro/internal/obs"
 	"testing"
 )
 
@@ -166,5 +168,77 @@ func TestTemporalLocalityProperty(t *testing.T) {
 		if res.Ready < now {
 			t.Fatal("ready before access cycle")
 		}
+	}
+}
+
+// eventLog records every cache event for flag inspection.
+type eventLog struct{ events []obs.Event }
+
+func (l *eventLog) Event(e obs.Event) { l.events = append(l.events, e) }
+
+func TestEventEmission(t *testing.T) {
+	c := New(Config{Size: 16 << 10, BlockSize: 32, Assoc: 1, MissLatency: 16, MSHRs: 1})
+	log := &eventLog{}
+	c.SetSink(log)
+
+	c.Access(0x1000, false, 0)  // miss
+	c.Access(0x101C, false, 1)  // delayed hit on the in-flight fill
+	c.Access(0x2000, true, 2)   // second miss bounces: MSHR full
+	c.Access(0x1000, false, 20) // plain hit after the fill
+	c.Access(0x2000, true, 21)  // store miss
+
+	want := []struct {
+		flags obs.Flags
+		ready uint64
+	}{
+		{0, 16},
+		{obs.FlagDelayedHit, 16},
+		{obs.FlagMSHRFull | obs.FlagStore, 16},
+		{obs.FlagHit, 20},
+		{obs.FlagStore, 37},
+	}
+	if len(log.events) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(log.events), len(want), log.events)
+	}
+	for i, w := range want {
+		e := log.events[i]
+		if e.Kind != obs.KindCacheAccess || e.Flags != w.flags || e.Val != w.ready {
+			t.Errorf("event %d = %+v, want flags=%v ready=%d", i, e, w.flags, w.ready)
+		}
+	}
+	// The stats and event stream agree: one event per accounted access
+	// plus one per MSHR bounce.
+	s := c.Stats()
+	if got := s.Accesses + 1; got != uint64(len(log.events)) {
+		t.Errorf("accesses+bounces %d != events %d", got, len(log.events))
+	}
+
+	// Detaching the sink stops emission without touching stats.
+	c.SetSink(nil)
+	c.Access(0x1000, false, 40)
+	if len(log.events) != len(want) {
+		t.Error("event emitted after SetSink(nil)")
+	}
+}
+
+func TestMSHROccupancyHistogram(t *testing.T) {
+	c := New(Config{Size: 16 << 10, BlockSize: 32, Assoc: 4, MissLatency: 100, MSHRs: 4})
+	// Three concurrent misses to distinct blocks: occupancy samples 1, 2, 3.
+	c.Access(0x1000, false, 0)
+	c.Access(0x2000, false, 1)
+	c.Access(0x3000, false, 2)
+	h := c.Stats().MSHROcc
+	if h.Count != 3 || h.Max != 3 {
+		t.Fatalf("occupancy hist count=%d max=%d, want 3/3", h.Count, h.Max)
+	}
+	if h.Buckets[1] != 1 || h.Buckets[2] != 1 || h.Buckets[3] != 1 {
+		t.Fatalf("occupancy buckets %v", h.Buckets)
+	}
+
+	// An unbounded cache never samples occupancy.
+	u := dm16k(16, 0)
+	u.Access(0x1000, false, 0)
+	if u.Stats().MSHROcc.Count != 0 {
+		t.Error("unbounded cache sampled MSHR occupancy")
 	}
 }

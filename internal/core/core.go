@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/emu"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/prog"
 )
@@ -55,9 +56,16 @@ func (t *traceSource) Next() (emu.Trace, bool, error) {
 // Run executes the program on the timing simulator. maxInsts bounds the
 // dynamic instruction count (0 = unlimited).
 func Run(p *prog.Program, machine pipeline.Config, maxInsts uint64) (Result, error) {
+	return RunWithSink(p, machine, maxInsts, nil)
+}
+
+// RunWithSink executes the program on the timing simulator with an
+// observability sink attached (nil disables the event stream; see
+// internal/obs). cmd/facprof and cmd/facsim -trace are built on this.
+func RunWithSink(p *prog.Program, machine pipeline.Config, maxInsts uint64, sink obs.Sink) (Result, error) {
 	e := emu.New(p)
 	e.MaxInsts = maxInsts
-	stats, err := pipeline.Run(machine, &traceSource{e})
+	stats, err := pipeline.RunObserved(machine, &traceSource{e}, sink)
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// reportFor runs the given (workload, toolchain, machine) triples on a
+// fresh Suite — in parallel through the same worker pool the experiment
+// driver uses — and returns the encoded report.
+func reportFor(t *testing.T, names []string, pairs [][2]string) []byte {
+	t.Helper()
+	s := NewSuite()
+	var jobs []job
+	for _, name := range names {
+		w := testWorkload(t, name)
+		for _, pr := range pairs {
+			w, tc, m := w, pr[0], Machine(pr[1])
+			jobs = append(jobs, func() error {
+				_, err := s.Timing(w, tc, m)
+				return err
+			})
+		}
+	}
+	if err := runParallel(jobs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := s.Report("test").Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestReportDeterminism: the exported RunRecord report is byte-identical
+// across repeated runs and across different worker-pool widths — record
+// order, histogram encoding, and every statistic must be reproducible.
+func TestReportDeterminism(t *testing.T) {
+	names := []string{"queens", "match"}
+	pairs := [][2]string{{"base", string(MBase32)}, {"fac", string(MFAC32RR)}}
+
+	first := reportFor(t, names, pairs)
+	if !bytes.Contains(first, []byte(`"schema": "fac/run-record/v1"`)) {
+		t.Fatalf("report missing record schema:\n%s", first)
+	}
+
+	again := reportFor(t, names, pairs)
+	if !bytes.Equal(first, again) {
+		t.Fatalf("repeated run differs:\n%s\nvs\n%s", first, again)
+	}
+
+	// Vary the worker count: runParallel sizes its pool from GOMAXPROCS,
+	// so pin it to 1 and to 4 and require identical bytes.
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		got := reportFor(t, names, pairs)
+		runtime.GOMAXPROCS(old)
+		if !bytes.Equal(first, got) {
+			t.Fatalf("GOMAXPROCS=%d run differs from baseline", procs)
+		}
+	}
+}
+
+// TestReportCoversTimingRuns: every memoized timing run appears in the
+// report exactly once, keyed benchmark|toolchain|machine.
+func TestReportCoversTimingRuns(t *testing.T) {
+	s := NewSuite()
+	w := testWorkload(t, "queens")
+	if _, err := s.Timing(w, "base", MBase32); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Timing(w, "base", MBase32); err != nil { // memoized: no duplicate
+		t.Fatal(err)
+	}
+	if _, err := s.Timing(w, "fac", MFAC32); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report("test")
+	if len(rep.Records) != 2 {
+		t.Fatalf("got %d records, want 2", len(rep.Records))
+	}
+	if rep.Records[0].Key() != "queens|base|"+string(MBase32) {
+		t.Fatalf("unexpected first record key %q", rep.Records[0].Key())
+	}
+	for _, r := range rep.Records {
+		if r.Cycles == 0 || r.IPC == 0 {
+			t.Fatalf("degenerate record %+v", r)
+		}
+		if r.StallCyclesTotal != r.Stalls.Total() {
+			t.Fatalf("stall breakdown does not sum: %+v", r)
+		}
+	}
+}

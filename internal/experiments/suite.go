@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fac"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/profile"
 	"repro/internal/prog"
@@ -103,7 +104,9 @@ type FuncResult struct {
 }
 
 // Suite memoizes program builds, functional profiles, and timing runs
-// across experiments.
+// across experiments. Every timing run also yields a canonical
+// obs.RunRecord, so any sequence of experiments can be exported as one
+// machine-readable report (cmd/experiments -json).
 type Suite struct {
 	MaxInsts uint64
 
@@ -111,6 +114,7 @@ type Suite struct {
 	programs map[string]*prog.Program
 	funcs    map[string]*FuncResult
 	timings  map[string]pipeline.Stats
+	records  map[string]obs.RunRecord
 }
 
 // NewSuite creates an experiment suite.
@@ -120,6 +124,7 @@ func NewSuite() *Suite {
 		programs: make(map[string]*prog.Program),
 		funcs:    make(map[string]*FuncResult),
 		timings:  make(map[string]pipeline.Stats),
+		records:  make(map[string]obs.RunRecord),
 	}
 }
 
@@ -203,8 +208,24 @@ func (s *Suite) Timing(w workload.Workload, tc string, m Machine) (pipeline.Stat
 	}
 	s.mu.Lock()
 	s.timings[key] = res.Stats
+	s.records[key] = res.Stats.Record(w.Name, w.Class.String(), tc, string(m))
 	s.mu.Unlock()
 	return res.Stats, nil
+}
+
+// Report collects every timing run performed so far into a sorted,
+// deterministically encodable report. Identical experiment sequences
+// produce byte-identical Report.Encode output regardless of worker
+// count or execution order.
+func (s *Suite) Report(tool string) *obs.Report {
+	rep := obs.NewReport(tool, runtime.Version())
+	s.mu.Lock()
+	for _, r := range s.records {
+		rep.Add(r)
+	}
+	s.mu.Unlock()
+	rep.Sort()
+	return rep
 }
 
 // job is one unit of parallel work.

@@ -35,28 +35,44 @@ const (
 	FailNegIndexReg
 )
 
+// NumFailureSignals is the number of distinct verification failure
+// signals; a Failure mask may raise several at once.
+const NumFailureSignals = 4
+
+// FailureSignals lists the individual signals in counter-index order
+// (the order FailureSignalNames and CountInto use).
+var FailureSignals = [NumFailureSignals]Failure{
+	FailOverflow, FailGenCarry, FailLargeNegConst, FailNegIndexReg,
+}
+
+// FailureSignalNames names each signal, indexed as FailureSignals.
+var FailureSignalNames = [NumFailureSignals]string{
+	"overflow", "gencarry", "largenegconst", "negindexreg",
+}
+
+// CountInto increments one counter per raised signal in f; counts is
+// indexed as FailureSignals. It is the aggregation primitive behind the
+// per-kind failure breakdown in run statistics.
+func (f Failure) CountInto(counts *[NumFailureSignals]uint64) {
+	for i, sig := range FailureSignals {
+		if f&sig != 0 {
+			counts[i]++
+		}
+	}
+}
+
 func (f Failure) String() string {
 	if f == 0 {
 		return "ok"
 	}
 	s := ""
-	add := func(name string) {
-		if s != "" {
-			s += "|"
+	for i, sig := range FailureSignals {
+		if f&sig != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += FailureSignalNames[i]
 		}
-		s += name
-	}
-	if f&FailOverflow != 0 {
-		add("overflow")
-	}
-	if f&FailGenCarry != 0 {
-		add("gencarry")
-	}
-	if f&FailLargeNegConst != 0 {
-		add("largenegconst")
-	}
-	if f&FailNegIndexReg != 0 {
-		add("negindexreg")
 	}
 	return s
 }

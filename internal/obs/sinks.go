@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/fac"
+)
+
+// SiteStats accumulates fast-address-calculation outcomes for one static
+// instruction site (PC).
+type SiteStats struct {
+	PC         uint32
+	Speculated uint64      // speculative cache accesses issued from this site
+	Fails      uint64      // of which mispredicted
+	FailMask   fac.Failure // union of failure signals seen
+	Store      bool        // site is a store
+}
+
+// FailRate returns the fraction of speculated accesses that mispredicted.
+func (s SiteStats) FailRate() float64 {
+	if s.Speculated == 0 {
+		return 0
+	}
+	return float64(s.Fails) / float64(s.Speculated)
+}
+
+// SiteCollector aggregates KindFACPredict events per instruction site —
+// the paper's Section 5.4 misprediction-attribution analysis. Attach it
+// to a timing run with FAC enabled; cmd/facprof is built on it.
+type SiteCollector struct {
+	Sites map[uint32]*SiteStats
+}
+
+// NewSiteCollector creates an empty collector.
+func NewSiteCollector() *SiteCollector {
+	return &SiteCollector{Sites: make(map[uint32]*SiteStats)}
+}
+
+// Event implements Sink.
+func (c *SiteCollector) Event(e Event) {
+	if e.Kind != KindFACPredict {
+		return
+	}
+	s := c.Sites[e.PC]
+	if s == nil {
+		s = &SiteStats{PC: e.PC, Store: e.Flags&FlagStore != 0}
+		c.Sites[e.PC] = s
+	}
+	s.Speculated++
+	if e.Fail != 0 {
+		s.Fails++
+		s.FailMask |= e.Fail
+	}
+}
+
+// TopFailing returns up to n sites with at least one misprediction,
+// ordered by failure count descending with PC as the deterministic
+// tiebreak.
+func (c *SiteCollector) TopFailing(n int) []*SiteStats {
+	var list []*SiteStats
+	for _, s := range c.Sites {
+		if s.Fails > 0 {
+			list = append(list, s)
+		}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].Fails != list[j].Fails {
+			return list[i].Fails > list[j].Fails
+		}
+		return list[i].PC < list[j].PC
+	})
+	if len(list) > n {
+		list = list[:n]
+	}
+	return list
+}
+
+// Counter is a trivial sink counting events by kind; used by tests and
+// quick sanity checks.
+type Counter struct {
+	ByKind [NumKinds]uint64
+}
+
+// Event implements Sink.
+func (c *Counter) Event(e Event) { c.ByKind[e.Kind]++ }
+
+// Total returns the total event count.
+func (c *Counter) Total() uint64 {
+	var t uint64
+	for _, n := range c.ByKind {
+		t += n
+	}
+	return t
+}
+
+// Tee fans one event stream out to several sinks.
+type Tee []Sink
+
+// Event implements Sink.
+func (t Tee) Event(e Event) {
+	for _, s := range t {
+		s.Event(e)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/fac"
+	"repro/internal/obs"
 )
 
 // Latency describes one operation class: Result is the number of cycles
@@ -185,8 +186,92 @@ type Stats struct {
 
 	StoreBufferFullStalls uint64
 
+	// Stall accounting: StallCycles[c] counts simulated cycles in which
+	// no instruction issued, attributed to the cause blocking the head of
+	// the issue queue; IssueActiveCycles counts cycles with at least one
+	// issue. Together they partition every cycle of the issue loop.
+	StallCycles       [obs.NumStallCauses]uint64
+	IssueActiveCycles uint64
+
+	// LoadLatency is the issue-to-use latency distribution of every load.
+	LoadLatency obs.Hist
+
+	// Per-signal misprediction breakdown (indexed as fac.FailureSignals);
+	// one misprediction may raise several signals.
+	LoadFailKinds  [fac.NumFailureSignals]uint64
+	StoreFailKinds [fac.NumFailureSignals]uint64
+
+	// FACEnabled records whether the run speculated (machine had FAC on).
+	FACEnabled bool
+
 	ICache cache.Stats
 	DCache cache.Stats
+}
+
+// StallTotal returns the total number of no-issue cycles; by
+// construction it equals the sum of the per-cause counters.
+func (s Stats) StallTotal() uint64 {
+	var t uint64
+	for _, n := range s.StallCycles {
+		t += n
+	}
+	return t
+}
+
+// Record converts the statistics of one run into the canonical
+// machine-readable RunRecord (see docs/OBSERVABILITY.md for the schema).
+func (s Stats) Record(benchmark, class, toolchain, machine string) obs.RunRecord {
+	r := obs.RunRecord{
+		Schema:    obs.RunRecordSchema,
+		Benchmark: benchmark,
+		Class:     class,
+		Toolchain: toolchain,
+		Machine:   machine,
+
+		Cycles: s.Cycles,
+		Insts:  s.Insts,
+		IPC:    s.IPC(),
+		Loads:  s.Loads,
+		Stores: s.Stores,
+
+		IssueActiveCycles: s.IssueActiveCycles,
+		StallCyclesTotal:  s.StallTotal(),
+
+		BranchLookups:     s.BranchLookups,
+		BranchMispredicts: s.BranchMispredicts,
+		StoreBufFull:      s.StoreBufferFullStalls,
+
+		LoadLatency: s.LoadLatency,
+	}
+	r.Stalls.FromCounts(s.StallCycles)
+	if s.FACEnabled {
+		f := &obs.FACRecord{
+			LoadsSpeculated:  s.LoadsSpeculated,
+			LoadFails:        s.LoadSpecFailed,
+			StoresSpeculated: s.StoresSpeculated,
+			StoreFails:       s.StoreSpecFailed,
+			ExtraAccesses:    s.ExtraAccesses,
+		}
+		f.LoadFailKinds.FromCounts(s.LoadFailKinds)
+		f.StoreFailKinds.FromCounts(s.StoreFailKinds)
+		r.FAC = f
+	}
+	cacheRec := func(cs cache.Stats) *obs.CacheRecord {
+		if cs.Accesses == 0 {
+			return nil // perfect (modelled-absent) cache
+		}
+		return &obs.CacheRecord{
+			Accesses:    cs.Accesses,
+			Misses:      cs.Misses,
+			DelayedHits: cs.DelayedHits,
+			Evictions:   cs.Evictions,
+			Writebacks:  cs.Writebacks,
+			MSHROcc:     cs.MSHROcc,
+		}
+	}
+	r.ICache = cacheRec(s.ICache)
+	r.DCache = cacheRec(s.DCache)
+	return r
 }
 
 // IPC returns instructions per cycle.

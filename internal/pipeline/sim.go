@@ -8,6 +8,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/fac"
 	"repro/internal/isa"
+	"repro/internal/obs"
 )
 
 // Source supplies the dynamic instruction stream in program order. Next
@@ -30,6 +31,7 @@ type sim struct {
 	btb    *bpred.BTB
 
 	stats Stats
+	sink  obs.Sink // nil = observability disabled (no event allocations)
 
 	// Fetch.
 	nextFetchCycle uint64
@@ -75,18 +77,28 @@ type storeEnt struct {
 
 // Run simulates the instruction stream and returns timing statistics.
 func Run(cfg Config, src Source) (Stats, error) {
+	return RunObserved(cfg, src, nil)
+}
+
+// RunObserved simulates the instruction stream with an event sink
+// attached (nil disables the stream at zero cost). The sink receives
+// every pipeline and cache event in simulation order.
+func RunObserved(cfg Config, src Source, sink obs.Sink) (Stats, error) {
 	if err := cfg.Validate(); err != nil {
 		return Stats{}, err
 	}
-	s := &sim{cfg: cfg, src: src, btb: bpred.New(cfg.BTBEntries)}
+	s := &sim{cfg: cfg, src: src, btb: bpred.New(cfg.BTBEntries), sink: sink}
+	s.stats.FACEnabled = cfg.FAC
 	if cfg.FAC {
 		s.geom = cfg.facGeometry()
 	}
 	if !cfg.PerfectICache {
 		s.icache = cache.New(cfg.ICache)
+		s.icache.SetSink(sink)
 	}
 	if !cfg.PerfectDCache {
 		s.dcache = cache.New(cfg.DCache)
+		s.dcache.SetSink(sink)
 	}
 	if err := s.run(); err != nil {
 		return Stats{}, err
@@ -116,8 +128,17 @@ func (s *sim) run() error {
 		if err := s.fetch(now); err != nil {
 			return err
 		}
-		if err := s.issue(now); err != nil {
+		issued, cause, err := s.issue(now)
+		if err != nil {
 			return err
+		}
+		if issued > 0 {
+			s.stats.IssueActiveCycles++
+		} else {
+			s.stats.StallCycles[cause]++
+			if s.sink != nil {
+				s.sink.Event(obs.Event{Kind: obs.KindStall, Cause: cause, Cycle: now})
+			}
 		}
 		s.retireStores(now)
 
@@ -244,6 +265,9 @@ func (s *sim) fetch(now uint64) error {
 	if !redirected {
 		s.nextFetchCycle = groupReady + 1
 	}
+	if s.sink != nil && fetched > 0 {
+		s.sink.Event(obs.Event{Kind: obs.KindFetch, Cycle: now, PC: first.PC, Val: uint64(fetched)})
+	}
 	return nil
 }
 
@@ -282,17 +306,23 @@ func (s *sim) dcacheAccess(addr uint32, write bool, c uint64) uint64 {
 
 // issue models the in-order issue stage: up to IssueWidth operations leave
 // the queue per cycle, blocking on operand readiness, functional units, and
-// memory structural hazards.
-func (s *sim) issue(now uint64) error {
+// memory structural hazards. It returns the number of instructions issued
+// and, for zero-issue cycles, the stall cause blocking the queue head.
+func (s *sim) issue(now uint64) (int, obs.StallCause, error) {
 	issued := 0
 	memIssued := 0
 	aluUsed := 0
 	fpAddUsed := 0
+	cause := obs.StallFrontend
 	var usesBuf [4]uint8
 
+	if len(s.pending) == 0 && s.srcDone && !s.haveLookahead {
+		cause = obs.StallDrain // program done; store buffer still draining
+	}
 	for issued < s.cfg.IssueWidth && len(s.pending) > 0 {
 		q := &s.pending[0]
 		if q.earliest > now {
+			cause = obs.StallFrontend // head not yet through IF/ID
 			break
 		}
 		op := q.tr.Inst.Op
@@ -320,6 +350,7 @@ func (s *sim) issue(now uint64) error {
 			}
 		}
 		if !ready {
+			cause = obs.StallOperand
 			break
 		}
 
@@ -327,56 +358,72 @@ func (s *sim) issue(now uint64) error {
 		switch op.Class() {
 		case isa.ClassIntALU, isa.ClassBranch, isa.ClassJump, isa.ClassSyscall:
 			if aluUsed >= s.cfg.IntALUs {
+				cause = obs.StallUnit
 				goto stall
 			}
 			aluUsed++
 			resultReady = now + uint64(s.cfg.IntALULat.Result) + aluShift
 		case isa.ClassIntMul:
 			if s.intMDFree > now {
+				cause = obs.StallUnit
 				goto stall
 			}
 			s.intMDFree = now + uint64(s.cfg.IntMulLat.Interval)
 			resultReady = now + uint64(s.cfg.IntMulLat.Result)
 		case isa.ClassIntDiv:
 			if s.intMDFree > now {
+				cause = obs.StallUnit
 				goto stall
 			}
 			s.intMDFree = now + uint64(s.cfg.IntDivLat.Interval)
 			resultReady = now + uint64(s.cfg.IntDivLat.Result)
 		case isa.ClassFPAdd:
 			if fpAddUsed >= s.cfg.FPAdders {
+				cause = obs.StallUnit
 				goto stall
 			}
 			fpAddUsed++
 			resultReady = now + uint64(s.cfg.FPAddLat.Result)
 		case isa.ClassFPMul:
 			if s.fpMDFree > now {
+				cause = obs.StallUnit
 				goto stall
 			}
 			s.fpMDFree = now + uint64(s.cfg.FPMulLat.Interval)
 			resultReady = now + uint64(s.cfg.FPMulLat.Result)
 		case isa.ClassFPDiv:
 			if s.fpMDFree > now {
+				cause = obs.StallUnit
 				goto stall
 			}
 			s.fpMDFree = now + uint64(s.cfg.FPDivLat.Interval)
 			resultReady = now + uint64(s.cfg.FPDivLat.Result)
 		case isa.ClassLoad:
 			if memIssued >= s.cfg.LoadStore {
+				cause = obs.StallMemPort
 				goto stall
 			}
 			ok, rdy := s.scheduleLoad(q.tr, now)
 			if !ok {
+				cause = obs.StallMemPort
 				goto stall
 			}
 			memIssued++
 			resultReady = rdy
 			s.stats.Loads++
+			s.stats.LoadLatency.Add(rdy - now)
 		case isa.ClassStore:
 			if memIssued >= s.cfg.LoadStore {
+				cause = obs.StallMemPort
 				goto stall
 			}
 			if !s.scheduleStore(q.tr, now) {
+				// Distinguish a full store buffer from a busy cache port.
+				if len(s.storeBuf) >= s.cfg.StoreBufferEntries {
+					cause = obs.StallStoreBuffer
+				} else {
+					cause = obs.StallMemPort
+				}
 				goto stall
 			}
 			memIssued++
@@ -396,6 +443,13 @@ func (s *sim) issue(now uint64) error {
 		}
 		s.note(resultReady)
 		s.stats.Insts++
+		if s.sink != nil {
+			var addr uint32
+			if op.IsMem() {
+				addr = q.tr.EffAddr
+			}
+			s.sink.Event(obs.Event{Kind: obs.KindIssue, Cycle: now, PC: q.tr.PC, Addr: addr, Val: resultReady})
+		}
 		s.pending = s.pending[1:]
 		issued++
 		continue
@@ -403,7 +457,7 @@ func (s *sim) issue(now uint64) error {
 	stall:
 		break
 	}
-	return nil
+	return issued, cause, nil
 }
 
 // facEligible reports whether the access may speculate under fast address
@@ -445,6 +499,9 @@ func (s *sim) scheduleLoad(tr emu.Trace, now uint64) (bool, uint64) {
 		pred := s.geom.Predict(tr.Base, tr.Offset, tr.IsRegOffset)
 		s.stats.LoadsSpeculated++
 		s.useRead(now)
+		if s.sink != nil {
+			s.sink.Event(obs.Event{Kind: obs.KindFACPredict, Fail: pred.Failure, Cycle: now, PC: tr.PC, Addr: pred.Predicted})
+		}
 		if pred.OK {
 			ready := s.dcacheAccess(tr.EffAddr, false, now)
 			return true, maxU64(ready+1, now+1)
@@ -454,8 +511,12 @@ func (s *sim) scheduleLoad(tr emu.Trace, now uint64) (bool, uint64) {
 		// limit but are counted).
 		s.stats.LoadSpecFailed++
 		s.stats.ExtraAccesses++
+		pred.Failure.CountInto(&s.stats.LoadFailKinds)
 		s.noteMispredict(now, true)
 		s.useRead(now + 1)
+		if s.sink != nil {
+			s.sink.Event(obs.Event{Kind: obs.KindReplay, Cycle: now + 1, PC: tr.PC, Addr: tr.EffAddr})
+		}
 		ready := s.dcacheAccess(tr.EffAddr, false, now+1)
 		return true, maxU64(ready+1, now+2)
 	}
@@ -484,6 +545,9 @@ func (s *sim) scheduleStore(tr emu.Trace, now uint64) bool {
 		pred := s.geom.Predict(tr.Base, tr.Offset, tr.IsRegOffset)
 		s.stats.StoresSpeculated++
 		s.useStore(now)
+		if s.sink != nil {
+			s.sink.Event(obs.Event{Kind: obs.KindFACPredict, Flags: obs.FlagStore, Fail: pred.Failure, Cycle: now, PC: tr.PC, Addr: pred.Predicted})
+		}
 		if pred.OK {
 			s.storeBuf = append(s.storeBuf, storeEnt{addr: tr.EffAddr, entered: now})
 			return true
@@ -492,8 +556,12 @@ func (s *sim) scheduleStore(tr emu.Trace, now uint64) bool {
 		// address and fix up the buffered entry.
 		s.stats.StoreSpecFailed++
 		s.stats.ExtraAccesses++
+		pred.Failure.CountInto(&s.stats.StoreFailKinds)
 		s.noteMispredict(now, false)
 		s.useStore(now + 1)
+		if s.sink != nil {
+			s.sink.Event(obs.Event{Kind: obs.KindReplay, Flags: obs.FlagStore, Cycle: now + 1, PC: tr.PC, Addr: tr.EffAddr})
+		}
 		s.storeBuf = append(s.storeBuf, storeEnt{addr: tr.EffAddr, entered: now + 1})
 		return true
 	}
@@ -524,6 +592,9 @@ func (s *sim) retireStores(now uint64) {
 		return // entries need a cycle in the buffer before retiring
 	}
 	s.storeBuf = s.storeBuf[1:]
+	if s.sink != nil {
+		s.sink.Event(obs.Event{Kind: obs.KindStoreRetire, Flags: obs.FlagStore, Cycle: now, Addr: e.addr, Val: uint64(len(s.storeBuf))})
+	}
 	ready := s.dcacheAccess(e.addr, true, now)
 	s.note(ready)
 }

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Table is a simple fixed-width text table.
@@ -105,6 +107,30 @@ func WeightedMean(xs, ws []float64) float64 {
 		return 0
 	}
 	return num / den
+}
+
+// FormatHist renders an obs.Hist as an indented text histogram: one line
+// per non-empty bucket with its share of samples and a proportional bar.
+// Used by facsim's load-latency report.
+func FormatHist(h obs.Hist, unit string) string {
+	if h.Count == 0 {
+		return "  (no samples)\n"
+	}
+	var b strings.Builder
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		label := fmt.Sprintf("%d", i)
+		if i == len(h.Buckets)-1 && h.Max > uint64(i) {
+			label = fmt.Sprintf(">=%d", i)
+		}
+		frac := float64(n) / float64(h.Count)
+		bar := strings.Repeat("#", int(frac*40+0.5))
+		fmt.Fprintf(&b, "  %6s %-6s %12d  %5.1f%%  %s\n", label, unit, n, 100*frac, bar)
+	}
+	fmt.Fprintf(&b, "  mean %.2f %s, max %d\n", h.Mean(), unit, h.Max)
+	return b.String()
 }
 
 // GeoMean returns the geometric mean (used by ablation summaries).

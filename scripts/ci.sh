@@ -1,0 +1,24 @@
+#!/bin/sh
+# ci.sh — the repo's tier-1 verification gate (see ROADMAP.md).
+# Run from anywhere; exits non-zero on the first failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "CI OK"
