@@ -363,3 +363,39 @@ func TestCommentsAndFormatting(t *testing.T) {
 		t.Error("stacked labels wrong")
 	}
 }
+
+// TestHugeDirectivesRejected pins the resource-exhaustion fix found by
+// FuzzAsmRoundtrip: size and alignment operands are attacker-controlled
+// 32-bit values, and the assembler used to materialize them byte by byte
+// (".space 4294967295" allocated 4GB; ".balign 2147483648" spent over a
+// minute padding). Oversized requests must be rejected during layout,
+// before any image bytes are built.
+func TestHugeDirectivesRejected(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"space-4g", ".data\n.space 4294967295\n"},
+		{"space-sum", ".data\n.space 200000000\n.space 200000000\n"},
+		{"balign-2g", ".data\nx: .word 1\n.balign 2147483648\ny: .word 2\n"},
+		{"balign-8k", ".data\n.balign 8192\n"},
+		{"comm-4g", ".comm big, 4294967295\n"},
+		{"comm-sum", ".comm a, 200000000\n.comm b, 200000000\n"},
+		{"comm-align-1m", ".comm big, 16, 1048576\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Assemble(tc.src); err == nil {
+				t.Fatalf("assembled oversized directive:\n%s", tc.src)
+			}
+		})
+	}
+
+	// Reasonable sizes still assemble, with the image fully materialized.
+	o := mustAssemble(t, ".data\nbuf: .space 4096\n.balign 4096\nx: .word 7\n")
+	if len(o.Data) != 4096+4 {
+		t.Fatalf("data image is %d bytes, want %d", len(o.Data), 4096+4)
+	}
+	if got := o.Symbols["x"].Off; got != 4096 {
+		t.Fatalf("x placed at %d, want 4096", got)
+	}
+}

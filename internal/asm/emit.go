@@ -205,10 +205,8 @@ func (a *assembler) emitDirective(s stmt, off *[prog.NumSections]uint32) error {
 	img := &a.images[s.sec]
 	if al > 1 {
 		target := alignUp(off[s.sec], al)
-		for off[s.sec] < target {
-			*img = append(*img, 0)
-			off[s.sec]++
-		}
+		*img = append(*img, make([]byte, target-off[s.sec])...)
+		off[s.sec] = target
 	}
 	start := off[s.sec]
 	switch s.name {
@@ -257,9 +255,7 @@ func (a *assembler) emitDirective(s stmt, off *[prog.NumSections]uint32) error {
 			*img = binary.LittleEndian.AppendUint64(*img, math.Float64bits(f))
 		}
 	case ".space":
-		for i := uint32(0); i < size; i++ {
-			*img = append(*img, 0)
-		}
+		*img = append(*img, make([]byte, size)...)
 	case ".ascii", ".asciiz":
 		str, err := decodeString(s.args[0], s.line)
 		if err != nil {

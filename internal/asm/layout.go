@@ -7,6 +7,16 @@ import (
 	"repro/internal/prog"
 )
 
+// maxSectionBytes bounds every section image (and the BSS reservation).
+// Directive sizes are attacker-controlled 32-bit values; without a cap a
+// single ".space 4294967295" materializes a 4GB image. 256MB is far above
+// any real program while keeping assembly time and memory bounded.
+const maxSectionBytes = 1 << 28
+
+// maxBalign bounds explicit alignment requests, mirroring .align's cap of
+// 2^12: larger alignments only ever manufacture padding gigabytes.
+const maxBalign = 1 << 12
+
 // layout computes section offsets for every label and the expanded size of
 // every instruction, so branch displacements can be resolved during emit.
 func (a *assembler) layout() error {
@@ -50,6 +60,9 @@ func (a *assembler) layout() error {
 			}
 			flushPending()
 			off[s.sec] += n
+			if off[s.sec] > maxSectionBytes {
+				return errLine(s.line, "section grows past %d bytes", maxSectionBytes)
+			}
 		case stInst:
 			flushPending() // labels in a data section before .text switch
 			n, err := a.instSize(s)
@@ -57,6 +70,9 @@ func (a *assembler) layout() error {
 				return err
 			}
 			textIdx += n
+			if textIdx > maxSectionBytes/4 {
+				return errLine(s.line, "text grows past %d instructions", maxSectionBytes/4)
+			}
 		}
 	}
 	flushPending()
@@ -81,6 +97,12 @@ func (a *assembler) allocComm(s stmt) error {
 		if al == 0 || al&(al-1) != 0 {
 			return errLine(s.line, ".comm alignment %d not a power of two", al)
 		}
+		if al > maxBalign {
+			return errLine(s.line, ".comm alignment %d too large", al)
+		}
+	}
+	if size > maxSectionBytes || a.bss > maxSectionBytes-size {
+		return errLine(s.line, ".comm grows bss past %d bytes", maxSectionBytes)
 	}
 	a.bss = alignUp(a.bss, al)
 	sym := a.syms[s.args[0]]
@@ -122,6 +144,9 @@ func (a *assembler) directiveSize(s stmt) (size, align uint32, err error) {
 		if n == 0 || n&(n-1) != 0 {
 			return 0, 0, errLine(s.line, ".balign %d not a power of two", n)
 		}
+		if n > maxBalign {
+			return 0, 0, errLine(s.line, ".balign %d too large", n)
+		}
 		return 0, n, nil
 	case ".word":
 		return uint32(4 * len(s.args)), 4, nil
@@ -135,6 +160,9 @@ func (a *assembler) directiveSize(s stmt) (size, align uint32, err error) {
 		n, err := parseUint(s.args, 0, s.line)
 		if err != nil {
 			return 0, 0, err
+		}
+		if n > maxSectionBytes {
+			return 0, 0, errLine(s.line, ".space %d too large", n)
 		}
 		return n, 1, nil
 	case ".ascii", ".asciiz":

@@ -1,0 +1,138 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/minic"
+	"repro/internal/prog"
+)
+
+// TestRandomTraceWellFormed pins the generator's contract: PC chaining
+// through redirects, EffAddr == Base+Offset under every mode, and actual
+// coverage of the speculative paths the old pipeline generator missed —
+// taken branches, post-increment, and reg+reg addressing.
+func TestRandomTraceWellFormed(t *testing.T) {
+	trs := RandomTrace(rand.New(rand.NewSource(7)), 20000)
+	if len(trs) != 20000 {
+		t.Fatalf("got %d traces, want 20000", len(trs))
+	}
+	var taken, post, regreg, negIdx uint64
+	for i, tr := range trs {
+		if i+1 < len(trs) && trs[i+1].PC != tr.NextPC {
+			t.Fatalf("trace %d: NextPC %#x but successor PC %#x", i, tr.NextPC, trs[i+1].PC)
+		}
+		if !tr.Inst.Op.IsControl() && tr.NextPC != tr.PC+isa.InstBytes {
+			t.Fatalf("trace %d: non-control %v redirects %#x -> %#x", i, tr.Inst, tr.PC, tr.NextPC)
+		}
+		if tr.Inst.Op.IsMem() {
+			want := tr.Base + tr.Offset
+			if tr.Inst.Op.Mode() == isa.AMPost {
+				want = tr.Base
+				if tr.Offset != 0 {
+					t.Fatalf("trace %d: post-increment with nonzero Offset %#x", i, tr.Offset)
+				}
+			}
+			if tr.EffAddr != want {
+				t.Fatalf("trace %d: %v EffAddr %#x != Base+Offset %#x", i, tr.Inst, tr.EffAddr, want)
+			}
+			if (tr.Inst.Op.Mode() == isa.AMReg) != tr.IsRegOffset {
+				t.Fatalf("trace %d: %v IsRegOffset=%v", i, tr.Inst, tr.IsRegOffset)
+			}
+			switch tr.Inst.Op.Mode() {
+			case isa.AMPost:
+				post++
+			case isa.AMReg:
+				regreg++
+				if tr.Offset&0x80000000 != 0 {
+					negIdx++
+				}
+			}
+		}
+		if tr.Inst.Op.IsBranch() && tr.Taken {
+			taken++
+		}
+	}
+	if taken == 0 || post == 0 || regreg == 0 || negIdx == 0 {
+		t.Fatalf("generator missed a speculative path: taken=%d post=%d regreg=%d negIdx=%d",
+			taken, post, regreg, negIdx)
+	}
+}
+
+// TestTraceOracle runs the full machine set over generated streams with
+// the event-stream checker attached; any invariant violation in the
+// timing model, the predictor, or the stall accounting fails here without
+// needing the fuzzing engine.
+func TestTraceOracle(t *testing.T) {
+	n := 20
+	if testing.Short() {
+		n = 5
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		trs := RandomTrace(rand.New(rand.NewSource(seed)), 3000)
+		if err := RunTrace(trs, Machines()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestEmptyTrace pins the degenerate case: a zero-length stream still
+// satisfies the partition invariants.
+func TestEmptyTrace(t *testing.T) {
+	if err := RunTrace(nil, Machines()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOracleDetectsCorruption proves the checker has teeth: divorcing
+// EffAddr from Base+Offset breaks the verified-prediction invariant, and
+// a FAC machine must report it.
+func TestOracleDetectsCorruption(t *testing.T) {
+	trs := RandomTrace(rand.New(rand.NewSource(3)), 3000)
+	corrupted := false
+	for i := range trs {
+		if trs[i].Inst.Op.IsLoad() && !trs[i].IsRegOffset && trs[i].Inst.Op.Mode() != isa.AMPost {
+			trs[i].EffAddr += 1 << 20 // leaves block offset intact, breaks the address
+			corrupted = true
+		}
+	}
+	if !corrupted {
+		t.Fatal("trace has no constant-offset loads to corrupt")
+	}
+	var facMachines []Machine
+	for _, m := range Machines() {
+		if m.Cfg.FAC {
+			facMachines = append(facMachines, m)
+		}
+	}
+	if err := RunTrace(trs, facMachines); err == nil {
+		t.Fatal("oracle accepted a corrupted trace")
+	}
+}
+
+// TestMachinesValid ensures every oracle machine is a valid pipeline
+// configuration.
+func TestMachinesValid(t *testing.T) {
+	for _, m := range Machines() {
+		if err := m.Cfg.Validate(); err != nil {
+			t.Errorf("machine %s: %v", m.Name, err)
+		}
+	}
+}
+
+// TestMiniCOracle runs a few whole-stack differential checks directly, so
+// the plain test suite exercises the program-level oracle.
+func TestMiniCOracle(t *testing.T) {
+	n := 4
+	if testing.Short() {
+		n = 1
+	}
+	for seed := int64(100); seed < int64(100+n); seed++ {
+		src := RandomMiniC(rand.New(rand.NewSource(seed)))
+		p := buildMiniC(t, src, minic.BaseOptions(), prog.DefaultConfig())
+		if err := Run(p, 2_000_000); err != nil {
+			t.Fatalf("seed %d: %v\nsource:\n%s", seed, err, src)
+		}
+	}
+}

@@ -207,3 +207,116 @@ func TestSubWordMemorySemantics(t *testing.T) {
 		}
 	}
 }
+
+// TestImmediateWidthAudit pins the immediate-width contract between the
+// emulator and the binary encoding: the logical immediates (ANDI/ORI/XORI,
+// and LUI) consume the 16-bit field zero-extended, while ADDI/SLTI/SLTIU
+// sign-extend it, and SLTIU compares the sign-extended immediate as
+// unsigned (the MIPS convention). Each case round-trips through
+// isa.Encode/isa.Decode so the reference semantics are checked against the
+// architectural bit-level form, not just the in-memory Inst convention.
+func TestImmediateWidthAudit(t *testing.T) {
+	sext := func(u16 uint32) uint32 { return uint32(int32(int16(u16))) }
+	b := func(c bool) uint32 {
+		if c {
+			return 1
+		}
+		return 0
+	}
+	specs := []struct {
+		op       isa.Op
+		unsigned bool // encoding accepts [0, 0xFFFF]; others [-32768, 32767]
+		f        func(rs, u16 uint32) uint32
+	}{
+		{isa.ADDI, false, func(rs, u16 uint32) uint32 { return rs + sext(u16) }},
+		{isa.ANDI, true, func(rs, u16 uint32) uint32 { return rs & u16 }},
+		{isa.ORI, true, func(rs, u16 uint32) uint32 { return rs | u16 }},
+		{isa.XORI, true, func(rs, u16 uint32) uint32 { return rs ^ u16 }},
+		{isa.LUI, true, func(_, u16 uint32) uint32 { return u16 << 16 }},
+		{isa.SLTI, false, func(rs, u16 uint32) uint32 { return b(int32(rs) < int32(sext(u16))) }},
+		{isa.SLTIU, false, func(rs, u16 uint32) uint32 { return b(rs < sext(u16)) }},
+	}
+	imm16s := []uint32{0x0000, 0x0001, 0x7FFF, 0x8000, 0x8001, 0xFFFE, 0xFFFF}
+	rsVals := []uint32{0, 1, 0x7FFF, 0x8000, 0xFFFF, 0x10000, 0x7FFFFFFF, 0x80000000, 0xFFFF8000, 0xFFFFFFFF}
+	for _, sp := range specs {
+		for _, u16 := range imm16s {
+			// Reconstruct the canonical Imm value Decode would produce.
+			imm := int32(sext(u16))
+			if sp.unsigned {
+				imm = int32(u16)
+			}
+			in := isa.Inst{Op: sp.op, Rd: isa.T2, Rs: isa.T0, Imm: imm}
+			word, err := isa.Encode(in, 0x00400000)
+			if err != nil {
+				t.Fatalf("%v imm16=%#x: encode: %v", sp.op, u16, err)
+			}
+			if word&0xFFFF != u16 {
+				t.Fatalf("%v imm16=%#x: encoded field %#x", sp.op, u16, word&0xFFFF)
+			}
+			dec, err := isa.Decode(word, 0x00400000)
+			if err != nil {
+				t.Fatalf("%v imm16=%#x: decode: %v", sp.op, u16, err)
+			}
+			if dec != in {
+				t.Fatalf("%v imm16=%#x: decode %v != %v", sp.op, u16, dec, in)
+			}
+			for _, rs := range rsVals {
+				e := execOne(t, in, func(e *Emulator) { e.R[isa.T0] = rs })
+				if got, want := e.R[isa.T2], sp.f(rs, u16); got != want {
+					t.Errorf("%v rs=%#x imm16=%#x: got %#x, want %#x", sp.op, rs, u16, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestShiftAmountMasking pins the shift-amount rule: register shift
+// counts use only their low five bits, and immediate counts outside
+// [0, 31] are rejected by the encoder — the binary form cannot express
+// them, so the emulator's own &31 masking is purely defensive.
+func TestShiftAmountMasking(t *testing.T) {
+	type sh struct {
+		immOp, regOp isa.Op
+		f            func(v uint32, n uint) uint32
+	}
+	shifts := []sh{
+		{isa.SLL, isa.SLLV, func(v uint32, n uint) uint32 { return v << n }},
+		{isa.SRL, isa.SRLV, func(v uint32, n uint) uint32 { return v >> n }},
+		{isa.SRA, isa.SRAV, func(v uint32, n uint) uint32 { return uint32(int32(v) >> n) }},
+	}
+	vals := []uint32{0x80000001, 0xDEADBEEF, 1, 0xFFFFFFFF}
+	counts := []uint32{0, 1, 31, 32, 33, 63, 0xFFE1} // masked: 0,1,31,0,1,31,1
+	for _, s := range shifts {
+		for _, v := range vals {
+			for _, n := range counts {
+				want := s.f(v, uint(n&31))
+				in := isa.Inst{Op: s.immOp, Rd: isa.T2, Rs: isa.T0, Imm: int32(n)}
+				word, err := isa.Encode(in, 0x00400000)
+				if n > 31 {
+					// Oversized immediate counts must not be encodable.
+					if err == nil {
+						t.Errorf("%v n=%d: encoded as %#x, want rejection", s.immOp, n, word)
+					}
+				} else {
+					// In-range form survives an encode/decode round trip.
+					if err != nil {
+						t.Fatalf("%v n=%d: encode: %v", s.immOp, n, err)
+					}
+					if dec, err := isa.Decode(word, 0x00400000); err != nil || dec != in {
+						t.Fatalf("%v n=%d: decode %v, %v", s.immOp, n, dec, err)
+					}
+					e := execOne(t, in, func(e *Emulator) { e.R[isa.T0] = v })
+					if got := e.R[isa.T2]; got != want {
+						t.Errorf("%v v=%#x n=%d: got %#x, want %#x", s.immOp, v, n, got, want)
+					}
+				}
+				// Register form: count in a register, including bits above 5.
+				rin := isa.Inst{Op: s.regOp, Rd: isa.T2, Rs: isa.T0, Rt: isa.T1}
+				e := execOne(t, rin, func(e *Emulator) { e.R[isa.T0], e.R[isa.T1] = v, n })
+				if got := e.R[isa.T2]; got != want {
+					t.Errorf("%v v=%#x n=%d: got %#x, want %#x", s.regOp, v, n, got, want)
+				}
+			}
+		}
+	}
+}

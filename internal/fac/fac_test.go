@@ -285,3 +285,73 @@ func BenchmarkPredict(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestFailureMaskExhaustive enumerates all 16 possible signal masks and
+// checks String and CountInto against an independently computed model, so
+// multi-signal aggregation (several signals raised by one access) is
+// pinned, not just the single-signal cases.
+func TestFailureMaskExhaustive(t *testing.T) {
+	for mask := 0; mask < 1<<NumFailureSignals; mask++ {
+		var f Failure
+		wantStr := ""
+		var wantCounts [NumFailureSignals]uint64
+		for i, sig := range FailureSignals {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			f |= sig
+			if wantStr != "" {
+				wantStr += "|"
+			}
+			wantStr += FailureSignalNames[i]
+			wantCounts[i] = 3 // CountInto is applied three times below
+		}
+		if wantStr == "" {
+			wantStr = "ok"
+		}
+		if got := f.String(); got != wantStr {
+			t.Errorf("mask %#x: String() = %q, want %q", mask, got, wantStr)
+		}
+		var counts [NumFailureSignals]uint64
+		for i := 0; i < 3; i++ {
+			f.CountInto(&counts)
+		}
+		if counts != wantCounts {
+			t.Errorf("mask %#x: CountInto -> %v, want %v", mask, counts, wantCounts)
+		}
+	}
+}
+
+// TestValidateBoundaries walks both parameters across their exact limits:
+// BlockBits spans [2, 12] and SetBits must lie in (BlockBits, 28].
+func TestValidateBoundaries(t *testing.T) {
+	cases := []struct {
+		cfg Config
+		ok  bool
+	}{
+		{Config{BlockBits: 2, SetBits: 3}, true},    // both at lower bound
+		{Config{BlockBits: 2, SetBits: 2}, false},   // SetBits == BlockBits
+		{Config{BlockBits: 1, SetBits: 10}, false},  // BlockBits below range
+		{Config{BlockBits: 0, SetBits: 10}, false},  // zero value
+		{Config{BlockBits: 12, SetBits: 13}, true},  // BlockBits at upper bound
+		{Config{BlockBits: 13, SetBits: 14}, false}, // BlockBits above range
+		{Config{BlockBits: 5, SetBits: 28}, true},   // SetBits at upper bound
+		{Config{BlockBits: 5, SetBits: 29}, false},  // SetBits above range
+		{Config{BlockBits: 5, SetBits: 6}, true},    // SetBits == BlockBits+1
+		{Config{BlockBits: 5, SetBits: 5}, false},   // index field would be empty
+	}
+	for _, c := range cases {
+		// TagAdder never affects validity.
+		for _, tag := range []bool{false, true} {
+			cfg := c.cfg
+			cfg.TagAdder = tag
+			err := cfg.Validate()
+			if c.ok && err != nil {
+				t.Errorf("Validate(%+v) = %v, want ok", cfg, err)
+			}
+			if !c.ok && err == nil {
+				t.Errorf("Validate(%+v) passed, want error", cfg)
+			}
+		}
+	}
+}

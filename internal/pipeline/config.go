@@ -108,9 +108,12 @@ func DefaultConfig() Config {
 	}
 }
 
-// facGeometry derives the predictor geometry from the data cache when the
-// caller did not set one explicitly.
-func (c Config) facGeometry() fac.Config {
+// FACGeometry returns the predictor geometry the simulator will use:
+// FACGeom when set, otherwise the geometry derived from the data cache
+// (block-offset bits from the block size, set bits from the
+// direct-mapped span). Exported so differential checkers can re-run the
+// predictor the simulator ran.
+func (c Config) FACGeometry() fac.Config {
 	g := c.FACGeom
 	if g.BlockBits == 0 && g.SetBits == 0 {
 		g.BlockBits = log2(uint(c.DCache.BlockSize))
@@ -155,7 +158,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("pipeline: StoreBufferEntries must be positive")
 	}
 	if c.FAC {
-		if err := c.facGeometry().Validate(); err != nil {
+		if err := c.FACGeometry().Validate(); err != nil {
 			return err
 		}
 	}

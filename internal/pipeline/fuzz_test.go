@@ -1,53 +1,31 @@
-package pipeline
+package pipeline_test
+
+// The random-trace generator that used to live here produced streams the
+// speculative paths never saw: branches were always not-taken, and no
+// post-increment or register+register accesses were ever emitted, so the
+// reg+reg speculation path and the base-update timing went untested. The
+// generator now lives in internal/difftest (RandomTrace), which covers
+// taken branches, post-increment, reg+reg (including negative index
+// registers), and FP memory traffic, and is shared with the differential
+// fuzzing harness.
 
 import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/difftest"
 	"repro/internal/emu"
-	"repro/internal/isa"
+	"repro/internal/pipeline"
 )
 
-// randTraceProgram builds a random but well-formed straight-line dynamic
-// trace (contiguous PCs; occasional taken branches redirecting to the next
-// trace element's PC).
-func randTraceProgram(r *rand.Rand, n int) []emu.Trace {
-	trs := make([]emu.Trace, 0, n)
-	pc := uint32(0x400000)
-	reg := func() isa.Reg { return isa.Reg(8 + r.Intn(8)) } // t0..t7
-	for len(trs) < n {
-		var in isa.Inst
-		tr := emu.Trace{PC: pc}
-		switch r.Intn(10) {
-		case 0, 1, 2, 3:
-			in = isa.Inst{Op: isa.ADD, Rd: reg(), Rs: reg(), Rt: reg()}
-		case 4:
-			in = isa.Inst{Op: isa.MUL, Rd: reg(), Rs: reg(), Rt: reg()}
-		case 5:
-			in = isa.Inst{Op: isa.FADD, Rd: isa.Reg(r.Intn(32)), Rs: isa.Reg(r.Intn(32)), Rt: isa.Reg(r.Intn(32))}
-		case 6, 7:
-			in = isa.Inst{Op: isa.LW, Rd: reg(), Rs: reg(), Imm: int32(r.Intn(256) * 4)}
-			base := r.Uint32() &^ 3
-			tr.Base, tr.Offset = base, uint32(in.Imm)
-			tr.EffAddr = base + uint32(in.Imm)
-		case 8:
-			in = isa.Inst{Op: isa.SW, Rt: reg(), Rs: reg(), Imm: int32(r.Intn(64) * 4)}
-			base := r.Uint32() &^ 3
-			tr.Base, tr.Offset = base, uint32(in.Imm)
-			tr.EffAddr = base + uint32(in.Imm)
-		case 9:
-			// A branch; taken half the time (target = next PC anyway, so
-			// the stream stays consistent by branching to pc+4... use a
-			// short forward hop of 0 to keep contiguity: not-taken).
-			in = isa.Inst{Op: isa.BNE, Rs: reg(), Rt: reg(), Imm: 8}
-			tr.Taken = false
-		}
-		tr.Inst = in
-		tr.NextPC = pc + 4
-		trs = append(trs, tr)
-		pc += 4
-	}
-	return trs
+// fastConfig is a machine with perfect caches and perfect fetch, isolating
+// the issue timing under test (external-test mirror of sim_test.go's
+// fastCfg).
+func fastConfig() pipeline.Config {
+	cfg := pipeline.DefaultConfig()
+	cfg.PerfectICache = true
+	cfg.PerfectDCache = true
+	return cfg
 }
 
 // TestRandomTraceInvariants drives many random instruction streams through
@@ -55,21 +33,21 @@ func randTraceProgram(r *rand.Rand, n int) []emu.Trace {
 // timing model.
 func TestRandomTraceInvariants(t *testing.T) {
 	r := rand.New(rand.NewSource(12))
-	configs := []func() Config{
-		fastCfg,
-		func() Config { c := fastCfg(); c.FAC = true; return c },
-		func() Config { c := fastCfg(); c.FAC = true; c.SpeculateRegReg = true; return c },
-		func() Config { c := DefaultConfig(); return c },
-		func() Config { c := DefaultConfig(); c.FAC = true; return c },
-		func() Config { c := fastCfg(); c.AGI = true; return c },
-		func() Config { c := fastCfg(); c.LoadLatency = 1; return c },
+	configs := []func() pipeline.Config{
+		fastConfig,
+		func() pipeline.Config { c := fastConfig(); c.FAC = true; return c },
+		func() pipeline.Config { c := fastConfig(); c.FAC = true; c.SpeculateRegReg = true; return c },
+		pipeline.DefaultConfig,
+		func() pipeline.Config { c := pipeline.DefaultConfig(); c.FAC = true; return c },
+		func() pipeline.Config { c := fastConfig(); c.AGI = true; return c },
+		func() pipeline.Config { c := fastConfig(); c.LoadLatency = 1; return c },
 	}
 	for trial := 0; trial < 40; trial++ {
 		n := 50 + r.Intn(500)
-		trs := randTraceProgram(r, n)
+		trs := difftest.RandomTrace(r, n)
 		for ci, mk := range configs {
 			cfg := mk()
-			st, err := Run(cfg, &sliceSource{trs: append([]emu.Trace(nil), trs...)})
+			st, err := pipeline.Run(cfg, difftest.NewSliceSource(trs))
 			if err != nil {
 				t.Fatalf("trial %d config %d: %v", trial, ci, err)
 			}
@@ -97,30 +75,46 @@ func TestRandomTraceInvariants(t *testing.T) {
 	}
 }
 
-// TestFACNeverCatastrophic: on adversarial random traces (~50% of
-// predictions fail and memory operations are dense), FAC costs at most a
-// bounded amount of extra bandwidth contention. The paper acknowledges
-// this failure mode ("the processor may end up stalling more often on the
+// TestRandomTraceOracle runs the shared generator's streams through the
+// full difftest event-stream checker from inside the pipeline package's
+// test suite, so a timing-model regression fails here even when the
+// difftest package itself is not under test.
+func TestRandomTraceOracle(t *testing.T) {
+	for seed := int64(40); seed < 44; seed++ {
+		trs := difftest.RandomTrace(rand.New(rand.NewSource(seed)), 2000)
+		if err := difftest.RunTrace(trs, difftest.Machines()); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestFACNeverCatastrophic: on adversarial random traces (predictions fail
+// often and memory operations are dense), FAC costs at most a bounded
+// amount of extra bandwidth contention. The paper acknowledges this
+// failure mode ("the processor may end up stalling more often on the
 // store buffer, possibly resulting in overall worse performance",
 // Section 3.1); on the real workload suite FAC never degrades more than
 // ~3% (see the experiments package tests).
 func TestFACNeverCatastrophic(t *testing.T) {
 	r := rand.New(rand.NewSource(13))
 	for trial := 0; trial < 30; trial++ {
-		trs := randTraceProgram(r, 400)
-		base, err := Run(fastCfg(), &sliceSource{trs: append([]emu.Trace(nil), trs...)})
-		if err != nil {
-			t.Fatal(err)
-		}
-		cfg := fastCfg()
+		trs := difftest.RandomTrace(r, 400)
+		base := mustRunExt(t, fastConfig(), trs)
+		cfg := fastConfig()
 		cfg.FAC = true
-		facStats, err := Run(cfg, &sliceSource{trs: append([]emu.Trace(nil), trs...)})
-		if err != nil {
-			t.Fatal(err)
-		}
+		facStats := mustRunExt(t, cfg, trs)
 		if float64(facStats.Cycles) > 1.20*float64(base.Cycles)+4 {
 			t.Fatalf("trial %d: FAC %d cycles vs baseline %d (degradation beyond bound)",
 				trial, facStats.Cycles, base.Cycles)
 		}
 	}
+}
+
+func mustRunExt(t *testing.T, cfg pipeline.Config, trs []emu.Trace) pipeline.Stats {
+	t.Helper()
+	st, err := pipeline.Run(cfg, difftest.NewSliceSource(trs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
 }

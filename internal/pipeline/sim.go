@@ -90,7 +90,7 @@ func RunObserved(cfg Config, src Source, sink obs.Sink) (Stats, error) {
 	s := &sim{cfg: cfg, src: src, btb: bpred.New(cfg.BTBEntries), sink: sink}
 	s.stats.FACEnabled = cfg.FAC
 	if cfg.FAC {
-		s.geom = cfg.facGeometry()
+		s.geom = cfg.FACGeometry()
 	}
 	if !cfg.PerfectICache {
 		s.icache = cache.New(cfg.ICache)

@@ -133,46 +133,65 @@ func Link(o *Object, cfg Config) (*Program, error) {
 		cfg.StackTop = 0x7FFFF000
 	}
 
-	secBase := make([]uint32, NumSections)
-	secBase[SecText] = cfg.TextBase
+	// Section layout runs in 64-bit arithmetic: section sizes are
+	// caller-controlled 32-bit values, and 32-bit address math here
+	// silently wraps — a 4GB BSS once left the heap base on top of the
+	// globals. The final addresses are checked against the stack region
+	// before narrowing.
+	base64 := make([]uint64, NumSections)
+	base64[SecText] = uint64(cfg.TextBase)
 
-	align := func(v, a uint32) uint32 {
+	align := func(v uint64, a uint64) uint64 {
 		if a == 0 {
 			a = 1
 		}
 		return (v + a - 1) &^ (a - 1)
 	}
-	pow2Ceil := func(v uint32) uint32 {
-		p := uint32(1)
+	pow2Ceil := func(v uint64) uint64 {
+		p := uint64(1)
 		for p < v {
 			p <<= 1
 		}
 		return p
 	}
 
-	var gp uint32
+	textEnd := uint64(cfg.TextBase) + uint64(len(o.Text))*isa.InstBytes
+	if textEnd > uint64(cfg.DataBase) {
+		return nil, fmt.Errorf("prog: text end %#x overruns data base %#x", textEnd, cfg.DataBase)
+	}
+
+	var gp64 uint64
 	if cfg.AlignGP {
 		// Global region first, on a power-of-two boundary at least as large
 		// as the region itself, so carry-free addition succeeds for every
 		// (positive) global-pointer offset.
-		boundary := pow2Ceil(uint32(len(o.SData)))
+		boundary := pow2Ceil(uint64(len(o.SData)))
 		if boundary < 16 {
 			boundary = 16
 		}
-		secBase[SecSData] = align(cfg.DataBase, boundary)
-		gp = secBase[SecSData]
-		secBase[SecData] = align(secBase[SecSData]+uint32(len(o.SData)), 16)
-		secBase[SecBSS] = align(secBase[SecData]+uint32(len(o.Data)), 16)
+		base64[SecSData] = align(uint64(cfg.DataBase), boundary)
+		gp64 = base64[SecSData]
+		base64[SecData] = align(base64[SecSData]+uint64(len(o.SData)), 16)
+		base64[SecBSS] = align(base64[SecData]+uint64(len(o.Data)), 16)
 	} else {
 		// Stock layout: data first, the global region wherever it lands.
 		// The resulting GP value depends on the data segment size and is
 		// not usefully aligned, as with an unmodified linker.
-		secBase[SecData] = cfg.DataBase
-		secBase[SecSData] = align(secBase[SecData]+uint32(len(o.Data)), 8)
-		gp = secBase[SecSData]
-		secBase[SecBSS] = align(secBase[SecSData]+uint32(len(o.SData)), 16)
+		base64[SecData] = uint64(cfg.DataBase)
+		base64[SecSData] = align(base64[SecData]+uint64(len(o.Data)), 8)
+		gp64 = base64[SecSData]
+		base64[SecBSS] = align(base64[SecSData]+uint64(len(o.SData)), 16)
 	}
-	heap := align(secBase[SecBSS]+o.BSSSize, 1<<mem.PageBits)
+	heap64 := align(base64[SecBSS]+uint64(o.BSSSize), 1<<mem.PageBits)
+	if heap64 > uint64(cfg.StackTop) {
+		return nil, fmt.Errorf("prog: data segment end %#x overruns the stack region (stack top %#x)",
+			heap64, cfg.StackTop)
+	}
+	secBase := make([]uint32, NumSections)
+	for i := range secBase {
+		secBase[i] = uint32(base64[i])
+	}
+	gp, heap := uint32(gp64), uint32(heap64)
 
 	symAddr := func(name string) (uint32, bool) {
 		s, ok := o.Symbols[name]

@@ -153,3 +153,54 @@ func TestDefaultsApplied(t *testing.T) {
 		t.Errorf("defaults not applied: %#x %#x", p.TextBase, p.SP)
 	}
 }
+
+// TestLinkRejectsOverflowingLayout pins the 32-bit layout-wraparound fix:
+// segment addresses are now computed in 64-bit arithmetic and validated
+// against the stack region. Before the fix a 4GB BSS wrapped the heap
+// base back onto the globals, and a 3GB one parked it above the stack
+// top; both linked "successfully".
+func TestLinkRejectsOverflowingLayout(t *testing.T) {
+	mk := func() *Object {
+		return &Object{
+			Text:    []isa.Inst{{Op: isa.JR, Rs: isa.RA}},
+			Symbols: map[string]Symbol{"main": {Name: "main", Section: SecText, Off: 0}},
+		}
+	}
+
+	wrap := mk()
+	wrap.BSSSize = 0xFFFFFFFF // heap base wraps past 2^32
+	if _, err := Link(wrap, Config{}); err == nil {
+		t.Error("linked an object whose BSS wraps the address space")
+	}
+
+	overrun := mk()
+	overrun.BSSSize = 3 << 30 // heap base lands above the stack top
+	if _, err := Link(overrun, Config{}); err == nil {
+		t.Error("linked an object whose data segment overruns the stack")
+	}
+
+	textOverrun := mk()
+	textOverrun.Text = make([]isa.Inst, 1025)
+	for i := range textOverrun.Text {
+		textOverrun.Text[i] = isa.Inst{Op: isa.JR, Rs: isa.RA}
+	}
+	cfg := Config{TextBase: 0x00400000, DataBase: 0x00401000, StackTop: 0x7FFFF000}
+	if _, err := Link(textOverrun, cfg); err == nil {
+		t.Error("linked text that overruns the data base")
+	}
+	textOverrun.Text = textOverrun.Text[:1024] // exactly fills the gap
+	if _, err := Link(textOverrun, cfg); err != nil {
+		t.Errorf("rejected text that exactly fits below the data base: %v", err)
+	}
+
+	// A large-but-sane BSS still links, heap page-aligned above it.
+	ok := mk()
+	ok.BSSSize = 1 << 20
+	p, err := Link(ok, Config{})
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	if p.HeapBase < 0x10000000+1<<20 || p.HeapBase > 0x10000000+1<<20+4096 {
+		t.Errorf("heap base %#x not just past the 1MB BSS", p.HeapBase)
+	}
+}

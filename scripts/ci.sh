@@ -1,6 +1,20 @@
 #!/bin/sh
 # ci.sh — the repo's tier-1 verification gate (see ROADMAP.md).
 # Run from anywhere; exits non-zero on the first failure.
+#
+# Expected runtime on a stock 4-core container: ~7 minutes total —
+#   gofmt/vet/build           ~20s
+#   go test ./...             ~60s  (dominated by internal/experiments)
+#   go test -race -short      ~4m   (full suite under the race detector;
+#                                    -short trims the experiment sweeps and
+#                                    difftest seed counts, which -race would
+#                                    otherwise stretch past 15 minutes)
+#   fuzz smoke                ~40s  (4 targets x 5s plus instrumented builds)
+#
+# The fuzz smoke stage runs each differential fuzz target briefly against
+# its committed seed corpus plus a few seconds of mutation, so a crasher
+# that slips past the deterministic tests still trips CI. For real hunting
+# sessions use longer budgets (see docs/TESTING.md).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -20,5 +34,14 @@ go build ./...
 
 echo "== go test =="
 go test ./...
+
+echo "== go test -race (short) =="
+go test -race -short ./...
+
+echo "== fuzz smoke =="
+for target in FuzzFACPredict FuzzEncodeDecode FuzzAsmRoundtrip FuzzEmuVsPipeline; do
+    echo "-- $target"
+    go test ./internal/difftest/ -run '^$' -fuzz "^${target}\$" -fuzztime 5s
+done
 
 echo "CI OK"
