@@ -12,6 +12,8 @@
 //	                                 #   machine-readable obs.RunRecord report
 //	experiments -diff old.json new.json  # compare two exported reports and
 //	                                 #   print cycle/IPC regressions
+//	experiments -cache ~/.fac-cache  # reuse (and extend) a persistent result
+//	                                 #   cache shared with the facd daemon
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/simsvc"
 )
 
 func main() {
@@ -40,6 +43,8 @@ func main() {
 		jsonOut  = flag.String("json", "", "write every timing run as a RunRecord report to this file")
 		diffMode = flag.Bool("diff", false, "compare two RunRecord reports: -diff old.json new.json")
 		tol      = flag.Float64("tolerance", 0.005, "relative change reported by -diff")
+		cacheDir = flag.String("cache", "", "persistent result cache directory (shared with the facd daemon)")
+		cacheMax = flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries beyond this size (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -53,6 +58,14 @@ func main() {
 	all := !(*fig2 || *table1 || *fig3 || *table3 || *table4 || *fig6 || *table6 || *ablate || *ltbCmp || *agiCmp || *sweep)
 
 	s := experiments.NewSuite()
+	if *cacheDir != "" {
+		dc, err := simsvc.OpenDiskCache(*cacheDir, *cacheMax)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cache open failed:", err)
+			os.Exit(1)
+		}
+		s.SetCache(dc)
+	}
 	steps := []struct {
 		on   bool
 		name string
@@ -162,6 +175,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("[%d run records written to %s]\n", len(rep.Records), *jsonOut)
+	}
+
+	if st, ok := s.CacheStats(); ok {
+		fmt.Printf("[result cache %s: %d entries, %d hits / %d misses (%.0f%% hit rate)]\n",
+			st.Dir, st.Entries, st.Hits, st.Misses, 100*st.HitRate())
 	}
 }
 

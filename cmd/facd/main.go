@@ -1,0 +1,123 @@
+// Command facd is the simulation daemon: it serves the repository's
+// cycle-level simulator over an HTTP/JSON API so experiment drivers can
+// submit batches of (workload, toolchain, machine) jobs, poll their
+// status, and fetch results as canonical obs.RunRecord reports.
+//
+// The daemon is deterministic end to end: a batch report is byte-identical
+// to what an in-process run of the same jobs would export, so results can
+// be cached, diffed, and shared across machines. docs/SERVICE.md describes
+// the API, the content-addressed result cache, and the operational
+// endpoints.
+//
+// Usage:
+//
+//	facd -addr :8080 -cache ~/.fac-cache
+//	facd -addr 127.0.0.1:0 -workers 4 -job-timeout 5m
+//
+// facd prints "facd listening on <addr>" once it accepts connections. On
+// SIGTERM or SIGINT it stops accepting work, drains queued and running
+// jobs (bounded by -drain-timeout), and exits 0 on a clean drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/pipeline"
+	"repro/internal/simsvc"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+		workers      = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 0, "job queue depth before submissions get 429 (0 = 64)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-job deadline (0 = none)")
+		cacheDir     = flag.String("cache", "", "persistent result cache directory (shared with cmd/experiments -cache)")
+		cacheMax     = flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries beyond this size (0 = unbounded)")
+		maxInsts     = flag.Uint64("max-insts", simsvc.DefaultMaxInsts, "instruction budget per simulation")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long to wait for in-flight jobs on shutdown")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *workers, *queueDepth, *jobTimeout, *cacheDir, *cacheMax, *maxInsts, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "facd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queueDepth int, jobTimeout time.Duration, cacheDir string, cacheMax int64, maxInsts uint64, drainTimeout time.Duration) error {
+	runner := &simsvc.Runner{
+		Resolve: func(m string) (pipeline.Config, error) {
+			return experiments.MachineConfig(experiments.Machine(m))
+		},
+		MaxInsts: maxInsts,
+	}
+	if cacheDir != "" {
+		dc, err := simsvc.OpenDiskCache(cacheDir, cacheMax)
+		if err != nil {
+			return fmt.Errorf("open cache: %w", err)
+		}
+		runner.Cache = dc
+	}
+
+	svc := simsvc.NewServer(simsvc.ServerConfig{
+		Workers:    workers,
+		QueueDepth: queueDepth,
+		JobTimeout: jobTimeout,
+	}, runner)
+	svc.Start()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+
+	// Announce readiness on stdout; scripts (and the CI smoke stage) parse
+	// this line to find the bound port.
+	fmt.Printf("facd listening on %s\n", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("facd draining")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainErr := svc.Drain(drainCtx)
+
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	<-errCh
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	fmt.Println("facd drained cleanly")
+	return nil
+}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/asm"
@@ -63,9 +64,18 @@ func Run(p *prog.Program, machine pipeline.Config, maxInsts uint64) (Result, err
 // observability sink attached (nil disables the event stream; see
 // internal/obs). cmd/facprof and cmd/facsim -trace are built on this.
 func RunWithSink(p *prog.Program, machine pipeline.Config, maxInsts uint64, sink obs.Sink) (Result, error) {
+	return RunCtx(nil, p, machine, maxInsts, sink)
+}
+
+// RunCtx is RunWithSink with cancellation: a non-nil context's deadline
+// or cancellation aborts the simulation's cycle loop promptly with an
+// error wrapping ctx.Err(). The simulation service (internal/simsvc)
+// uses this for per-job deadlines and client-disconnect cancellation; a
+// nil ctx disables the checks at zero cost.
+func RunCtx(ctx context.Context, p *prog.Program, machine pipeline.Config, maxInsts uint64, sink obs.Sink) (Result, error) {
 	e := emu.New(p)
 	e.MaxInsts = maxInsts
-	stats, err := pipeline.RunObserved(machine, &traceSource{e}, sink)
+	stats, err := pipeline.RunCtx(ctx, machine, &traceSource{e}, sink)
 	if err != nil {
 		return Result{}, err
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"runtime"
 	"testing"
 )
@@ -17,7 +18,7 @@ func reportFor(t *testing.T, names []string, pairs [][2]string) []byte {
 		w := testWorkload(t, name)
 		for _, pr := range pairs {
 			w, tc, m := w, pr[0], Machine(pr[1])
-			jobs = append(jobs, func() error {
+			jobs = append(jobs, func(context.Context) error {
 				_, err := s.Timing(w, tc, m)
 				return err
 			})

@@ -8,6 +8,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -18,6 +20,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/profile"
 	"repro/internal/prog"
+	"repro/internal/simsvc"
 	"repro/internal/workload"
 )
 
@@ -110,22 +113,51 @@ type FuncResult struct {
 type Suite struct {
 	MaxInsts uint64
 
+	// flight collapses concurrent identical work (builds, profiles, timing
+	// runs) onto one leader. The memo maps alone cannot do this: they are
+	// consulted under mu but filled only after the work completes, so two
+	// workers racing on the same key both used to run it.
+	flight simsvc.Flight
+
 	mu       sync.Mutex
 	programs map[string]*prog.Program
 	funcs    map[string]*FuncResult
 	timings  map[string]pipeline.Stats
 	records  map[string]obs.RunRecord
+	disk     *simsvc.DiskCache
 }
 
 // NewSuite creates an experiment suite.
 func NewSuite() *Suite {
 	return &Suite{
-		MaxInsts: 2_000_000_000,
+		MaxInsts: simsvc.DefaultMaxInsts,
 		programs: make(map[string]*prog.Program),
 		funcs:    make(map[string]*FuncResult),
 		timings:  make(map[string]pipeline.Stats),
 		records:  make(map[string]obs.RunRecord),
 	}
+}
+
+// SetCache attaches a persistent result cache: timing runs whose
+// content-addressed key (workload, toolchain, machine config, simulator
+// version) is present are rehydrated from disk instead of simulated, and
+// fresh runs are written back. The same directory format is shared with
+// the facd daemon.
+func (s *Suite) SetCache(c *simsvc.DiskCache) {
+	s.mu.Lock()
+	s.disk = c
+	s.mu.Unlock()
+}
+
+// CacheStats reports the attached persistent cache's statistics, if any.
+func (s *Suite) CacheStats() (simsvc.DiskCacheStats, bool) {
+	s.mu.Lock()
+	c := s.disk
+	s.mu.Unlock()
+	if c == nil {
+		return simsvc.DiskCacheStats{}, false
+	}
+	return c.Stats(), true
 }
 
 func toolchain(name string) workload.Toolchain {
@@ -136,6 +168,7 @@ func toolchain(name string) workload.Toolchain {
 }
 
 // Program builds (and caches) a workload under a toolchain ("base"/"fac").
+// Concurrent callers for the same key share one build.
 func (s *Suite) Program(w workload.Workload, tc string) (*prog.Program, error) {
 	key := w.Name + "|" + tc
 	s.mu.Lock()
@@ -144,18 +177,30 @@ func (s *Suite) Program(w workload.Workload, tc string) (*prog.Program, error) {
 		return p, nil
 	}
 	s.mu.Unlock()
-	p, err := workload.Build(w, toolchain(tc))
+	v, _, err := s.flight.Do("prog|"+key, func() (any, error) {
+		s.mu.Lock()
+		if p, ok := s.programs[key]; ok {
+			s.mu.Unlock()
+			return p, nil
+		}
+		s.mu.Unlock()
+		p, err := workload.Build(w, toolchain(tc))
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.programs[key] = p
+		s.mu.Unlock()
+		return p, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.programs[key] = p
-	s.mu.Unlock()
-	return p, nil
+	return v.(*prog.Program), nil
 }
 
 // Functional profiles a workload (measuring both block geometries) and
-// validates its output.
+// validates its output. Concurrent callers for the same key share one run.
 func (s *Suite) Functional(w workload.Workload, tc string) (*FuncResult, error) {
 	key := w.Name + "|" + tc
 	s.mu.Lock()
@@ -164,53 +209,122 @@ func (s *Suite) Functional(w workload.Workload, tc string) (*FuncResult, error) 
 		return r, nil
 	}
 	s.mu.Unlock()
-	p, err := s.Program(w, tc)
+	v, _, err := s.flight.Do("func|"+key, func() (any, error) {
+		s.mu.Lock()
+		if r, ok := s.funcs[key]; ok {
+			s.mu.Unlock()
+			return r, nil
+		}
+		s.mu.Unlock()
+		p, err := s.Program(w, tc)
+		if err != nil {
+			return nil, err
+		}
+		prof, e, err := profile.Run(p, s.MaxInsts, Geo16, Geo32)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", w.Name, tc, err)
+		}
+		if e.Out.String() != w.Expected {
+			return nil, fmt.Errorf("%s/%s: output %q != expected %q", w.Name, tc, e.Out.String(), w.Expected)
+		}
+		r := &FuncResult{Profile: prof, Insts: e.InstCount, MemUse: e.Mem.Footprint(), Output: e.Out.String()}
+		s.mu.Lock()
+		s.funcs[key] = r
+		s.mu.Unlock()
+		return r, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	prof, e, err := profile.Run(p, s.MaxInsts, Geo16, Geo32)
-	if err != nil {
-		return nil, fmt.Errorf("%s/%s: %w", w.Name, tc, err)
-	}
-	if e.Out.String() != w.Expected {
-		return nil, fmt.Errorf("%s/%s: output %q != expected %q", w.Name, tc, e.Out.String(), w.Expected)
-	}
-	r := &FuncResult{Profile: prof, Insts: e.InstCount, MemUse: e.Mem.Footprint(), Output: e.Out.String()}
-	s.mu.Lock()
-	s.funcs[key] = r
-	s.mu.Unlock()
-	return r, nil
+	return v.(*FuncResult), nil
 }
 
 // Timing runs a workload on a machine (with caching and output validation).
 func (s *Suite) Timing(w workload.Workload, tc string, m Machine) (pipeline.Stats, error) {
+	cfg, err := MachineConfig(m)
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	return s.timing(nil, w, tc, m, cfg, true)
+}
+
+// timing is the single path behind Timing and timingWithConfig: memoized,
+// deduplicated across concurrent callers, persisted through the optional
+// disk cache, and cancellable (ctx reaches the pipeline's cycle loop; a
+// nil ctx disables the checks). record controls whether the run joins the
+// suite's exportable report — named machines do, ad-hoc sweep
+// configurations do not, matching the pre-existing report contents.
+func (s *Suite) timing(ctx context.Context, w workload.Workload, tc string, m Machine, cfg pipeline.Config, record bool) (pipeline.Stats, error) {
 	key := w.Name + "|" + tc + "|" + string(m)
 	s.mu.Lock()
 	if st, ok := s.timings[key]; ok {
 		s.mu.Unlock()
 		return st, nil
 	}
+	disk := s.disk
 	s.mu.Unlock()
-	p, err := s.Program(w, tc)
+
+	v, shared, err := s.flight.Do("timing|"+key, func() (any, error) {
+		s.mu.Lock()
+		if st, ok := s.timings[key]; ok {
+			s.mu.Unlock()
+			return st, nil
+		}
+		s.mu.Unlock()
+
+		// Persistent cache: a prior process (this tool or the facd daemon)
+		// may have already simulated this exact configuration.
+		var diskKey string
+		if disk != nil {
+			if k, err := simsvc.CacheKey(w, tc, string(m), cfg, s.MaxInsts); err == nil {
+				diskKey = k
+				if rec, ok := disk.Get(k); ok {
+					st := pipeline.StatsFromRecord(rec)
+					s.memoize(key, st, rec, record)
+					return st, nil
+				}
+			}
+		}
+
+		p, err := s.Program(w, tc)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.RunCtx(ctx, p, cfg, s.MaxInsts, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s/%s: %w", w.Name, tc, m, err)
+		}
+		if res.Output != w.Expected {
+			return nil, fmt.Errorf("%s/%s/%s: output %q != expected %q", w.Name, tc, m, res.Output, w.Expected)
+		}
+		rec := res.Stats.Record(w.Name, w.Class.String(), tc, string(m))
+		if disk != nil && diskKey != "" {
+			disk.Put(diskKey, rec) // best effort; a write failure only costs a future re-run
+		}
+		s.memoize(key, res.Stats, rec, record)
+		return res.Stats, nil
+	})
 	if err != nil {
+		// A follower that inherited the leader's cancellation while its own
+		// context is still live can safely retry; here we just surface it.
+		if shared && ctx != nil && ctx.Err() == nil && errors.Is(err, context.Canceled) {
+			return pipeline.Stats{}, fmt.Errorf("%s/%s/%s: deduplicated onto a canceled identical run: %w", w.Name, tc, m, err)
+		}
 		return pipeline.Stats{}, err
 	}
-	cfg, err := MachineConfig(m)
-	if err != nil {
-		return pipeline.Stats{}, err
-	}
-	res, err := core.Run(p, cfg, s.MaxInsts)
-	if err != nil {
-		return pipeline.Stats{}, fmt.Errorf("%s/%s/%s: %w", w.Name, tc, m, err)
-	}
-	if res.Output != w.Expected {
-		return pipeline.Stats{}, fmt.Errorf("%s/%s/%s: output %q != expected %q", w.Name, tc, m, res.Output, w.Expected)
-	}
+	return v.(pipeline.Stats), nil
+}
+
+// memoize records a finished timing run. The disk-sourced RunRecord is
+// stored verbatim so a cache hit and a fresh simulation export the same
+// bytes.
+func (s *Suite) memoize(key string, st pipeline.Stats, rec obs.RunRecord, record bool) {
 	s.mu.Lock()
-	s.timings[key] = res.Stats
-	s.records[key] = res.Stats.Record(w.Name, w.Class.String(), tc, string(m))
+	s.timings[key] = st
+	if record {
+		s.records[key] = rec
+	}
 	s.mu.Unlock()
-	return res.Stats, nil
 }
 
 // Report collects every timing run performed so far into a sorted,
@@ -228,12 +342,19 @@ func (s *Suite) Report(tool string) *obs.Report {
 	return rep
 }
 
-// job is one unit of parallel work.
-type job func() error
+// job is one unit of parallel work. The pool's context is canceled when
+// any job fails; jobs that can stop early (timing runs) thread it into
+// the simulator's cycle loop.
+type job func(ctx context.Context) error
 
-// runParallel executes jobs with a bounded worker pool and returns the
-// first error.
+// runParallel executes jobs with a bounded worker pool. On the first
+// failure it cancels the pool context — in-flight simulations abort at
+// the next cycle-loop check and queued jobs are skipped — and returns
+// the error of the earliest-submitted genuinely failed job, so the
+// reported error does not depend on worker count or scheduling.
 func runParallel(jobs []job) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -241,30 +362,52 @@ func runParallel(jobs []job) error {
 	if workers < 1 {
 		workers = 1
 	}
-	ch := make(chan job)
-	errs := make(chan error, len(jobs))
+	type task struct {
+		idx int
+		fn  job
+	}
+	ch := make(chan task)
+	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range ch {
-				errs <- j()
+			for t := range ch {
+				if ctx.Err() != nil {
+					errs[t.idx] = ctx.Err() // skipped: pool already canceled
+					continue
+				}
+				if err := t.fn(ctx); err != nil {
+					errs[t.idx] = err
+					cancel()
+				}
 			}
 		}()
 	}
-	for _, j := range jobs {
-		ch <- j
+	for i, j := range jobs {
+		ch <- task{i, j}
 	}
 	close(ch)
 	wg.Wait()
-	close(errs)
-	for err := range errs {
-		if err != nil {
+
+	// Deterministic selection: the earliest submitted error that is not
+	// collateral damage of the pool's own cancellation. cancel() is only
+	// called on a genuine failure, so at least one such error exists
+	// whenever any error does.
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err // fallback, in case every error is cancellation
+		}
+		if !errors.Is(err, context.Canceled) {
 			return err
 		}
 	}
-	return nil
+	return first
 }
 
 // Prefetch warms the timing cache for a set of (toolchain, machine) pairs
@@ -274,8 +417,12 @@ func (s *Suite) Prefetch(pairs [][2]string) error {
 	for _, w := range workload.All() {
 		for _, pr := range pairs {
 			w, tc, m := w, pr[0], Machine(pr[1])
-			jobs = append(jobs, func() error {
-				_, err := s.Timing(w, tc, m)
+			jobs = append(jobs, func(ctx context.Context) error {
+				cfg, err := MachineConfig(m)
+				if err != nil {
+					return err
+				}
+				_, err = s.timing(ctx, w, tc, m, cfg, true)
 				return err
 			})
 		}
@@ -289,7 +436,7 @@ func (s *Suite) PrefetchFunctional() error {
 	for _, w := range workload.All() {
 		for _, tc := range []string{"base", "fac"} {
 			w, tc := w, tc
-			jobs = append(jobs, func() error {
+			jobs = append(jobs, func(context.Context) error {
 				_, err := s.Functional(w, tc)
 				return err
 			})

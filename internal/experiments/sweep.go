@@ -1,10 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
-	"repro/internal/core"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -47,30 +47,10 @@ func sweepMachine(size int, facOn bool) Machine {
 }
 
 // timingWithConfig is Timing for ad-hoc configurations outside the named
-// machine table.
-func (s *Suite) timingWithConfig(w workload.Workload, tc string, m Machine, cfg pipeline.Config) (pipeline.Stats, error) {
-	key := w.Name + "|" + tc + "|" + string(m)
-	s.mu.Lock()
-	if st, ok := s.timings[key]; ok {
-		s.mu.Unlock()
-		return st, nil
-	}
-	s.mu.Unlock()
-	p, err := s.Program(w, tc)
-	if err != nil {
-		return pipeline.Stats{}, err
-	}
-	res, err := core.Run(p, cfg, s.MaxInsts)
-	if err != nil {
-		return pipeline.Stats{}, fmt.Errorf("%s/%s/%s: %w", w.Name, tc, m, err)
-	}
-	if res.Output != w.Expected {
-		return pipeline.Stats{}, fmt.Errorf("%s/%s/%s: output mismatch", w.Name, tc, m)
-	}
-	s.mu.Lock()
-	s.timings[key] = res.Stats
-	s.mu.Unlock()
-	return res.Stats, nil
+// machine table. These runs are memoized and disk-cached like named runs
+// but stay out of the exportable report.
+func (s *Suite) timingWithConfig(ctx context.Context, w workload.Workload, tc string, m Machine, cfg pipeline.Config) (pipeline.Stats, error) {
+	return s.timing(ctx, w, tc, m, cfg, false)
 }
 
 // CacheSweep measures FAC's benefit as the data cache grows: the address
@@ -87,8 +67,8 @@ func (s *Suite) CacheSweep() (*SweepResult, error) {
 				if facOn {
 					tc = "fac"
 				}
-				jobs = append(jobs, func() error {
-					_, err := s.timingWithConfig(w, tc, sweepMachine(size, facOn), sweepConfig(size, facOn))
+				jobs = append(jobs, func(ctx context.Context) error {
+					_, err := s.timingWithConfig(ctx, w, tc, sweepMachine(size, facOn), sweepConfig(size, facOn))
 					return err
 				})
 			}
@@ -102,11 +82,11 @@ func (s *Suite) CacheSweep() (*SweepResult, error) {
 	for _, w := range workload.All() {
 		row := SweepRow{Name: w.Name, Class: w.Class}
 		for _, size := range SweepSizes {
-			base, err := s.timingWithConfig(w, "base", sweepMachine(size, false), sweepConfig(size, false))
+			base, err := s.timingWithConfig(nil, w, "base", sweepMachine(size, false), sweepConfig(size, false))
 			if err != nil {
 				return nil, err
 			}
-			facS, err := s.timingWithConfig(w, "fac", sweepMachine(size, true), sweepConfig(size, true))
+			facS, err := s.timingWithConfig(nil, w, "fac", sweepMachine(size, true), sweepConfig(size, true))
 			if err != nil {
 				return nil, err
 			}

@@ -116,23 +116,26 @@ func (r *reducer) reduceFor(st *stmt) {
 	}
 	// Collect candidate bases: loop-invariant array/pointer variables
 	// indexed by the IV with scalar elements.
-	cands := map[*symbol][]*expr{}
+	cands := &indexCands{byBase: map[*symbol][]*expr{}}
 	collectIndexAccesses(st.body, iv, cands)
 	if st.cond != nil {
 		collectIndexAccesses1(st.cond, iv, cands)
 	}
-	for base, uses := range cands {
-		if base.addrTaken || assignsSym(st.body, base) || len(uses) == 0 {
-			delete(cands, base)
+	bases := cands.order[:0]
+	for _, base := range cands.order {
+		if base.addrTaken || assignsSym(st.body, base) || len(cands.byBase[base]) == 0 {
+			continue
 		}
+		bases = append(bases, base)
 	}
-	if len(cands) == 0 {
+	if len(bases) == 0 {
 		return
 	}
 
 	var newInits []*stmt
 	var newPosts []*stmt
-	for base, uses := range cands {
+	for _, base := range bases {
+		uses := cands.byBase[base]
 		elem := base.ty.decay().elem
 		ptrTy := ptrTo(elem)
 		r.counter++
@@ -225,9 +228,26 @@ func isIVIndex(idx *expr, iv *symbol) bool {
 	return false
 }
 
+// indexCands groups candidate accesses by base symbol while remembering
+// the order bases were first seen. Rewrites must happen in that order —
+// iterating the pointer-keyed map directly would emit the pointer-temp
+// declarations and bump statements in a different order on every
+// process, producing nondeterministic code layout and timing.
+type indexCands struct {
+	byBase map[*symbol][]*expr
+	order  []*symbol
+}
+
+func (c *indexCands) add(base *symbol, e *expr) {
+	if _, seen := c.byBase[base]; !seen {
+		c.order = append(c.order, base)
+	}
+	c.byBase[base] = append(c.byBase[base], e)
+}
+
 // collectIndexAccesses gathers eIndex(base, f(iv)) nodes with scalar
 // element types, grouped by base symbol.
-func collectIndexAccesses(list []*stmt, iv *symbol, out map[*symbol][]*expr) {
+func collectIndexAccesses(list []*stmt, iv *symbol, out *indexCands) {
 	var visitS func(st *stmt)
 	visitS = func(st *stmt) {
 		if st == nil {
@@ -250,7 +270,7 @@ func collectIndexAccesses(list []*stmt, iv *symbol, out map[*symbol][]*expr) {
 	}
 }
 
-func collectIndexAccesses1(e *expr, iv *symbol, out map[*symbol][]*expr) {
+func collectIndexAccesses1(e *expr, iv *symbol, out *indexCands) {
 	if e == nil {
 		return
 	}
@@ -258,7 +278,7 @@ func collectIndexAccesses1(e *expr, iv *symbol, out map[*symbol][]*expr) {
 		isIVIndex(e.rhs, iv) && e.lhs.sym != iv {
 		base := e.lhs.sym
 		if base.ty.decay().isPtr() {
-			out[base] = append(out[base], e)
+			out.add(base, e)
 		}
 		return // the index subtree is consumed by the rewrite
 	}

@@ -277,6 +277,56 @@ func (s Stats) Record(benchmark, class, toolchain, machine string) obs.RunRecord
 	return r
 }
 
+// StatsFromRecord inverts Stats.Record, rebuilding the timing statistics
+// of a run from its canonical RunRecord. The persistent result cache
+// (internal/simsvc) stores RunRecords on disk; this is how a cache hit
+// rehydrates into the Stats the experiment tables consume. The round trip
+// is exact: StatsFromRecord(s.Record(b, c, t, m)).Record(b, c, t, m)
+// equals s.Record(b, c, t, m) field for field.
+func StatsFromRecord(r obs.RunRecord) Stats {
+	s := Stats{
+		Cycles: r.Cycles,
+		Insts:  r.Insts,
+		Loads:  r.Loads,
+		Stores: r.Stores,
+
+		BranchLookups:     r.BranchLookups,
+		BranchMispredicts: r.BranchMispredicts,
+
+		StoreBufferFullStalls: r.StoreBufFull,
+
+		IssueActiveCycles: r.IssueActiveCycles,
+		LoadLatency:       r.LoadLatency,
+	}
+	r.Stalls.ToCounts(&s.StallCycles)
+	if r.FAC != nil {
+		s.FACEnabled = true
+		s.LoadsSpeculated = r.FAC.LoadsSpeculated
+		s.LoadSpecFailed = r.FAC.LoadFails
+		s.StoresSpeculated = r.FAC.StoresSpeculated
+		s.StoreSpecFailed = r.FAC.StoreFails
+		s.ExtraAccesses = r.FAC.ExtraAccesses
+		r.FAC.LoadFailKinds.ToCounts(&s.LoadFailKinds)
+		r.FAC.StoreFailKinds.ToCounts(&s.StoreFailKinds)
+	}
+	fromCacheRec := func(cr *obs.CacheRecord) cache.Stats {
+		if cr == nil {
+			return cache.Stats{}
+		}
+		return cache.Stats{
+			Accesses:    cr.Accesses,
+			Misses:      cr.Misses,
+			DelayedHits: cr.DelayedHits,
+			Evictions:   cr.Evictions,
+			Writebacks:  cr.Writebacks,
+			MSHROcc:     cr.MSHROcc,
+		}
+	}
+	s.ICache = fromCacheRec(r.ICache)
+	s.DCache = fromCacheRec(r.DCache)
+	return s
+}
+
 // IPC returns instructions per cycle.
 func (s Stats) IPC() float64 {
 	if s.Cycles == 0 {

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bpred"
@@ -25,6 +26,7 @@ type sim struct {
 	cfg  Config
 	geom fac.Config
 	src  Source
+	ctx  context.Context // nil = cancellation disabled
 
 	icache *cache.Cache
 	dcache *cache.Cache
@@ -84,10 +86,24 @@ func Run(cfg Config, src Source) (Stats, error) {
 // attached (nil disables the stream at zero cost). The sink receives
 // every pipeline and cache event in simulation order.
 func RunObserved(cfg Config, src Source, sink obs.Sink) (Stats, error) {
+	return RunCtx(nil, cfg, src, sink)
+}
+
+// ctxCheckMask spaces out cancellation checks: the context is polled
+// every 4096 simulated cycles, so an abort costs at most a few
+// microseconds of extra simulation while the steady-state loop pays one
+// nil comparison per cycle.
+const ctxCheckMask = 1<<12 - 1
+
+// RunCtx is RunObserved with cancellation: when ctx is non-nil, its
+// cancellation or deadline aborts the cycle loop promptly (checked every
+// few thousand cycles) and the run returns an error wrapping ctx.Err().
+// A nil ctx disables the checks entirely; timing is identical either way.
+func RunCtx(ctx context.Context, cfg Config, src Source, sink obs.Sink) (Stats, error) {
 	if err := cfg.Validate(); err != nil {
 		return Stats{}, err
 	}
-	s := &sim{cfg: cfg, src: src, btb: bpred.New(cfg.BTBEntries), sink: sink}
+	s := &sim{cfg: cfg, src: src, ctx: ctx, btb: bpred.New(cfg.BTBEntries), sink: sink}
 	s.stats.FACEnabled = cfg.FAC
 	if cfg.FAC {
 		s.geom = cfg.FACGeometry()
@@ -119,6 +135,11 @@ func (s *sim) run() error {
 	for {
 		if s.srcDone && !s.haveLookahead && len(s.pending) == 0 && len(s.storeBuf) == 0 {
 			break
+		}
+		if s.ctx != nil && now&ctxCheckMask == 0 {
+			if err := s.ctx.Err(); err != nil {
+				return fmt.Errorf("pipeline: run canceled at cycle %d: %w", now, err)
+			}
 		}
 		// Clear the reservation slot two cycles ahead (reservations only
 		// target now or now+1).

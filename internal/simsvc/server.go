@@ -1,0 +1,613 @@
+package simsvc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// ServerConfig tunes the service.
+type ServerConfig struct {
+	// Workers is the simulation worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the job queue; submissions that would overflow it
+	// are rejected with 429 and a Retry-After hint (0 = 64).
+	QueueDepth int
+	// JobTimeout is the per-job deadline (0 = none). It applies to queued
+	// batch jobs and to synchronous /v1/run requests alike.
+	JobTimeout time.Duration
+	// Tool names the report producer in batch reports (0 = "facd").
+	Tool string
+}
+
+// JobRunner executes and validates job specs. *Runner is the production
+// implementation; tests substitute stubs.
+type JobRunner interface {
+	Validate(spec JobSpec) error
+	Run(ctx context.Context, spec JobSpec) (rec obs.RunRecord, cacheHit bool, err error)
+}
+
+// Job states, as reported by the API.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// jobEntry is the service-side state of one job. Mutable fields are
+// guarded by the server mutex.
+type jobEntry struct {
+	id    string
+	batch string
+	spec  JobSpec
+
+	state    string
+	errMsg   string
+	cacheHit bool
+	rec      *obs.RunRecord
+
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// Server is the simulation service: a bounded worker pool fed by a
+// bounded queue, with batch bookkeeping, cancellation, backpressure,
+// metrics, and graceful drain.
+type Server struct {
+	cfg    ServerConfig
+	runner JobRunner
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *jobEntry
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	started  bool
+	jobs     map[string]*jobEntry
+	batches  map[string][]*jobEntry
+	batchSeq int
+	jobSeq   int
+	busy     int
+
+	submitted uint64
+	completed uint64
+	failed    uint64
+	cancelled uint64
+	cacheHits uint64
+	syncRuns  uint64
+}
+
+// NewServer builds a server; call Start to launch its workers.
+func NewServer(cfg ServerConfig, runner JobRunner) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Tool == "" {
+		cfg.Tool = "facd"
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:        cfg,
+		runner:     runner,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *jobEntry, cfg.QueueDepth),
+		jobs:       make(map[string]*jobEntry),
+		batches:    make(map[string][]*jobEntry),
+	}
+}
+
+// Start launches the worker pool. It is idempotent.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one queued job, honoring cancellation that raced its
+// dequeue and the per-job deadline.
+func (s *Server) runJob(j *jobEntry) {
+	s.mu.Lock()
+	if j.state != StateQueued {
+		s.mu.Unlock()
+		return // cancelled while queued
+	}
+	if j.ctx.Err() != nil {
+		j.state = StateCancelled
+		s.cancelled++
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	s.busy++
+	s.mu.Unlock()
+
+	ctx := j.ctx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	rec, hit, err := s.runner.Run(ctx, j.spec)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.busy--
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.rec = &rec
+		j.cacheHit = hit
+		s.completed++
+		if hit {
+			s.cacheHits++
+		}
+	case j.ctx.Err() != nil && errors.Is(err, context.Canceled):
+		// The job (or the whole server) was cancelled, not a failure of
+		// the simulation itself.
+		j.state = StateCancelled
+		j.errMsg = err.Error()
+		s.cancelled++
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		s.failed++
+	}
+}
+
+// Drain stops accepting new work, lets queued and running jobs finish,
+// and returns once the pool is idle. If ctx expires first, running jobs
+// are cancelled and Drain waits for them to abort before returning
+// ctx's error. Safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue) // submissions check draining under mu, so no send can race this
+	}
+	started := s.started
+	s.mu.Unlock()
+	if !started {
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/batches", s.handleSubmit)
+	mux.HandleFunc("GET /v1/batches/{id}", s.handleBatch)
+	mux.HandleFunc("GET /v1/batches/{id}/report", s.handleBatchReport)
+	mux.HandleFunc("DELETE /v1/batches/{id}", s.handleBatchCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /v1/run", s.handleRunSync)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// submitRequest is the body of POST /v1/batches.
+type submitRequest struct {
+	Jobs []JobSpec `json:"jobs"`
+}
+
+// maxBatchJobs bounds one submission; larger sweeps should batch their
+// batches.
+const maxBatchJobs = 4096
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeErr(w, http.StatusBadRequest, "batch has no jobs")
+		return
+	}
+	if len(req.Jobs) > maxBatchJobs {
+		writeErr(w, http.StatusBadRequest, "batch has %d jobs, max %d", len(req.Jobs), maxBatchJobs)
+		return
+	}
+	for i, spec := range req.Jobs {
+		if err := s.runner.Validate(spec); err != nil {
+			writeErr(w, http.StatusBadRequest, "job %d (%s): %v", i, spec, err)
+			return
+		}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if !s.started {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "server not started")
+		return
+	}
+	// Backpressure: reject rather than block when the queue cannot take
+	// the whole batch. Queue occupancy only shrinks outside this mutex
+	// (workers dequeue, submitters enqueue under it), so the check
+	// guarantees the sends below cannot block.
+	if free := cap(s.queue) - len(s.queue); len(req.Jobs) > free {
+		retry := int(time.Duration(len(s.queue)/s.cfg.Workers+1) * time.Second / time.Second)
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeErr(w, http.StatusTooManyRequests, "job queue full (%d queued, %d free, batch of %d)",
+			cap(s.queue)-free, free, len(req.Jobs))
+		return
+	}
+	s.batchSeq++
+	batchID := "b" + strconv.Itoa(s.batchSeq)
+	jobIDs := make([]string, 0, len(req.Jobs))
+	entries := make([]*jobEntry, 0, len(req.Jobs))
+	for _, spec := range req.Jobs {
+		s.jobSeq++
+		ctx, cancel := context.WithCancel(s.baseCtx)
+		j := &jobEntry{
+			id:     "j" + strconv.Itoa(s.jobSeq),
+			batch:  batchID,
+			spec:   spec,
+			state:  StateQueued,
+			ctx:    ctx,
+			cancel: cancel,
+		}
+		s.jobs[j.id] = j
+		entries = append(entries, j)
+		jobIDs = append(jobIDs, j.id)
+		s.submitted++
+		s.queue <- j
+	}
+	s.batches[batchID] = entries
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"batch": batchID,
+		"jobs":  jobIDs,
+	})
+}
+
+// jobView is the API representation of a job.
+type jobView struct {
+	ID        string         `json:"id"`
+	Batch     string         `json:"batch"`
+	Workload  string         `json:"workload"`
+	Toolchain string         `json:"toolchain"`
+	Machine   string         `json:"machine"`
+	State     string         `json:"state"`
+	CacheHit  bool           `json:"cache_hit,omitempty"`
+	Error     string         `json:"error,omitempty"`
+	Record    *obs.RunRecord `json:"record,omitempty"`
+}
+
+// viewLocked renders a job; includeRecord controls payload size on batch
+// listings.
+func (j *jobEntry) viewLocked(includeRecord bool) jobView {
+	v := jobView{
+		ID:        j.id,
+		Batch:     j.batch,
+		Workload:  j.spec.Workload,
+		Toolchain: j.spec.Toolchain,
+		Machine:   j.spec.Machine,
+		State:     j.state,
+		CacheHit:  j.cacheHit,
+		Error:     j.errMsg,
+	}
+	if includeRecord {
+		v.Record = j.rec
+	}
+	return v
+}
+
+func terminal(state string) bool {
+	return state == StateDone || state == StateFailed || state == StateCancelled
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	entries, ok := s.batches[id]
+	if !ok {
+		s.mu.Unlock()
+		writeErr(w, http.StatusNotFound, "unknown batch %q", id)
+		return
+	}
+	counts := map[string]int{}
+	views := make([]jobView, 0, len(entries))
+	allTerminal := true
+	for _, j := range entries {
+		counts[j.state]++
+		if !terminal(j.state) {
+			allTerminal = false
+		}
+		views = append(views, j.viewLocked(false))
+	}
+	s.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, map[string]any{
+		"batch":     id,
+		"total":     len(views),
+		"queued":    counts[StateQueued],
+		"running":   counts[StateRunning],
+		"done":      counts[StateDone],
+		"failed":    counts[StateFailed],
+		"cancelled": counts[StateCancelled],
+		"terminal":  allTerminal,
+		"jobs":      views,
+	})
+}
+
+func (s *Server) handleBatchReport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	entries, ok := s.batches[id]
+	if !ok {
+		s.mu.Unlock()
+		writeErr(w, http.StatusNotFound, "unknown batch %q", id)
+		return
+	}
+	rep := obs.NewReport(s.cfg.Tool, runtime.Version())
+	for _, j := range entries {
+		if !terminal(j.state) {
+			s.mu.Unlock()
+			writeErr(w, http.StatusConflict, "batch %q still has unfinished jobs", id)
+			return
+		}
+		if j.rec != nil {
+			rep.Add(*j.rec)
+		}
+	}
+	s.mu.Unlock()
+
+	data, err := rep.Encode()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "encode report: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}
+
+func (s *Server) handleBatchCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	entries, ok := s.batches[id]
+	if !ok {
+		s.mu.Unlock()
+		writeErr(w, http.StatusNotFound, "unknown batch %q", id)
+		return
+	}
+	n := 0
+	for _, j := range entries {
+		switch j.state {
+		case StateQueued:
+			j.state = StateCancelled
+			s.cancelled++
+			j.cancel()
+			n++
+		case StateRunning:
+			j.cancel() // runJob records the terminal state when Run returns
+			n++
+		}
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"batch": id, "cancelling": n})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	v := j.viewLocked(true)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleRunSync runs one job synchronously on the caller's connection:
+// the request context carries client-disconnect cancellation straight
+// into the pipeline's cycle loop. It bypasses the queue (no backpressure
+// interplay with batches) but shares the runner's cache and dedup.
+func (s *Server) handleRunSync(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.syncRuns++
+	s.mu.Unlock()
+
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if err := s.runner.Validate(spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx := r.Context()
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	rec, hit, err := s.runner.Run(ctx, spec)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client went away; nothing to answer
+		}
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		writeErr(w, status, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.completed++
+	if hit {
+		s.cacheHits++
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cache_hit": hit,
+		"record":    rec,
+	})
+}
+
+// runSummary is one finished job's stall/latency digest in /metrics.
+type runSummary struct {
+	Job             string             `json:"job"`
+	Key             string             `json:"key"` // benchmark|toolchain|machine
+	CacheHit        bool               `json:"cache_hit"`
+	Cycles          uint64             `json:"cycles"`
+	Insts           uint64             `json:"instructions"`
+	IPC             float64            `json:"ipc"`
+	StallTotal      uint64             `json:"stall_cycles_total"`
+	Stalls          obs.StallBreakdown `json:"stall_cycles"`
+	LoadLatencyMean float64            `json:"load_latency_mean"`
+	LoadLatencyMax  uint64             `json:"load_latency_max"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	m := map[string]any{
+		"queue_depth":    len(s.queue),
+		"queue_capacity": cap(s.queue),
+		"workers":        s.cfg.Workers,
+		"workers_busy":   s.busy,
+		"draining":       s.draining,
+		"jobs": map[string]uint64{
+			"submitted":  s.submitted,
+			"completed":  s.completed,
+			"failed":     s.failed,
+			"cancelled":  s.cancelled,
+			"cache_hits": s.cacheHits,
+			"sync_runs":  s.syncRuns,
+		},
+	}
+	var runs []runSummary
+	for _, j := range s.jobs {
+		if j.state != StateDone || j.rec == nil {
+			continue
+		}
+		rec := j.rec
+		runs = append(runs, runSummary{
+			Job:             j.id,
+			Key:             rec.Key(),
+			CacheHit:        j.cacheHit,
+			Cycles:          rec.Cycles,
+			Insts:           rec.Insts,
+			IPC:             rec.IPC,
+			StallTotal:      rec.StallCyclesTotal,
+			Stalls:          rec.Stalls,
+			LoadLatencyMean: rec.LoadLatency.Mean(),
+			LoadLatencyMax:  rec.LoadLatency.Max,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(runs, func(i, j int) bool {
+		// Numeric job-id order ("j2" < "j10").
+		return jobNum(runs[i].Job) < jobNum(runs[j].Job)
+	})
+	m["runs"] = runs
+
+	if rs, ok := s.runner.(interface{ CacheStats() (DiskCacheStats, bool) }); ok {
+		if cs, attached := rs.CacheStats(); attached {
+			m["cache"] = cs
+			m["cache_hit_rate"] = cs.HitRate()
+		}
+	}
+	if dc, ok := s.runner.(interface{ DedupCount() uint64 }); ok {
+		m["dedup_shared"] = dc.DedupCount()
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+func jobNum(id string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(id, "j"))
+	return n
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	depth := len(s.queue)
+	busy := s.busy
+	s.mu.Unlock()
+	status := http.StatusOK
+	state := "ok"
+	if draining {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":       state,
+		"queue_depth":  depth,
+		"workers_busy": busy,
+	})
+}

@@ -1,0 +1,392 @@
+package simsvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// stubRunner is a controllable JobRunner: jobs block until released (or
+// until their context is done), so queue and drain states are reachable
+// deterministically.
+type stubRunner struct {
+	block   chan struct{} // non-nil: Run waits for close(block) or ctx
+	started chan string   // non-nil: receives each spec's workload as it starts
+	runs    atomic.Int64
+	sawCtx  atomic.Bool // a Run returned because its ctx ended
+}
+
+func (r *stubRunner) Validate(spec JobSpec) error {
+	if spec.Workload == "" {
+		return fmt.Errorf("empty workload")
+	}
+	if strings.HasPrefix(spec.Workload, "invalid") {
+		return fmt.Errorf("unknown workload %q", spec.Workload)
+	}
+	return nil
+}
+
+func (r *stubRunner) Run(ctx context.Context, spec JobSpec) (obs.RunRecord, bool, error) {
+	r.runs.Add(1)
+	if r.started != nil {
+		r.started <- spec.Workload
+	}
+	if strings.HasPrefix(spec.Workload, "fail") {
+		return obs.RunRecord{}, false, fmt.Errorf("simulated failure for %s", spec.Workload)
+	}
+	if r.block != nil {
+		select {
+		case <-r.block:
+		case <-ctx.Done():
+			r.sawCtx.Store(true)
+			return obs.RunRecord{}, false, fmt.Errorf("stub: %w", ctx.Err())
+		}
+	}
+	return testRec(spec.Workload, 100), false, nil
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+type submitResponse struct {
+	Batch string   `json:"batch"`
+	Jobs  []string `json:"jobs"`
+}
+
+func getBatch(t *testing.T, base, id string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/batches/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decode[map[string]any](t, resp)
+}
+
+func waitTerminal(t *testing.T, base, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		b := getBatch(t, base, id)
+		if b["terminal"] == true {
+			return b
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("batch %s did not reach a terminal state", id)
+	return nil
+}
+
+// newTestServer builds a started server + httptest frontend.
+func newTestServer(t *testing.T, cfg ServerConfig, runner JobRunner) (*Server, string) {
+	t.Helper()
+	s := NewServer(cfg, runner)
+	s.Start()
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s, hs.URL
+}
+
+// TestServerBatchLifecycle: submit, poll to terminal, fetch per-job
+// results and the batch report; failed jobs are reported as failed
+// without sinking the batch.
+func TestServerBatchLifecycle(t *testing.T) {
+	_, base := newTestServer(t, ServerConfig{Workers: 2}, &stubRunner{})
+	sub := decode[submitResponse](t, postJSON(t, base+"/v1/batches", submitRequest{Jobs: []JobSpec{
+		{Workload: "alpha", Toolchain: "base", Machine: "base32"},
+		{Workload: "fail-beta", Toolchain: "base", Machine: "base32"},
+	}}))
+	if sub.Batch == "" || len(sub.Jobs) != 2 {
+		t.Fatalf("submit response %+v", sub)
+	}
+	b := waitTerminal(t, base, sub.Batch)
+	if b["done"].(float64) != 1 || b["failed"].(float64) != 1 {
+		t.Fatalf("batch counts %+v", b)
+	}
+
+	resp, err := http.Get(base + "/v1/jobs/" + sub.Jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	jv := decode[jobView](t, resp)
+	if jv.State != StateDone || jv.Record == nil || jv.Record.Benchmark != "alpha" {
+		t.Fatalf("job view %+v", jv)
+	}
+
+	// The report includes only successful records.
+	rresp, err := http.Get(base + "/v1/batches/" + sub.Batch + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := new(bytes.Buffer)
+	data.ReadFrom(rresp.Body)
+	rresp.Body.Close()
+	rep, err := obs.DecodeReport(data.Bytes())
+	if err != nil {
+		t.Fatalf("report: %v\n%s", err, data.Bytes())
+	}
+	if len(rep.Records) != 1 || rep.Records[0].Benchmark != "alpha" {
+		t.Fatalf("report records %+v", rep.Records)
+	}
+}
+
+// TestServerValidationRejects: a batch naming an unknown workload is
+// rejected whole with 400 before anything is enqueued.
+func TestServerValidationRejects(t *testing.T) {
+	s, base := newTestServer(t, ServerConfig{Workers: 1}, &stubRunner{})
+	resp := postJSON(t, base+"/v1/batches", submitRequest{Jobs: []JobSpec{
+		{Workload: "alpha", Toolchain: "base", Machine: "base32"},
+		{Workload: "invalid-x", Toolchain: "base", Machine: "base32"},
+	}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+	s.mu.Lock()
+	n := len(s.jobs)
+	s.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d jobs enqueued from a rejected batch", n)
+	}
+}
+
+// TestServerBackpressure: when the queue cannot take a batch, the server
+// answers 429 with a Retry-After hint and enqueues nothing.
+func TestServerBackpressure(t *testing.T) {
+	r := &stubRunner{block: make(chan struct{}), started: make(chan string, 16)}
+	defer close(r.block)
+	_, base := newTestServer(t, ServerConfig{Workers: 1, QueueDepth: 2}, r)
+
+	// One job occupies the single worker; two more fill the queue.
+	sub := decode[submitResponse](t, postJSON(t, base+"/v1/batches", submitRequest{Jobs: []JobSpec{
+		{Workload: "w1", Toolchain: "base", Machine: "base32"},
+	}}))
+	<-r.started // the worker has dequeued w1 and is blocked inside Run
+	resp := postJSON(t, base+"/v1/batches", submitRequest{Jobs: []JobSpec{
+		{Workload: "w2", Toolchain: "base", Machine: "base32"},
+		{Workload: "w3", Toolchain: "base", Machine: "base32"},
+	}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fill status %d, want 202", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	over := postJSON(t, base+"/v1/batches", submitRequest{Jobs: []JobSpec{
+		{Workload: "w4", Toolchain: "base", Machine: "base32"},
+	}})
+	if over.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow status %d, want 429", over.StatusCode)
+	}
+	if over.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	over.Body.Close()
+	_ = sub
+}
+
+// TestServerCancelBatch: cancelling a batch stops queued jobs before
+// they run and aborts the running one via its context.
+func TestServerCancelBatch(t *testing.T) {
+	r := &stubRunner{block: make(chan struct{}), started: make(chan string, 16)}
+	_, base := newTestServer(t, ServerConfig{Workers: 1, QueueDepth: 8}, r)
+
+	sub := decode[submitResponse](t, postJSON(t, base+"/v1/batches", submitRequest{Jobs: []JobSpec{
+		{Workload: "run1", Toolchain: "base", Machine: "base32"},
+		{Workload: "queued2", Toolchain: "base", Machine: "base32"},
+		{Workload: "queued3", Toolchain: "base", Machine: "base32"},
+	}}))
+	<-r.started // run1 is inside Run, blocked; the rest are queued
+
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/batches/"+sub.Batch, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	b := waitTerminal(t, base, sub.Batch)
+	if b["cancelled"].(float64) != 3 {
+		t.Fatalf("batch after cancel: %+v", b)
+	}
+	if !r.sawCtx.Load() {
+		t.Fatal("running job never observed its context cancellation")
+	}
+	if got := r.runs.Load(); got != 1 {
+		t.Fatalf("%d jobs entered Run, want only the pre-cancel one", got)
+	}
+	close(r.block)
+}
+
+// TestServerJobTimeout: the per-job deadline cancels a stuck job and the
+// job reports failed (deadline exceeded), promptly.
+func TestServerJobTimeout(t *testing.T) {
+	r := &stubRunner{block: make(chan struct{})}
+	defer close(r.block)
+	_, base := newTestServer(t, ServerConfig{Workers: 1, JobTimeout: 50 * time.Millisecond}, r)
+
+	start := time.Now()
+	sub := decode[submitResponse](t, postJSON(t, base+"/v1/batches", submitRequest{Jobs: []JobSpec{
+		{Workload: "stuck", Toolchain: "base", Machine: "base32"},
+	}}))
+	b := waitTerminal(t, base, sub.Batch)
+	if b["failed"].(float64) != 1 {
+		t.Fatalf("batch %+v, want 1 failed", b)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("deadline enforcement took %v", d)
+	}
+	resp, err := http.Get(base + "/v1/jobs/" + sub.Jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	jv := decode[jobView](t, resp)
+	if !strings.Contains(jv.Error, "deadline") {
+		t.Fatalf("job error %q does not mention the deadline", jv.Error)
+	}
+}
+
+// TestServerDrain: Drain finishes queued work, flips healthz to 503,
+// rejects new submissions with 503, and returns once idle.
+func TestServerDrain(t *testing.T) {
+	r := &stubRunner{block: make(chan struct{}), started: make(chan string, 16)}
+	s, base := newTestServer(t, ServerConfig{Workers: 1, QueueDepth: 8}, r)
+
+	sub := decode[submitResponse](t, postJSON(t, base+"/v1/batches", submitRequest{Jobs: []JobSpec{
+		{Workload: "d1", Toolchain: "base", Machine: "base32"},
+		{Workload: "d2", Toolchain: "base", Machine: "base32"},
+	}}))
+	<-r.started // d1 running, d2 queued
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(context.Background()) }()
+
+	// Draining state must be visible before the pool empties.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healthz never reported draining")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rej := postJSON(t, base+"/v1/batches", submitRequest{Jobs: []JobSpec{
+		{Workload: "late", Toolchain: "base", Machine: "base32"},
+	}})
+	if rej.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %d, want 503", rej.StatusCode)
+	}
+	rej.Body.Close()
+
+	close(r.block) // let d1 (and then the queued d2) finish
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	b := getBatch(t, base, sub.Batch)
+	if b["done"].(float64) != 2 {
+		t.Fatalf("after drain: %+v, want both jobs done", b)
+	}
+}
+
+// TestServerSyncRunClientDisconnect: an aborted /v1/run request cancels
+// the in-flight simulation through the request context.
+func TestServerSyncRunClientDisconnect(t *testing.T) {
+	r := &stubRunner{block: make(chan struct{}), started: make(chan string, 1)}
+	defer close(r.block)
+	_, base := newTestServer(t, ServerConfig{Workers: 1}, r)
+
+	body, _ := json.Marshal(JobSpec{Workload: "sync", Toolchain: "base", Machine: "base32"})
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/run", bytes.NewReader(body))
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		errCh <- err
+	}()
+	<-r.started // handler is inside Run
+	cancel()    // client disconnects
+	if err := <-errCh; err == nil {
+		t.Fatal("cancelled request returned no error to the client")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !r.sawCtx.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("runner never observed the client disconnect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerMetrics: /metrics surfaces queue/worker state, job counters,
+// and per-job stall/latency summaries.
+func TestServerMetrics(t *testing.T) {
+	_, base := newTestServer(t, ServerConfig{Workers: 2}, &stubRunner{})
+	sub := decode[submitResponse](t, postJSON(t, base+"/v1/batches", submitRequest{Jobs: []JobSpec{
+		{Workload: "m1", Toolchain: "base", Machine: "base32"},
+		{Workload: "m2", Toolchain: "base", Machine: "base32"},
+	}}))
+	waitTerminal(t, base, sub.Batch)
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := decode[map[string]any](t, resp)
+	jobs := m["jobs"].(map[string]any)
+	if jobs["submitted"].(float64) != 2 || jobs["completed"].(float64) != 2 {
+		t.Fatalf("metrics jobs %+v", jobs)
+	}
+	runs := m["runs"].([]any)
+	if len(runs) != 2 {
+		t.Fatalf("metrics runs %+v", runs)
+	}
+	first := runs[0].(map[string]any)
+	for _, field := range []string{"job", "key", "cycles", "ipc", "stall_cycles", "load_latency_mean"} {
+		if _, ok := first[field]; !ok {
+			t.Fatalf("run summary missing %q: %+v", field, first)
+		}
+	}
+	if m["workers"].(float64) != 2 {
+		t.Fatalf("metrics workers %+v", m["workers"])
+	}
+}

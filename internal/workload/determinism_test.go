@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestBuildDeterministic: building the same workload twice produces an
+// identical program — instruction for instruction, symbol for symbol.
+// The toolchain once leaked map-iteration order into literal-pool layout
+// and strength-reduction rewrite order, which moved data addresses and
+// changed simulated timing from build to build; this pins the fix. Byte
+// determinism is also what makes the content-addressed result cache
+// (internal/simsvc) safe: the cache key hashes the source, not the
+// build, so two builds of one source must time identically.
+func TestBuildDeterministic(t *testing.T) {
+	for _, w := range All() {
+		for _, tc := range []struct {
+			name string
+			tc   Toolchain
+		}{{"base", BaseToolchain()}, {"fac", FACToolchain()}} {
+			p1, err := Build(w, tc.tc)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", w.Name, tc.name, err)
+			}
+			p2, err := Build(w, tc.tc)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", w.Name, tc.name, err)
+			}
+			b1, err := json.Marshal(p1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := json.Marshal(p2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(b1) != string(b2) {
+				t.Errorf("%s/%s: two builds of the same source differ", w.Name, tc.name)
+			}
+		}
+	}
+}

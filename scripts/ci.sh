@@ -10,6 +10,10 @@
 #                                    difftest seed counts, which -race would
 #                                    otherwise stretch past 15 minutes)
 #   fuzz smoke                ~40s  (4 targets x 5s plus instrumented builds)
+#   facd smoke                ~15s  (boot the simulation daemon on an
+#                                    ephemeral port, run a tiny batch, verify
+#                                    the RunRecord report and the cache-served
+#                                    resubmission, SIGTERM, assert clean drain)
 #
 # The fuzz smoke stage runs each differential fuzz target briefly against
 # its committed seed corpus plus a few seconds of mutation, so a crasher
@@ -43,5 +47,8 @@ for target in FuzzFACPredict FuzzEncodeDecode FuzzAsmRoundtrip FuzzEmuVsPipeline
     echo "-- $target"
     go test ./internal/difftest/ -run '^$' -fuzz "^${target}\$" -fuzztime 5s
 done
+
+echo "== facd smoke =="
+go run ./scripts/facdsmoke
 
 echo "CI OK"

@@ -1,0 +1,211 @@
+// Command facdsmoke is the CI smoke test for the facd daemon: it builds
+// facd, boots it on an ephemeral port with a fresh result cache, submits
+// a tiny batch, verifies the returned RunRecord report, re-submits the
+// batch to prove it is served from the persistent cache, then sends
+// SIGTERM and asserts a clean drain (exit 0). Run from the repo root:
+//
+//	go run ./scripts/facdsmoke
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "facdsmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("facdsmoke OK")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "facdsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "facd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/facd")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build facd: %w", err)
+	}
+
+	daemon := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-cache", filepath.Join(tmp, "cache"),
+		"-max-insts", "5000000",
+	)
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return fmt.Errorf("start facd: %w", err)
+	}
+	defer daemon.Process.Kill()
+
+	// Collect stdout, handing the ready line to the main goroutine.
+	ready := make(chan string, 1)
+	scanDone := make(chan struct{})
+	var outBuf bytes.Buffer
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			outBuf.WriteString(line + "\n")
+			if addr, ok := strings.CutPrefix(line, "facd listening on "); ok {
+				ready <- addr
+			}
+		}
+	}()
+
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("facd never announced its address")
+	}
+
+	batch := `{"jobs": [{"workload": "queens", "toolchain": "base", "machine": "base32"}]}`
+	submit := func() (string, error) {
+		resp, err := http.Post(base+"/v1/batches", "application/json", strings.NewReader(batch))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		var sub struct {
+			Batch string `json:"batch"`
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return "", fmt.Errorf("submit status %d: %s", resp.StatusCode, sub.Error)
+		}
+		return sub.Batch, nil
+	}
+	wait := func(id string) error {
+		deadline := time.Now().Add(2 * time.Minute)
+		for {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("batch %s never finished", id)
+			}
+			resp, err := http.Get(base + "/v1/batches/" + id)
+			if err != nil {
+				return err
+			}
+			var st struct {
+				Terminal bool `json:"terminal"`
+				Done     int  `json:"done"`
+				Total    int  `json:"total"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			if st.Terminal {
+				if st.Done != st.Total {
+					return fmt.Errorf("batch %s: %d/%d jobs done", id, st.Done, st.Total)
+				}
+				return nil
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+
+	// First pass: a fresh simulation, reported as a canonical RunRecord.
+	id, err := submit()
+	if err != nil {
+		return err
+	}
+	if err := wait(id); err != nil {
+		return err
+	}
+	resp, err := http.Get(base + "/v1/batches/" + id + "/report")
+	if err != nil {
+		return err
+	}
+	var rep bytes.Buffer
+	if _, err := rep.ReadFrom(resp.Body); err != nil {
+		return err
+	}
+	resp.Body.Close()
+	report, err := obs.DecodeReport(rep.Bytes())
+	if err != nil {
+		return fmt.Errorf("report does not decode: %w", err)
+	}
+	if len(report.Records) != 1 {
+		return fmt.Errorf("report has %d records, want 1", len(report.Records))
+	}
+	rec := report.Records[0]
+	if rec.Benchmark != "queens" || rec.Cycles == 0 || rec.IPC == 0 {
+		return fmt.Errorf("degenerate record: %+v", rec)
+	}
+
+	// Second pass: same batch again, served from the persistent cache.
+	id2, err := submit()
+	if err != nil {
+		return err
+	}
+	if err := wait(id2); err != nil {
+		return err
+	}
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	var metrics struct {
+		Jobs struct {
+			CacheHits uint64 `json:"cache_hits"`
+		} `json:"jobs"`
+	}
+	err = json.NewDecoder(mresp.Body).Decode(&metrics)
+	mresp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if metrics.Jobs.CacheHits == 0 {
+		return fmt.Errorf("resubmitted batch was not served from cache")
+	}
+
+	// SIGTERM: the daemon must drain and exit 0.
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	// Wait for the scanner to reach EOF before calling Wait: Wait closes
+	// the stdout pipe on process exit, which can drop the final drain
+	// lines the scanner has not read yet. EOF also means outBuf is
+	// complete and safe to read from this goroutine.
+	select {
+	case <-scanDone:
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("facd did not exit after SIGTERM")
+	}
+	if err := daemon.Wait(); err != nil {
+		return fmt.Errorf("facd exited uncleanly: %w\noutput:\n%s", err, outBuf.String())
+	}
+	if !strings.Contains(outBuf.String(), "facd drained cleanly") {
+		return fmt.Errorf("missing clean-drain message; output:\n%s", outBuf.String())
+	}
+	return nil
+}
