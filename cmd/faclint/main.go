@@ -1,0 +1,208 @@
+// Command faclint statically classifies every load/store site of a program
+// by fast-address-calculation predictability (internal/staticfac): for each
+// site it proves that the predictor can never fail (proven_predictable),
+// that it fails on every speculation (proven_failing), or reports unknown.
+// This is the compile-time side of the paper's Section 4 argument: software
+// alignment support exists precisely to move sites into the provable class.
+//
+// Usage:
+//
+//	faclint [-falign] [-block 32] [-sites] -benchmark compress
+//	faclint [-falign] -suite [-min-classified 0.5]
+//	faclint [-falign] [-json] input.c | input.s
+//
+// With -json, output follows the deterministic "fac/static/v1" schema
+// (docs/ANALYSIS.md). With -min-classified F the exit status is non-zero
+// unless at least fraction F of all sites received a non-unknown verdict —
+// the CI smoke gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/fac"
+	"repro/internal/minic"
+	"repro/internal/prog"
+	"repro/internal/staticfac"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("benchmark", "", "analyze a built-in benchmark")
+		suite   = flag.Bool("suite", false, "analyze the full benchmark suite")
+		falign  = flag.Bool("falign", false, "compile with software alignment support")
+		block   = flag.Int("block", 32, "cache block size for the predictor (16 or 32)")
+		setBits = flag.Uint("setbits", 14, "log2 of the direct-mapped cache span in bytes")
+		sites   = flag.Bool("sites", false, "print the per-site verdict table")
+		jsonOut = flag.Bool("json", false, "emit the fac/static/v1 JSON report")
+		minFrac = flag.Float64("min-classified", 0, "exit non-zero unless this fraction of sites is classified")
+	)
+	flag.Parse()
+
+	blockBits := uint(5)
+	if *block == 16 {
+		blockBits = 4
+	}
+	geom := fac.Config{BlockBits: blockBits, SetBits: *setBits}
+	if err := geom.Validate(); err != nil {
+		fatal(err)
+	}
+	toolchain := "base"
+	if *falign {
+		toolchain = "falign"
+	}
+
+	type input struct {
+		name string
+		p    *prog.Program
+	}
+	var inputs []input
+	switch {
+	case *suite:
+		tc := workload.BaseToolchain()
+		if *falign {
+			tc = workload.FACToolchain()
+		}
+		for _, w := range workload.All() {
+			p, err := workload.Build(w, tc)
+			if err != nil {
+				fatal(fmt.Errorf("build %s: %w", w.Name, err))
+			}
+			inputs = append(inputs, input{w.Name, p})
+		}
+	case *bench != "":
+		p, err := buildBench(*bench, *falign)
+		if err != nil {
+			fatal(err)
+		}
+		inputs = append(inputs, input{*bench, p})
+	default:
+		if flag.NArg() == 0 {
+			fatal(fmt.Errorf("need -benchmark NAME, -suite, or input files"))
+		}
+		for _, arg := range flag.Args() {
+			p, err := buildFile(arg, *falign)
+			if err != nil {
+				fatal(err)
+			}
+			name := strings.TrimSuffix(filepath.Base(arg), filepath.Ext(arg))
+			inputs = append(inputs, input{name, p})
+		}
+	}
+
+	var report *staticfac.Report
+	var total, classified int
+	for _, in := range inputs {
+		a := staticfac.Analyze(in.p, geom)
+		s := a.Summary()
+		total += s.Sites
+		classified += s.Sites - s.ByVerdict[staticfac.VerdictUnknown]
+		if *jsonOut {
+			if report == nil {
+				report = staticfac.NewReport(a)
+			}
+			report.Add(in.name, toolchain, a)
+			continue
+		}
+		fmt.Printf("%-10s %-7s sites %4d: proven_predictable %4d, proven_failing %3d, unknown %4d  [classified %5.1f%%]\n",
+			in.name, toolchain, s.Sites,
+			s.ByVerdict[staticfac.VerdictPredictable],
+			s.ByVerdict[staticfac.VerdictFailing],
+			s.ByVerdict[staticfac.VerdictUnknown],
+			100*s.Classified())
+		if *sites {
+			printSites(in.p, a)
+		}
+	}
+	if *jsonOut && report != nil {
+		b, err := report.Encode()
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(b)
+	} else if len(inputs) > 1 {
+		frac := 0.0
+		if total > 0 {
+			frac = float64(classified) / float64(total)
+		}
+		fmt.Printf("%-10s %-7s sites %4d classified %d  [%.1f%%]\n", "TOTAL", toolchain, total, classified, 100*frac)
+	}
+	if *minFrac > 0 {
+		frac := 0.0
+		if total > 0 {
+			frac = float64(classified) / float64(total)
+		}
+		if total == 0 || frac < *minFrac {
+			fmt.Fprintf(os.Stderr, "faclint: classified fraction %.3f below required %.3f (%d/%d sites)\n",
+				frac, *minFrac, classified, total)
+			os.Exit(1)
+		}
+	}
+}
+
+func printSites(p *prog.Program, a *staticfac.Analysis) {
+	fmt.Printf("  %-10s %-19s %-22s %-28s %-13s %-13s %s\n",
+		"pc", "verdict", "can-fail", "instruction", "base", "offset", "function")
+	for i := range a.Sites {
+		s := &a.Sites[i]
+		canFail := "-"
+		if s.CanFail != 0 {
+			canFail = s.CanFail.String()
+		}
+		fn := s.Func
+		if !s.Reached {
+			fn += " (dead)"
+		}
+		fmt.Printf("  %#08x  %-19s %-22s %-28s %-13s %-13s %s\n",
+			s.PC, s.Verdict, canFail, s.Inst.String(), s.Base, s.Offset, fn)
+	}
+}
+
+func buildBench(name string, falign bool) (*prog.Program, error) {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	tc := workload.BaseToolchain()
+	if falign {
+		tc = workload.FACToolchain()
+	}
+	return workload.Build(w, tc)
+}
+
+func buildFile(path string, falign bool) (*prog.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	link := prog.DefaultConfig()
+	opts := minic.BaseOptions()
+	if falign {
+		opts = minic.FACOptions()
+		link.AlignGP = true
+	}
+	if strings.HasSuffix(path, ".s") {
+		obj, err := asm.Assemble(string(src))
+		if err != nil {
+			return nil, err
+		}
+		return prog.Link(obj, link)
+	}
+	asmText, err := minic.Compile(string(src), opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.Build(asmText, link)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "faclint:", err)
+	os.Exit(1)
+}

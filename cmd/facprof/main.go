@@ -34,6 +34,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/profile"
 	"repro/internal/prog"
+	"repro/internal/staticfac"
 	"repro/internal/workload"
 )
 
@@ -43,6 +44,7 @@ func main() {
 		falign = flag.Bool("falign", false, "compile with software support")
 		block  = flag.Int("block", 32, "cache block size for the predictor (16 or 32)")
 		top    = flag.Int("top", 15, "number of top mispredicting sites to show")
+		static = flag.Bool("static", false, "add the static FAC-predictability verdict column (internal/staticfac)")
 	)
 	flag.Parse()
 
@@ -83,11 +85,36 @@ func main() {
 		*block, 100*prof.LoadFailRate(0), 100*prof.StoreFailRate(0),
 		100*prof.LoadFailRateNoRR(0), 100*prof.StoreFailRateNoRR(0))
 
+	var analysis *staticfac.Analysis
+	if *static {
+		analysis = staticfac.Analyze(p, cfg.FACGeometry())
+		s := analysis.Summary()
+		fmt.Printf("static verdicts: proven_predictable %d, proven_failing %d, unknown %d of %d sites [classified %.1f%%]\n\n",
+			s.ByVerdict[staticfac.VerdictPredictable],
+			s.ByVerdict[staticfac.VerdictFailing],
+			s.ByVerdict[staticfac.VerdictUnknown],
+			s.Sites, 100*s.Classified())
+	}
+
 	list := sites.TopFailing(*top)
 	fmt.Printf("top mispredicting sites (speculated accesses on the FAC machine):\n")
-	fmt.Printf("%-10s %-10s %-8s %-24s %-28s %s\n", "pc", "fails", "rate", "signals", "instruction", "function")
+	if *static {
+		fmt.Printf("%-10s %-10s %-8s %-24s %-15s %-28s %s\n", "pc", "fails", "rate", "signals", "static", "instruction", "function")
+	} else {
+		fmt.Printf("%-10s %-10s %-8s %-24s %-28s %s\n", "pc", "fails", "rate", "signals", "instruction", "function")
+	}
 	for _, s := range list {
 		in, _ := p.InstAt(s.PC)
+		if *static {
+			verdict := "-"
+			if site := analysis.SiteAt(s.PC); site != nil {
+				verdict = site.Verdict.String()
+			}
+			fmt.Printf("%#08x  %-10d %6.1f%%  %-24s %-15s %-28s %s\n",
+				s.PC, s.Fails, 100*s.FailRate(),
+				s.FailMask.String(), verdict, in.String(), p.FuncName(s.PC))
+			continue
+		}
 		fmt.Printf("%#08x  %-10d %6.1f%%  %-24s %-28s %s\n",
 			s.PC, s.Fails, 100*s.FailRate(),
 			s.FailMask.String(), in.String(), p.FuncName(s.PC))

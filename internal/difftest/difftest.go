@@ -33,6 +33,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/fac"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/prog"
 )
@@ -203,11 +204,18 @@ func RunMachines(p *prog.Program, maxInsts uint64, machines []Machine) error {
 	if err != nil {
 		return fmt.Errorf("difftest: reference run: %v", err)
 	}
+	static := newStaticOracle(p)
 	for _, m := range machines {
 		e := emu.New(p)
 		e.MaxInsts = maxInsts
 		ck := newChecker(m)
-		st, err := pipeline.RunObserved(m.Cfg, emuSource{e}, ck)
+		sink := obs.Sink(ck)
+		var sites *obs.SiteCollector
+		if m.Cfg.FAC {
+			sites = obs.NewSiteCollector()
+			sink = obs.Tee{ck, sites}
+		}
+		st, err := pipeline.RunObserved(m.Cfg, emuSource{e}, sink)
 		if err != nil {
 			return fmt.Errorf("difftest: machine %s: %v", m.Name, err)
 		}
@@ -216,6 +224,11 @@ func RunMachines(p *prog.Program, maxInsts uint64, machines []Machine) error {
 		}
 		if err := ck.verify(st, refCounts(ref.Trace)); err != nil {
 			return fmt.Errorf("difftest: machine %s: %v", m.Name, err)
+		}
+		if sites != nil {
+			if err := static.check(m.Cfg.FACGeometry(), sites); err != nil {
+				return fmt.Errorf("difftest: machine %s: %v", m.Name, err)
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,69 @@
+package difftest
+
+import (
+	"fmt"
+
+	"repro/internal/fac"
+	"repro/internal/obs"
+	"repro/internal/prog"
+	"repro/internal/staticfac"
+)
+
+// staticOracle caches one static FAC-predictability analysis per predictor
+// geometry and checks every dynamic per-site counter stream against it.
+// This is the soundness cross-check of the static analysis: the dataflow
+// claims hold for EVERY execution, so one observed execution can refute
+// them but never confirm them — any disagreement is a bug in the analysis
+// (or in the predictor model it reasons about).
+type staticOracle struct {
+	p  *prog.Program
+	by map[fac.Config]*staticfac.Analysis
+}
+
+func newStaticOracle(p *prog.Program) *staticOracle {
+	return &staticOracle{p: p, by: make(map[fac.Config]*staticfac.Analysis)}
+}
+
+func (o *staticOracle) analysis(g fac.Config) *staticfac.Analysis {
+	a := o.by[g]
+	if a == nil {
+		a = staticfac.Analyze(o.p, g)
+		o.by[g] = a
+	}
+	return a
+}
+
+// check verifies one machine's dynamic site counters against the static
+// verdicts for that machine's geometry:
+//
+//   - every dynamically speculated site must exist statically and be
+//     reachable in the recovered CFG;
+//   - every observed failure signal must be in the static CanFail set;
+//   - proven_predictable sites must never replay;
+//   - proven_failing (MustFail) sites must replay on every speculation.
+func (o *staticOracle) check(g fac.Config, sites *obs.SiteCollector) error {
+	a := o.analysis(g)
+	for _, d := range sites.All() {
+		s := a.SiteAt(d.PC)
+		if s == nil {
+			return fmt.Errorf("static soundness: dynamic FAC site %#x has no static site", d.PC)
+		}
+		if !s.Reached {
+			return fmt.Errorf("static soundness: site %#x (%v) executed but statically unreachable",
+				d.PC, s.Inst)
+		}
+		if bad := d.FailMask &^ s.CanFail; bad != 0 {
+			return fmt.Errorf("static soundness: site %#x (%v) observed failure %v outside static CanFail %v",
+				d.PC, s.Inst, bad, s.CanFail)
+		}
+		if s.Verdict == staticfac.VerdictPredictable && d.Fails > 0 {
+			return fmt.Errorf("static soundness: proven_predictable site %#x (%v) replayed %d/%d speculations",
+				d.PC, s.Inst, d.Fails, d.Speculated)
+		}
+		if s.MustFail && d.Fails != d.Speculated {
+			return fmt.Errorf("static soundness: proven_failing site %#x (%v) verified %d of %d speculations",
+				d.PC, s.Inst, d.Speculated-d.Fails, d.Speculated)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+# Set-index carry: base and offset both have bit 5 set with zero low sums,
+# so the carry-free OR differs from true addition inside the index field on
+# every access.  Statically proven_failing: gencarry (the tag adder does not
+# help -- the conflict is in the index, not the tag).
+.data
+	.balign 64
+buf:	.space 128
+.text
+main:
+	la $t0, buf
+	addi $t0, $t0, 32
+	li $t3, 4
+loop:
+	lw $t1, 32($t0)
+	addi $t3, $t3, -1
+	bgtz $t3, loop
+	li $v0, 10
+	li $a0, 0
+	syscall

@@ -1,0 +1,19 @@
+# Large negative constant: the offset -64 reaches more than one block below
+# the base, which the prediction circuit rejects outright (and the zero low
+# sum produces no borrow, failing the overflow check as well).  Statically
+# proven_failing: largenegconst|overflow.
+.data
+	.balign 32
+buf:	.space 128
+.text
+main:
+	la $t0, buf
+	addi $t0, $t0, 64
+	li $t3, 4
+loop:
+	lw $t1, -64($t0)
+	addi $t3, $t3, -1
+	bgtz $t3, loop
+	li $v0, 10
+	li $a0, 0
+	syscall

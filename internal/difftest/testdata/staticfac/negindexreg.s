@@ -1,0 +1,20 @@
+# Negative index register: register+register addressing with a sign-bit-set
+# index arrives too late for negative-offset handling, so every speculation
+# fails.  Only machines with SpeculateRegReg replay it dynamically, but the
+# static verdict (proven_failing: negindexreg) holds regardless.
+.data
+	.balign 32
+buf:	.space 64
+.text
+main:
+	la $t0, buf
+	addi $t0, $t0, 32
+	li $t2, -8
+	li $t3, 4
+loop:
+	lwx $t1, ($t0+$t2)
+	addi $t3, $t3, -1
+	bgtz $t3, loop
+	li $v0, 10
+	li $a0, 0
+	syscall

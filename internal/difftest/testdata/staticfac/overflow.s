@@ -1,0 +1,18 @@
+# Block-offset overflow: the base register ends 28 (mod 32), so adding the
+# constant offset 8 carries out of the block-offset field on every access
+# (16- and 32-byte blocks alike).  Statically proven_failing: overflow.
+.data
+	.balign 32
+buf:	.space 64
+.text
+main:
+	la $t0, buf
+	addi $t0, $t0, 28
+	li $t3, 4
+loop:
+	lw $t1, 8($t0)
+	addi $t3, $t3, -1
+	bgtz $t3, loop
+	li $v0, 10
+	li $a0, 0
+	syscall

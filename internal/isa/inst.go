@@ -165,6 +165,21 @@ func (in Inst) Defs(buf []uint8) []uint8 {
 	return buf
 }
 
+// ControlTarget returns the statically-known target address of a direct
+// control transfer located at pc: conditional branches (Imm is the signed
+// byte displacement from the next instruction) and J/JAL (Imm is the
+// absolute byte target). ok is false for indirect transfers (JR, JALR) and
+// for non-control instructions.
+func (in Inst) ControlTarget(pc uint32) (target uint32, ok bool) {
+	switch {
+	case in.Op.IsBranch():
+		return pc + InstBytes + uint32(in.Imm), true
+	case in.Op == J || in.Op == JAL:
+		return uint32(in.Imm), true
+	}
+	return 0, false
+}
+
 // BaseReg returns the base register of a memory instruction.
 func (in Inst) BaseReg() Reg { return in.Rs }
 

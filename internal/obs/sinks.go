@@ -75,6 +75,18 @@ func (c *SiteCollector) TopFailing(n int) []*SiteStats {
 	return list
 }
 
+// All returns every observed site ordered by PC — the deterministic
+// iteration order used when cross-checking dynamic counters against
+// static verdicts (internal/difftest, cmd/facprof -static).
+func (c *SiteCollector) All() []*SiteStats {
+	list := make([]*SiteStats, 0, len(c.Sites))
+	for _, s := range c.Sites {
+		list = append(list, s)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].PC < list[j].PC })
+	return list
+}
+
 // Counter is a trivial sink counting events by kind; used by tests and
 // quick sanity checks.
 type Counter struct {

@@ -339,11 +339,41 @@ func (p *Program) TextEnd() uint32 {
 // SymbolNames returns the defined symbol names in sorted order.
 func (p *Program) SymbolNames() []string {
 	names := make([]string, 0, len(p.Symbols))
-	for n := range p.Symbols {
+	for n := range p.Symbols { //lint:sorted
+
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	return names
+}
+
+// TextSym is one entry of the program's function table.
+type TextSym struct {
+	Name string
+	Addr uint32
+}
+
+// TextSyms returns the non-local symbols inside the text segment (local
+// labels start with '.'), sorted by address then name — the function table
+// static analyses partition the text with. Every address a call can target
+// under the toolchain's linkage conventions appears here.
+func (p *Program) TextSyms() []TextSym {
+	var out []TextSym
+	for n, a := range p.Symbols { //lint:sorted
+		if len(n) > 0 && n[0] == '.' {
+			continue
+		}
+		if a >= p.TextBase && a < p.TextEnd() {
+			out = append(out, TextSym{Name: n, Addr: a})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
 }
 
 // FuncName returns the name of the function symbol covering pc, for

@@ -1,0 +1,486 @@
+package staticfac
+
+import (
+	"sort"
+
+	"repro/internal/fac"
+	"repro/internal/isa"
+	"repro/internal/prog"
+)
+
+// AssumptionsNote documents the linkage facts the interprocedural analysis
+// relies on. They hold for everything the MiniC toolchain emits and for
+// ABI-clean hand assembly; internal/difftest cross-validates the resulting
+// verdicts dynamically on every fuzzed program.
+const AssumptionsNote = `the analysis assumes the toolchain's linkage conventions:
+(1) callees preserve $sp across jal/jalr (caller-sp survives to the return point);
+(2) indirect jumps target function symbols (jalr) or post-call return points (jr);
+(3) direct jumps and branches may target anything, and are followed exactly.`
+
+// Site is the analysis result for one static memory-access instruction.
+type Site struct {
+	PC   uint32
+	Inst isa.Inst
+	Func string
+	// Store marks store sites (predictable stores matter only to machines
+	// that speculate stores, but the verdict is a circuit property).
+	Store bool
+	Mode  isa.AddrMode
+	// Base and Offset are the abstract operand values flowing into the
+	// predictor at this site (the offset of an AMConst/AMPost site is exact
+	// by construction).
+	Base, Offset KB
+	// CanFail is the union of failure signals some execution may raise;
+	// MustFail reports that every execution raises at least one of them.
+	CanFail  fac.Failure
+	MustFail bool
+	Verdict  Verdict
+	// Reached is false when the dataflow never reached the site (dead code
+	// or code reachable only outside the linkage assumptions); such sites
+	// are classified from the flow-insensitive register invariant alone.
+	Reached bool
+}
+
+// Analysis holds per-site verdicts for one program under one predictor
+// geometry.
+type Analysis struct {
+	Geom  fac.Config
+	Sites []Site // sorted by PC
+	byPC  map[uint32]int
+}
+
+// SiteAt returns the site at pc, or nil if pc is not a memory instruction.
+func (a *Analysis) SiteAt(pc uint32) *Site {
+	if i, ok := a.byPC[pc]; ok {
+		return &a.Sites[i]
+	}
+	return nil
+}
+
+// Summary is the per-program verdict tally.
+type Summary struct {
+	Sites, Loads, Stores int
+	ByVerdict            [3]int // indexed by Verdict
+}
+
+// Classified returns the fraction of sites with a non-Unknown verdict.
+func (s Summary) Classified() float64 {
+	if s.Sites == 0 {
+		return 0
+	}
+	return float64(s.Sites-s.ByVerdict[VerdictUnknown]) / float64(s.Sites)
+}
+
+// Summary tallies the analysis verdicts.
+func (a *Analysis) Summary() Summary {
+	var s Summary
+	for i := range a.Sites {
+		st := &a.Sites[i]
+		s.Sites++
+		if st.Store {
+			s.Stores++
+		} else {
+			s.Loads++
+		}
+		s.ByVerdict[st.Verdict]++
+	}
+	return s
+}
+
+// Analyze runs the whole-program dataflow and classifies every memory
+// access site of p under geometry g.
+func Analyze(p *prog.Program, g fac.Config) *Analysis {
+	az := newAnalyzer(p)
+	siteStates := az.run()
+
+	a := &Analysis{Geom: g, byPC: make(map[uint32]int)}
+	for i, in := range p.Insts {
+		if !in.Op.IsMem() {
+			continue
+		}
+		pc := az.pcOf(i)
+		st, reached := siteStates[i]
+		if !reached {
+			st = az.inv // sound at every program point
+		}
+		site := Site{
+			PC:      pc,
+			Inst:    in,
+			Func:    p.FuncName(pc),
+			Store:   in.Op.IsStore(),
+			Mode:    in.Op.Mode(),
+			Base:    st[in.BaseReg()],
+			Reached: reached,
+		}
+		isReg := false
+		switch site.Mode {
+		case isa.AMConst:
+			site.Offset = Exact(uint32(in.Imm))
+		case isa.AMReg:
+			site.Offset = st[in.IndexReg()]
+			isReg = true
+		case isa.AMPost:
+			site.Offset = Exact(0)
+		}
+		site.CanFail, site.MustFail = Classify(g, site.Base, site.Offset, isReg)
+		site.Verdict = verdictOf(site.CanFail, site.MustFail)
+		a.byPC[pc] = len(a.Sites)
+		a.Sites = append(a.Sites, site)
+	}
+	return a
+}
+
+// block is one basic block: the inclusive instruction-index range plus the
+// control edges leaving it.
+type block struct {
+	first, last int
+	succs       []int // direct edges (branch target, jump target, fallthrough)
+	callFall    int   // block entered on return from a jal/jalr, -1 if none
+	callTarget  uint32
+	hasTarget   bool // callTarget valid (jal); jalr targets are indirect
+	isCall      bool
+	spEscapes   bool // jr to a non-$ra register: a computed tail call
+}
+
+type analyzer struct {
+	p       *prog.Program
+	inv     State // flow-insensitive register invariant, sound everywhere
+	blocks  []block
+	blockAt map[uint32]int
+	entries []uint32 // candidate indirect-call targets: non-local text symbols + the entry point
+}
+
+func (az *analyzer) pcOf(i int) uint32 { return az.p.TextBase + uint32(i)*isa.InstBytes }
+
+func newAnalyzer(p *prog.Program) *analyzer {
+	az := &analyzer{p: p, blockAt: make(map[uint32]int)}
+	az.inv = invariant(p)
+
+	seen := map[uint32]bool{p.Entry: true}
+	az.entries = append(az.entries, p.Entry)
+	for _, s := range p.TextSyms() {
+		if !seen[s.Addr] {
+			seen[s.Addr] = true
+			az.entries = append(az.entries, s.Addr)
+		}
+	}
+	sort.Slice(az.entries, func(i, j int) bool { return az.entries[i] < az.entries[j] })
+
+	n := len(p.Insts)
+	if n == 0 {
+		return az
+	}
+	leader := make([]bool, n)
+	leader[0] = true
+	idxOf := func(pc uint32) (int, bool) {
+		if pc < p.TextBase || pc >= p.TextEnd() || pc&3 != 0 {
+			return 0, false
+		}
+		return int((pc - p.TextBase) / isa.InstBytes), true
+	}
+	for _, e := range az.entries {
+		if i, ok := idxOf(e); ok {
+			leader[i] = true
+		}
+	}
+	for i, in := range p.Insts {
+		if !in.Op.IsControl() {
+			continue
+		}
+		if i+1 < n {
+			leader[i+1] = true
+		}
+		if t, ok := in.ControlTarget(az.pcOf(i)); ok {
+			if j, ok2 := idxOf(t); ok2 {
+				leader[j] = true
+			}
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		if !leader[i] {
+			continue
+		}
+		last := i
+		for last+1 < n && !leader[last+1] {
+			last++
+		}
+		az.blockAt[az.pcOf(i)] = len(az.blocks)
+		az.blocks = append(az.blocks, block{first: i, last: last, callFall: -1})
+	}
+
+	for bi := range az.blocks {
+		b := &az.blocks[bi]
+		in := p.Insts[b.last]
+		next := -1
+		if b.last+1 < n {
+			next = az.blockAt[az.pcOf(b.last+1)]
+		}
+		target := -1
+		if t, ok := in.ControlTarget(az.pcOf(b.last)); ok {
+			if j, ok2 := idxOf(t); ok2 {
+				target = az.blockAt[az.pcOf(j)]
+			}
+			if in.Op == isa.JAL {
+				b.callTarget, b.hasTarget = t, true
+			}
+		}
+		switch {
+		case in.Op == isa.JAL:
+			b.isCall = true
+			b.callFall = next
+		case in.Op == isa.JALR:
+			b.isCall = true
+			b.callFall = next
+		case in.Op == isa.JR:
+			if in.Rs != isa.RA {
+				b.spEscapes = true
+			}
+		case in.Op == isa.J:
+			if target >= 0 {
+				b.succs = append(b.succs, target)
+			}
+		case in.Op.IsBranch():
+			if target >= 0 {
+				b.succs = append(b.succs, target)
+			}
+			if next >= 0 {
+				b.succs = append(b.succs, next)
+			}
+		default:
+			if next >= 0 {
+				b.succs = append(b.succs, next)
+			}
+		}
+	}
+	return az
+}
+
+// invariant computes the flow-insensitive register invariant: the least
+// state that contains the architectural startup values ($gp, $sp, zeroed
+// registers; $ra holds the emulator's halt address, tracked as Unknown so
+// the analysis does not depend on it) and is closed under every
+// instruction's transfer function. It is sound at every reachable point.
+func invariant(p *prog.Program) State {
+	var inv State
+	for r := range inv {
+		inv[r] = Exact(0)
+	}
+	inv[isa.GP] = Exact(p.GP)
+	inv[isa.SP] = Exact(p.SP)
+	inv[isa.RA] = Unknown
+	var defs []uint8
+	for changed := true; changed; {
+		changed = false
+		for i, in := range p.Insts {
+			tmp := inv
+			Step(&tmp, in, p.TextBase+uint32(i)*isa.InstBytes)
+			defs = in.Defs(defs[:0])
+			for _, d := range defs {
+				if d >= isa.NumRegs {
+					continue // FP registers and the condition flag
+				}
+				j := inv[d].Join(tmp[d])
+				if j != inv[d] {
+					inv[d] = j
+					changed = true
+				}
+			}
+		}
+	}
+	return inv
+}
+
+// flowOut is the result of one whole-program dataflow pass under a fixed
+// per-function entry-sp hypothesis.
+type flowOut struct {
+	sites     map[int]State // state before each reached memory instruction
+	espNext   map[uint32]KB // sp observed at direct calls, per target
+	espAll    KB            // sp observed at indirect calls / computed tail jumps
+	espAllSet bool
+}
+
+// run iterates the per-function entry-sp map to a fixpoint, then performs a
+// final recording pass. espMap[f] abstracts $sp on entry to function f over
+// all calls the program can perform; keeping it per-function (rather than
+// one global join) preserves exact stack pointers through non-recursive
+// call chains, which is what proves constant-offset stack accesses.
+func (az *analyzer) run() map[int]State {
+	esp := map[uint32]KB{az.p.Entry: Exact(az.p.SP)}
+	for iter := 0; ; iter++ {
+		out := az.flow(esp, false)
+		next := map[uint32]KB{az.p.Entry: Exact(az.p.SP)}
+		joinInto := func(pc uint32, kb KB) {
+			if _, ok := az.blockAt[pc]; !ok {
+				return
+			}
+			if cur, ok := next[pc]; ok {
+				next[pc] = cur.Join(kb)
+			} else {
+				next[pc] = kb
+			}
+		}
+		for t, kb := range out.espNext {
+			joinInto(t, kb)
+		}
+		if out.espAllSet {
+			for _, e := range az.entries {
+				joinInto(e, out.espAll)
+			}
+		}
+		if espEqual(esp, next) {
+			break
+		}
+		esp = next
+		if iter >= 100 {
+			// Safety valve: the chain is monotone and finite so this should
+			// never trigger, but degrade soundly rather than loop.
+			for k := range esp {
+				esp[k] = Unknown
+			}
+			for _, e := range az.entries {
+				esp[e] = Unknown
+			}
+			break
+		}
+	}
+	return az.flow(esp, true).sites
+}
+
+func espEqual(a, b map[uint32]KB) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if w, ok := b[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// entryState is the abstract state on entry to a function: the global
+// invariant with $sp narrowed to the entry hypothesis.
+func (az *analyzer) entryState(sp KB) State {
+	st := az.inv
+	st[isa.SP] = sp
+	return st
+}
+
+// returnState is the abstract state at a post-call return point: callers
+// may assume nothing about scratch registers (the invariant), and the ABI
+// guarantees $sp survived the call.
+func (az *analyzer) returnState(sp KB) State {
+	st := az.inv
+	st[isa.SP] = sp
+	return st
+}
+
+// flow runs the block-level dataflow to a fixpoint under the entry-sp
+// hypothesis, then sweeps the final states to collect call-site sp values
+// and (when record is set) the state before every memory instruction.
+func (az *analyzer) flow(esp map[uint32]KB, record bool) flowOut {
+	out := flowOut{espNext: make(map[uint32]KB)}
+	if record {
+		out.sites = make(map[int]State)
+	}
+	nb := len(az.blocks)
+	if nb == 0 {
+		return out
+	}
+	in := make([]State, nb)
+	have := make([]bool, nb)
+	queued := make([]bool, nb)
+	var queue []int
+	push := func(b int) {
+		if !queued[b] {
+			queued[b] = true
+			queue = append(queue, b)
+		}
+	}
+	propagate := func(b int, st State) {
+		if !have[b] {
+			in[b], have[b] = st, true
+			push(b)
+			return
+		}
+		j := JoinState(in[b], st)
+		if j != in[b] {
+			in[b] = j
+			push(b)
+		}
+	}
+
+	// Inject entry states for every hypothesized callee, in address order
+	// for determinism.
+	entryPCs := make([]uint32, 0, len(esp))
+	for pc := range esp {
+		if _, ok := az.blockAt[pc]; ok {
+			entryPCs = append(entryPCs, pc)
+		}
+	}
+	sort.Slice(entryPCs, func(i, j int) bool { return entryPCs[i] < entryPCs[j] })
+	for _, pc := range entryPCs {
+		propagate(az.blockAt[pc], az.entryState(esp[pc]))
+	}
+
+	// step walks one block from its in-state, invoking visit before each
+	// instruction, and returns the out-state.
+	step := func(bi int, visit func(i int, st *State)) State {
+		b := &az.blocks[bi]
+		st := in[bi]
+		for i := b.first; i <= b.last; i++ {
+			if visit != nil {
+				visit(i, &st)
+			}
+			Step(&st, az.p.Insts[i], az.pcOf(i))
+		}
+		return st
+	}
+
+	for len(queue) > 0 {
+		bi := queue[0]
+		queue = queue[1:]
+		queued[bi] = false
+		st := step(bi, nil)
+		b := &az.blocks[bi]
+		for _, s := range b.succs {
+			propagate(s, st)
+		}
+		if b.isCall && b.callFall >= 0 {
+			propagate(b.callFall, az.returnState(st[isa.SP]))
+		}
+	}
+
+	// Final sweep over the converged states: record site states and the sp
+	// values observed at call sites (the next entry-sp hypothesis).
+	joinEsp := func(t uint32, kb KB) {
+		if cur, ok := out.espNext[t]; ok {
+			out.espNext[t] = cur.Join(kb)
+		} else {
+			out.espNext[t] = kb
+		}
+	}
+	for bi := range az.blocks {
+		if !have[bi] {
+			continue
+		}
+		b := &az.blocks[bi]
+		st := step(bi, func(i int, s *State) {
+			if record && az.p.Insts[i].Op.IsMem() {
+				out.sites[i] = *s
+			}
+		})
+		switch {
+		case b.isCall && b.hasTarget:
+			joinEsp(b.callTarget, st[isa.SP])
+		case b.isCall || b.spEscapes:
+			if out.espAllSet {
+				out.espAll = out.espAll.Join(st[isa.SP])
+			} else {
+				out.espAll, out.espAllSet = st[isa.SP], true
+			}
+		}
+	}
+	return out
+}

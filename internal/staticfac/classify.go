@@ -1,0 +1,126 @@
+package staticfac
+
+import "repro/internal/fac"
+
+// Classify bounds the behaviour of fac.Config.Predict over every pair of
+// concrete operand values consistent with the abstract base and offset.
+//
+// can is the union of failure signals some consistent execution may raise
+// (can == 0 proves the site always predicts). must reports that every
+// consistent execution raises at least one signal (the site replays on
+// every speculation). Both directions are sound even when base and offset
+// are correlated (e.g. lwx r,(a+a)): "can" only over-approximates the
+// reachable pairs, and the "must" tests use per-operand lower bounds that
+// hold for any consistent pair.
+func Classify(g fac.Config, base, ofs KB, isRegOffset bool) (can fac.Failure, must bool) {
+	if isRegOffset {
+		switch {
+		case ofs.Ones&0x80000000 != 0:
+			// Sign bit proven set: the conservative path always fails.
+			return fac.FailNegIndexReg, true
+		case ofs.Zeros&0x80000000 != 0:
+			return classifyNonneg(g, base, ofs)
+		default:
+			// Sign unknown: non-negative executions behave like the
+			// carry-free path with the sign pinned to 0; negative executions
+			// always raise FailNegIndexReg. The site fails on every
+			// execution only if the non-negative side must fail too.
+			nn := ofs
+			nn.Zeros |= 0x80000000
+			can, must = classifyNonneg(g, base, nn)
+			return can | fac.FailNegIndexReg, must
+		}
+	}
+	// Constant (or post-increment zero) offset: exact by construction.
+	v := ofs.Ones
+	if int32(v) < 0 {
+		return classifyNegConst(g, base, v)
+	}
+	return classifyNonneg(g, base, ofs)
+}
+
+// classifyNonneg bounds the non-negative-offset path of Predict: a full add
+// in the block-offset field and carry-free OR in the index (and, without
+// the tag adder, tag) fields.
+func classifyNonneg(g fac.Config, base, ofs KB) (can fac.Failure, must bool) {
+	bm := uint32(1)<<g.BlockBits - 1
+	sm := uint32(1)<<g.SetBits - 1
+
+	// FailOverflow: the low-field sum carries out. The extremal sums bound
+	// every consistent execution's sum.
+	maxLow := base.MaxIn(bm) + ofs.MaxIn(bm)
+	minLow := base.MinIn(bm) + ofs.MinIn(bm)
+	if maxLow > bm {
+		can |= fac.FailOverflow
+		if minLow > bm {
+			must = true
+		}
+	}
+
+	// FailGenCarry: base&ofs generates a carry inside the OR'd fields.
+	conflictMask := sm &^ bm
+	if !g.TagAdder {
+		conflictMask |= ^sm
+	}
+	if ^base.Zeros & ^ofs.Zeros & conflictMask != 0 {
+		can |= fac.FailGenCarry
+		if base.Ones&ofs.Ones&conflictMask != 0 {
+			must = true
+		}
+	}
+	return can, must
+}
+
+// classifyNegConst bounds the negative-constant-offset path: the predicted
+// address stays in the base's block, so the offset must be small enough in
+// magnitude (FailLargeNegConst) and the low-field add must carry — i.e.
+// not borrow out of the block (FailOverflow).
+func classifyNegConst(g fac.Config, base KB, v uint32) (can fac.Failure, must bool) {
+	bm := uint32(1)<<g.BlockBits - 1
+	if v>>g.BlockBits != 1<<(32-g.BlockBits)-1 {
+		can |= fac.FailLargeNegConst
+		must = true
+	}
+	lowOfs := v & bm
+	minLow := base.MinIn(bm) + lowOfs
+	maxLow := base.MaxIn(bm) + lowOfs
+	if minLow <= bm {
+		can |= fac.FailOverflow
+		if maxLow <= bm {
+			must = true
+		}
+	}
+	return can, must
+}
+
+// Verdict is the three-way classification of a memory-access site.
+type Verdict uint8
+
+const (
+	// VerdictUnknown: the analysis cannot bound the site's behaviour.
+	VerdictUnknown Verdict = iota
+	// VerdictPredictable: no reachable execution raises a failure signal.
+	VerdictPredictable
+	// VerdictFailing: every execution raises at least one failure signal.
+	VerdictFailing
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictPredictable:
+		return "proven_predictable"
+	case VerdictFailing:
+		return "proven_failing"
+	}
+	return "unknown"
+}
+
+func verdictOf(can fac.Failure, must bool) Verdict {
+	switch {
+	case must:
+		return VerdictFailing
+	case can == 0:
+		return VerdictPredictable
+	}
+	return VerdictUnknown
+}

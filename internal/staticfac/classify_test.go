@@ -1,0 +1,125 @@
+package staticfac
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fac"
+)
+
+// TestClassifySoundness is the randomized cross-check between the abstract
+// classifier and the concrete predictor: for random abstract operand pairs,
+// every concrete execution consistent with them must agree with the verdict.
+//
+//   - each concrete failure signal must appear in CanFail,
+//   - MustFail means every concrete pair fails,
+//   - CanFail == 0 (proven predictable) means no concrete pair fails.
+func TestClassifySoundness(t *testing.T) {
+	geoms := []fac.Config{
+		{BlockBits: 5, SetBits: 10},
+		{BlockBits: 4, SetBits: 10},
+		{BlockBits: 5, SetBits: 10, TagAdder: true},
+		{BlockBits: 5, SetBits: 14},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 4000; iter++ {
+		g := geoms[iter%len(geoms)]
+		base := randKB(rng, 5)
+		var ofs KB
+		isReg := iter%2 == 1
+		if isReg {
+			ofs = randKB(rng, 5)
+		} else {
+			// Constant offsets are always exact in real programs: the
+			// classifier's NegConst math assumes a concrete immediate.
+			ofs = Exact(uint32(int32(int16(rng.Uint32()))))
+		}
+		can, must := Classify(g, base, ofs, isReg)
+		verdict := verdictOf(can, must)
+
+		anyFail, allFail := false, true
+		for _, b := range enumerate(t, base) {
+			for _, o := range enumerate(t, ofs) {
+				res := g.Predict(b, o, isReg)
+				if res.OK {
+					allFail = false
+					continue
+				}
+				anyFail = true
+				if res.Failure&^can != 0 {
+					t.Fatalf("geom %+v base=%v ofs=%v isReg=%v: concrete (%#x,%#x) fails with %v not in CanFail %v",
+						g, base, ofs, isReg, b, o, res.Failure, can)
+				}
+			}
+		}
+		if must && !allFail {
+			t.Fatalf("geom %+v base=%v ofs=%v isReg=%v: MustFail but some concrete pair verifies",
+				g, base, ofs, isReg)
+		}
+		if verdict == VerdictPredictable && anyFail {
+			t.Fatalf("geom %+v base=%v ofs=%v isReg=%v: proven_predictable but a concrete pair fails",
+				g, base, ofs, isReg)
+		}
+	}
+}
+
+// TestClassifyKnownCases pins the paper's four failure modes on hand-built
+// operands with geometry BlockBits=5, SetBits=10 (1KB direct-mapped, 32B
+// blocks): the cases docs/ANALYSIS.md walks through.
+func TestClassifyKnownCases(t *testing.T) {
+	g := fac.Config{BlockBits: 5, SetBits: 10}
+	cases := []struct {
+		name    string
+		base    KB
+		ofs     KB
+		isReg   bool
+		verdict Verdict
+		can     fac.Failure
+	}{
+		// 32-aligned base, small positive constant: low sum cannot carry and
+		// no index/tag bits collide.
+		{"aligned-small", KB{Zeros: 0x1F}, Exact(8), false, VerdictPredictable, 0},
+		// Base ends in 28 (mod 32), offset 8: low sum is 36 on every run.
+		{"certain-overflow", KB{Zeros: ^uint32(0x1C), Ones: 0x1C}, Exact(8), false, VerdictFailing, fac.FailOverflow},
+		// Base bit 5 set with offset 32: carry-free OR differs from add in
+		// the index field on every run.
+		{"certain-gencarry", KB{Zeros: ^uint32(0x20), Ones: 0x20}, Exact(32), false, VerdictFailing, fac.FailGenCarry},
+		// Large negative constant (beyond one block below): rejected outright.
+		{"large-neg-const", Exact(0x1000), Exact(^uint32(63)), false, VerdictFailing, fac.FailLargeNegConst | fac.FailOverflow},
+		// Register offset with the sign bit proven set: negative index reg.
+		{"neg-index-reg", Exact(0x1000), KB{Zeros: ^uint32(0x80000000), Ones: 0x80000000}, true, VerdictFailing, fac.FailNegIndexReg},
+		// Unknown base, exact offset: can fail, cannot prove it always does.
+		{"unknown-base", Unknown, Exact(8), false, VerdictUnknown, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			can, must := Classify(g, tc.base, tc.ofs, tc.isReg)
+			v := verdictOf(can, must)
+			if v != tc.verdict {
+				t.Fatalf("verdict %v (can=%v must=%v), want %v", v, can, must, tc.verdict)
+			}
+			if tc.can != 0 && can&tc.can == 0 {
+				t.Fatalf("CanFail %v missing expected signal %v", can, tc.can)
+			}
+		})
+	}
+}
+
+// TestClassifyTagAdder checks that the optional tag-field adder removes
+// tag-carry failures but not index-carry failures.
+func TestClassifyTagAdder(t *testing.T) {
+	base := KB{Zeros: ^uint32(0x400), Ones: 0x400} // bit 10 set: tag field for SetBits=10
+	ofs := Exact(uint32(0x400))
+	plain := fac.Config{BlockBits: 5, SetBits: 10}
+	adder := fac.Config{BlockBits: 5, SetBits: 10, TagAdder: true}
+
+	can, must := Classify(plain, base, ofs, false)
+	if v := verdictOf(can, must); v != VerdictFailing {
+		t.Fatalf("plain geometry: verdict %v, want proven_failing", v)
+	}
+	can, must = Classify(adder, base, ofs, false)
+	if v := verdictOf(can, must); v != VerdictPredictable {
+		t.Fatalf("tag-adder geometry: verdict %v (can=%v), want proven_predictable", v, can)
+	}
+	_ = must
+}

@@ -1,0 +1,134 @@
+package staticfac_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fac"
+	"repro/internal/isa"
+	"repro/internal/minic"
+	"repro/internal/prog"
+	"repro/internal/staticfac"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func buildMicro(t *testing.T, name string, falign bool) *prog.Program {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", name+".c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := minic.BaseOptions()
+	link := prog.DefaultConfig()
+	if falign {
+		opts = minic.FACOptions()
+		link.AlignGP = true
+	}
+	asmText, err := minic.Compile(string(src), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Build(asmText, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestGoldenVerdicts pins the full fac/static/v1 report for the two
+// Section 4 microbenchmarks under both toolchains against golden files
+// (refresh with go test ./internal/staticfac -run Golden -update).
+func TestGoldenVerdicts(t *testing.T) {
+	geom := fac.Config{BlockBits: 5, SetBits: 10}
+	for _, micro := range []string{"gp_micro", "stack_micro"} {
+		for _, toolchain := range []string{"base", "falign"} {
+			name := micro + "_" + toolchain
+			t.Run(name, func(t *testing.T) {
+				p := buildMicro(t, micro, toolchain == "falign")
+				a := staticfac.Analyze(p, geom)
+				rep := staticfac.NewReport(a)
+				rep.Add(micro, toolchain, a)
+				got, err := rep.Encode()
+				if err != nil {
+					t.Fatal(err)
+				}
+				golden := filepath.Join("testdata", name+".json")
+				if *update {
+					if err := os.WriteFile(golden, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("%v (run with -update to regenerate)", err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("report differs from %s (run with -update to regenerate)\ngot %d bytes, want %d bytes",
+						golden, len(got), len(want))
+				}
+			})
+		}
+	}
+}
+
+// TestAlignmentFlipsVerdicts asserts the Section 4 claims directly, so the
+// golden files cannot silently encode a regression:
+//
+//   - gp_micro/base has global-pointer sites proven to fail (the unaligned
+//     global region), all of which -falign makes proven_predictable;
+//   - stack_micro/base has unknown stack sites in the recursive function
+//     (only frame alignment survives recursion), all of which -falign makes
+//     proven_predictable -- the unknown -> proven_predictable flip.
+func TestAlignmentFlipsVerdicts(t *testing.T) {
+	geom := fac.Config{BlockBits: 5, SetBits: 10}
+
+	t.Run("gp", func(t *testing.T) {
+		base := staticfac.Analyze(buildMicro(t, "gp_micro", false), geom)
+		failing := 0
+		for i := range base.Sites {
+			s := &base.Sites[i]
+			if s.Inst.BaseReg() == isa.GP && s.Verdict == staticfac.VerdictFailing {
+				failing++
+			}
+		}
+		if failing == 0 {
+			t.Fatal("base toolchain: no proven_failing global-pointer site")
+		}
+		fa := staticfac.Analyze(buildMicro(t, "gp_micro", true), geom)
+		for i := range fa.Sites {
+			s := &fa.Sites[i]
+			if s.Inst.BaseReg() == isa.GP && s.Verdict != staticfac.VerdictPredictable {
+				t.Fatalf("falign: gp site %#x (%v) is %v, want proven_predictable",
+					s.PC, s.Inst, s.Verdict)
+			}
+		}
+	})
+
+	t.Run("stack", func(t *testing.T) {
+		base := staticfac.Analyze(buildMicro(t, "stack_micro", false), geom)
+		unknown := 0
+		for i := range base.Sites {
+			s := &base.Sites[i]
+			if s.Func == "sum" && s.Reached && s.Verdict == staticfac.VerdictUnknown {
+				unknown++
+			}
+		}
+		if unknown == 0 {
+			t.Fatal("base toolchain: no unknown stack site in the recursive function")
+		}
+		fa := staticfac.Analyze(buildMicro(t, "stack_micro", true), geom)
+		for i := range fa.Sites {
+			s := &fa.Sites[i]
+			if s.Func == "sum" && s.Reached && s.Verdict != staticfac.VerdictPredictable {
+				t.Fatalf("falign: stack site %#x (%v) is %v, want proven_predictable",
+					s.PC, s.Inst, s.Verdict)
+			}
+		}
+	})
+}

@@ -1,0 +1,170 @@
+// Package staticfac is a whole-program static analysis that classifies
+// every load/store site of a linked program by fast-address-calculation
+// predictability (paper Section 3 failure conditions, Section 4 software
+// support). It tracks a known-bits lattice per integer register — low-bit
+// patterns proven by lui/addi/shifts/andi, the exact global pointer
+// exported by the linker, and stack-pointer alignment facts established by
+// MiniC frame layout — propagates it through a CFG recovered from the
+// disassembly, and renders a three-way verdict per site:
+//
+//   - ProvenPredictable: no execution reaching the site can raise any of
+//     the four verification-failure signals; the dynamic predictor never
+//     replays this access.
+//   - ProvenFailing: every execution reaching the site raises at least one
+//     failure signal; the access replays on every speculation.
+//   - Unknown: the analysis cannot decide.
+//
+// The verdicts are sound with respect to internal/fac.Config.Predict and
+// the emulator's operand semantics; internal/difftest cross-checks them
+// against dynamic per-site counters on every fuzzed program. See
+// docs/ANALYSIS.md for the lattice, the failure-case proofs, and the ABI
+// assumptions (AssumptionsNote).
+package staticfac
+
+import (
+	"fmt"
+	"strings"
+)
+
+// KB is a known-bits abstract value for a 32-bit register: bit i is proven
+// zero when Zeros has bit i set, proven one when Ones has it set, and
+// unknown otherwise. Zeros&Ones == 0 for every well-formed value. A concrete
+// value v is represented by the abstraction iff v&Zeros == 0 && v&Ones == Ones.
+type KB struct {
+	Zeros uint32
+	Ones  uint32
+}
+
+// Exact abstracts a single concrete value.
+func Exact(v uint32) KB { return KB{Zeros: ^v, Ones: v} }
+
+// Unknown is the lattice top: nothing known.
+var Unknown = KB{}
+
+// Known returns the mask of bits with a proven value.
+func (k KB) Known() uint32 { return k.Zeros | k.Ones }
+
+// IsExact reports whether every bit is known.
+func (k KB) IsExact() bool { return k.Known() == ^uint32(0) }
+
+// Contains reports whether the concrete value v is represented by k.
+func (k KB) Contains(v uint32) bool { return v&k.Zeros == 0 && v&k.Ones == k.Ones }
+
+// Join returns the least upper bound: only facts proven on both sides
+// survive (the merge at control-flow joins).
+func (k KB) Join(o KB) KB { return KB{Zeros: k.Zeros & o.Zeros, Ones: k.Ones & o.Ones} }
+
+// MaxIn returns the largest value the masked field can take.
+func (k KB) MaxIn(mask uint32) uint32 { return ^k.Zeros & mask }
+
+// MinIn returns the smallest value the masked field can take.
+func (k KB) MinIn(mask uint32) uint32 { return k.Ones & mask }
+
+// Not returns the abstraction of the bitwise complement.
+func (k KB) Not() KB { return KB{Zeros: k.Ones, Ones: k.Zeros} }
+
+// And returns the abstraction of the bitwise AND: a result bit is zero if
+// either side is proven zero, one only if both are proven one.
+func (k KB) And(o KB) KB { return KB{Zeros: k.Zeros | o.Zeros, Ones: k.Ones & o.Ones} }
+
+// Or returns the abstraction of the bitwise OR.
+func (k KB) Or(o KB) KB { return KB{Zeros: k.Zeros & o.Zeros, Ones: k.Ones | o.Ones} }
+
+// Xor returns the abstraction of the bitwise XOR: a result bit is known
+// only when both input bits are known.
+func (k KB) Xor(o KB) KB {
+	known := k.Known() & o.Known()
+	v := k.Ones ^ o.Ones
+	return KB{Zeros: ^v & known, Ones: v & known}
+}
+
+// Nor returns the abstraction of NOR.
+func (k KB) Nor(o KB) KB { return k.Or(o).Not() }
+
+// Shl returns the abstraction of a left shift by a known amount; the
+// shifted-in low bits are proven zero.
+func (k KB) Shl(n uint) KB {
+	n &= 31
+	return KB{Zeros: k.Zeros<<n | (1<<n - 1), Ones: k.Ones << n}
+}
+
+// Shr returns the abstraction of a logical right shift by a known amount;
+// the shifted-in high bits are proven zero.
+func (k KB) Shr(n uint) KB {
+	n &= 31
+	z := k.Zeros >> n
+	if n > 0 {
+		z |= ^(^uint32(0) >> n)
+	}
+	return KB{Zeros: z, Ones: k.Ones >> n}
+}
+
+// Sar returns the abstraction of an arithmetic right shift by a known
+// amount; the shifted-in bits copy the sign bit when it is known.
+func (k KB) Sar(n uint) KB {
+	n &= 31
+	top := uint32(0)
+	if n > 0 {
+		top = ^(^uint32(0) >> n)
+	}
+	out := KB{Zeros: k.Zeros >> n, Ones: k.Ones >> n}
+	switch {
+	case k.Zeros&0x80000000 != 0:
+		out.Zeros |= top
+	case k.Ones&0x80000000 != 0:
+		out.Ones |= top
+	}
+	return out
+}
+
+// Add returns a sound abstraction of 32-bit addition. Where all three of
+// (both operand bits, the incoming carry) are determined, the result bit is
+// known. The carry at each position is bounded by evaluating the concrete
+// sums of the minimal (all unknowns 0) and maximal (all unknowns 1)
+// consistent operand values: the carry function is monotone in the operand
+// bits, so a carry that is 0 even in the maximal sum is proven 0, and one
+// that is 1 even in the minimal sum is proven 1.
+func (k KB) Add(o KB) KB {
+	maxA, maxB := ^k.Zeros, ^o.Zeros
+	minA, minB := k.Ones, o.Ones
+	sumMax := maxA + maxB
+	sumMin := minA + minB
+	carryMax := sumMax ^ maxA ^ maxB // carry-in per bit of the maximal sum
+	carryMin := sumMin ^ minA ^ minB // carry-in per bit of the minimal sum
+	known := k.Known() & o.Known() & (^carryMax | carryMin)
+	return KB{Zeros: ^sumMin & known, Ones: sumMin & known}
+}
+
+// Sub returns a sound abstraction of 32-bit subtraction (a + ^b + 1).
+func (k KB) Sub(o KB) KB { return k.Add(o.Not()).Add(Exact(1)) }
+
+// Bool01 abstracts a comparison result: 0 or 1, so bits 1..31 are zero.
+func Bool01() KB { return KB{Zeros: ^uint32(1)} }
+
+// LowKnown returns the value of the low n bits if all are known.
+func (k KB) LowKnown(n uint) (uint32, bool) {
+	mask := uint32(1)<<n - 1
+	if k.Known()&mask == mask {
+		return k.Ones & mask, true
+	}
+	return 0, false
+}
+
+// String renders the value nibble-wise: a hex digit where all four bits are
+// known, '?' otherwise, prefixed with '=' when the value is exact.
+func (k KB) String() string {
+	if k.IsExact() {
+		return fmt.Sprintf("=0x%08x", k.Ones)
+	}
+	var b strings.Builder
+	b.WriteString("0x")
+	for i := 7; i >= 0; i-- {
+		shift := uint(i * 4)
+		if k.Known()>>shift&0xF == 0xF {
+			fmt.Fprintf(&b, "%x", k.Ones>>shift&0xF)
+		} else {
+			b.WriteByte('?')
+		}
+	}
+	return b.String()
+}

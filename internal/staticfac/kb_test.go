@@ -1,0 +1,150 @@
+package staticfac
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// enumerate returns every concrete value consistent with k, provided the
+// number of unknown bits is small enough to enumerate.
+func enumerate(t *testing.T, k KB) []uint32 {
+	t.Helper()
+	unknown := ^k.Known()
+	var positions []uint
+	for b := uint(0); b < 32; b++ {
+		if unknown>>b&1 == 1 {
+			positions = append(positions, b)
+		}
+	}
+	if len(positions) > 16 {
+		t.Fatalf("too many unknown bits to enumerate: %d", len(positions))
+	}
+	out := make([]uint32, 0, 1<<len(positions))
+	for m := 0; m < 1<<len(positions); m++ {
+		v := k.Ones
+		for i, b := range positions {
+			if m>>i&1 == 1 {
+				v |= 1 << b
+			}
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// randKB builds a random well-formed KB with at most maxUnknown unknown bits.
+func randKB(rng *rand.Rand, maxUnknown int) KB {
+	v := rng.Uint32()
+	k := Exact(v)
+	n := rng.Intn(maxUnknown + 1)
+	for i := 0; i < n; i++ {
+		b := uint(rng.Intn(32))
+		k.Zeros &^= 1 << b
+		k.Ones &^= 1 << b
+	}
+	return k
+}
+
+// checkSound verifies that got soundly abstracts the image of f over every
+// pair of concrete values consistent with a and b.
+func checkSound(t *testing.T, name string, a, b KB, got KB, f func(x, y uint32) uint32) {
+	t.Helper()
+	if got.Zeros&got.Ones != 0 {
+		t.Fatalf("%s: malformed result %v (Zeros&Ones != 0)", name, got)
+	}
+	for _, x := range enumerate(t, a) {
+		for _, y := range enumerate(t, b) {
+			v := f(x, y)
+			if !got.Contains(v) {
+				t.Fatalf("%s: concrete %#x op %#x = %#x not contained in %v (a=%v b=%v)",
+					name, x, y, v, got, a, b)
+			}
+		}
+	}
+}
+
+func TestKBAddSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := randKB(rng, 6), randKB(rng, 6)
+		checkSound(t, "add", a, b, a.Add(b), func(x, y uint32) uint32 { return x + y })
+		checkSound(t, "sub", a, b, a.Sub(b), func(x, y uint32) uint32 { return x - y })
+	}
+}
+
+func TestKBAddExact(t *testing.T) {
+	// Exact inputs must produce exact sums: the whole gp-relative site class
+	// depends on this.
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		x, y := rng.Uint32(), rng.Uint32()
+		got := Exact(x).Add(Exact(y))
+		if !got.IsExact() || got.Ones != x+y {
+			t.Fatalf("Exact(%#x)+Exact(%#x) = %v, want exact %#x", x, y, got, x+y)
+		}
+	}
+}
+
+func TestKBAddAlignment(t *testing.T) {
+	// An aligned base plus a small exact offset keeps the low bits exact:
+	// sp-relative addressing with a 64-aligned frame.
+	base := KB{Zeros: 0x3F} // 64-aligned, high bits unknown
+	got := base.Add(Exact(20))
+	if v, ok := got.LowKnown(6); !ok || v != 20 {
+		t.Fatalf("aligned+20: low 6 bits = %v, want known 20", got)
+	}
+	// Offset larger than the alignment leaves the carry bit unknown but
+	// must keep the bits below the alignment known.
+	got = base.Add(Exact(68)) // 64 + 4
+	if v, ok := got.LowKnown(6); !ok || v != 4 {
+		t.Fatalf("aligned+68: low 6 bits = %v, want known 4", got)
+	}
+}
+
+func TestKBLogicSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		a, b := randKB(rng, 6), randKB(rng, 6)
+		checkSound(t, "and", a, b, a.And(b), func(x, y uint32) uint32 { return x & y })
+		checkSound(t, "or", a, b, a.Or(b), func(x, y uint32) uint32 { return x | y })
+		checkSound(t, "xor", a, b, a.Xor(b), func(x, y uint32) uint32 { return x ^ y })
+		checkSound(t, "nor", a, b, a.Nor(b), func(x, y uint32) uint32 { return ^(x | y) })
+	}
+}
+
+func TestKBShiftSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		a := randKB(rng, 8)
+		n := uint(rng.Intn(32))
+		checkSound(t, "shl", a, Exact(uint32(n)), a.Shl(n), func(x, _ uint32) uint32 { return x << n })
+		checkSound(t, "shr", a, Exact(uint32(n)), a.Shr(n), func(x, _ uint32) uint32 { return x >> n })
+		checkSound(t, "sar", a, Exact(uint32(n)), a.Sar(n), func(x, _ uint32) uint32 { return uint32(int32(x) >> n) })
+	}
+}
+
+func TestKBJoin(t *testing.T) {
+	a, b := Exact(0x1008), Exact(0x1010)
+	j := a.Join(b)
+	if !j.Contains(0x1008) || !j.Contains(0x1010) {
+		t.Fatalf("join %v does not contain both inputs", j)
+	}
+	if v, ok := j.LowKnown(3); !ok || v != 0 {
+		t.Fatalf("join of two 8-aligned values lost low-bit alignment: %v", j)
+	}
+	if j.Known()&0xFFFFF000 != 0xFFFFF000 {
+		t.Fatalf("join lost agreeing high bits: %v", j)
+	}
+}
+
+func TestKBString(t *testing.T) {
+	if got := Exact(0x10000010).String(); got != "=0x10000010" {
+		t.Fatalf("Exact string = %q", got)
+	}
+	if got := (KB{Zeros: 0xF}).String(); got != "0x???????0" {
+		t.Fatalf("aligned string = %q", got)
+	}
+	if got := Unknown.String(); got != "0x????????" {
+		t.Fatalf("unknown string = %q", got)
+	}
+}

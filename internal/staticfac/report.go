@@ -1,0 +1,117 @@
+package staticfac
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ReportSchema identifies the faclint JSON export format, bumped on
+// incompatible changes (internal/obs conventions).
+const ReportSchema = "fac/static/v1"
+
+// Report is the deterministic machine-readable export of one or more
+// program analyses: programs appear in the order added, sites sorted by PC,
+// and Encode produces byte-identical output for identical inputs.
+type Report struct {
+	Schema   string          `json:"schema"`
+	Geometry GeometryRecord  `json:"geometry"`
+	Programs []ProgramRecord `json:"programs"`
+}
+
+// GeometryRecord describes the predictor geometry analyzed against.
+type GeometryRecord struct {
+	BlockBits uint `json:"block_bits"`
+	SetBits   uint `json:"set_bits"`
+	TagAdder  bool `json:"tag_adder,omitempty"`
+}
+
+// ProgramRecord is one program's verdicts.
+type ProgramRecord struct {
+	Name      string        `json:"name"`
+	Toolchain string        `json:"toolchain"`
+	Summary   SummaryRecord `json:"summary"`
+	Sites     []SiteRecord  `json:"sites"`
+}
+
+// SummaryRecord tallies verdicts for one program.
+type SummaryRecord struct {
+	Sites             int     `json:"sites"`
+	Loads             int     `json:"loads"`
+	Stores            int     `json:"stores"`
+	ProvenPredictable int     `json:"proven_predictable"`
+	ProvenFailing     int     `json:"proven_failing"`
+	Unknown           int     `json:"unknown"`
+	ClassifiedPct     float64 `json:"classified_pct"`
+}
+
+// SiteRecord is one memory-access site's verdict.
+type SiteRecord struct {
+	PC      string `json:"pc"`
+	Inst    string `json:"inst"`
+	Func    string `json:"func"`
+	Store   bool   `json:"store,omitempty"`
+	Verdict string `json:"verdict"`
+	CanFail string `json:"can_fail,omitempty"`
+	Base    string `json:"base"`
+	Offset  string `json:"offset"`
+	Dead    bool   `json:"dead,omitempty"` // not reached by the dataflow
+}
+
+// NewReport creates an empty report for one geometry.
+func NewReport(a *Analysis) *Report {
+	return &Report{
+		Schema: ReportSchema,
+		Geometry: GeometryRecord{
+			BlockBits: a.Geom.BlockBits,
+			SetBits:   a.Geom.SetBits,
+			TagAdder:  a.Geom.TagAdder,
+		},
+	}
+}
+
+// Add appends one analyzed program to the report.
+func (r *Report) Add(name, toolchain string, a *Analysis) {
+	s := a.Summary()
+	pr := ProgramRecord{
+		Name:      name,
+		Toolchain: toolchain,
+		Summary: SummaryRecord{
+			Sites:             s.Sites,
+			Loads:             s.Loads,
+			Stores:            s.Stores,
+			ProvenPredictable: s.ByVerdict[VerdictPredictable],
+			ProvenFailing:     s.ByVerdict[VerdictFailing],
+			Unknown:           s.ByVerdict[VerdictUnknown],
+			ClassifiedPct:     100 * s.Classified(),
+		},
+		Sites: make([]SiteRecord, 0, len(a.Sites)),
+	}
+	for i := range a.Sites {
+		st := &a.Sites[i]
+		rec := SiteRecord{
+			PC:      fmt.Sprintf("%#08x", st.PC),
+			Inst:    st.Inst.String(),
+			Func:    st.Func,
+			Store:   st.Store,
+			Verdict: st.Verdict.String(),
+			Base:    st.Base.String(),
+			Offset:  st.Offset.String(),
+			Dead:    !st.Reached,
+		}
+		if st.CanFail != 0 {
+			rec.CanFail = st.CanFail.String()
+		}
+		pr.Sites = append(pr.Sites, rec)
+	}
+	r.Programs = append(r.Programs, pr)
+}
+
+// Encode renders the report as deterministic indented JSON with a trailing
+// newline.
+func (r *Report) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,32 @@
+/* Section 4 "Global Pointer Accesses" microbenchmark.
+ *
+ * The string literal lands in .data, so with the stock linker layout the
+ * global-pointer region starts at the 8-byte-aligned end of .data
+ * (gp = 0x10000008): scalar offsets 24 and 28 carry out of a 32-byte
+ * block-offset field on every access (proven_failing) while their
+ * neighbors verify on every access (proven_predictable).  With -falign
+ * (AlignGP) the region moves to a power-of-two boundary and every
+ * global-pointer access is proven_predictable.
+ */
+int g0;
+int g1;
+int g2;
+int g3;
+int g4;
+int g5;
+int g6;
+int g7;
+
+int main() {
+  char *p;
+  p = "hello";
+  g0 = p[0];
+  g1 = g0 + 1;
+  g2 = g1 + 1;
+  g3 = g2 + 1;
+  g4 = g3 + 1;
+  g5 = g4 + 1;
+  g6 = g5 + 1;
+  g7 = g6 + 1;
+  return g7;
+}

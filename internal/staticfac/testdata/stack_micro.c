@@ -1,0 +1,20 @@
+/* Section 4 "Stack Pointer Accesses" microbenchmark.
+ *
+ * The recursive call keeps the analysis from tracking an exact stack
+ * pointer, so only the frame alignment survives.  Baseline frames are
+ * 8-byte multiples: locals at offsets past the first 8 bytes may carry
+ * into the block-offset field (unknown).  With -falign (AlignStack)
+ * frames are 64-byte multiples and every local in the first 64 bytes is
+ * proven_predictable -- the unknown -> proven_predictable flip.
+ */
+int sum(int n) {
+  int a[8];
+  a[0] = n;
+  a[5] = n + 2;
+  if (n <= 0) {
+    return a[5];
+  }
+  return a[0] + sum(n - 1);
+}
+
+int main() { return sum(3); }

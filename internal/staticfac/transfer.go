@@ -1,0 +1,104 @@
+package staticfac
+
+import "repro/internal/isa"
+
+// State abstracts the integer register file: one known-bits value per
+// architectural register. FP registers and the FP condition flag never feed
+// address computation and are not tracked.
+type State [isa.NumRegs]KB
+
+// JoinState merges two register states pointwise.
+func JoinState(a, b State) State {
+	var out State
+	for i := range out {
+		out[i] = a[i].Join(b[i])
+	}
+	return out
+}
+
+// Step applies the abstract transfer function of one instruction to the
+// register state. It mirrors the functional emulator's integer semantics
+// exactly (internal/emu): immediates are the sign-extended int32 stored by
+// the decoder, logical immediates use the same uint32(Imm) conversion, and
+// shift amounts are masked to 5 bits. Operations whose results the lattice
+// cannot track (multiplies, divides, loads, FP moves, syscall results)
+// clobber their destination to Unknown. Control transfers only write their
+// link register; the CFG layer handles the PC.
+func Step(st *State, in isa.Inst, pc uint32) {
+	set := func(r isa.Reg, v KB) {
+		if r != isa.Zero {
+			st[r] = v
+		}
+	}
+	imm := uint32(in.Imm) // sign-extended for ADDI, raw low 16 reinterpreted for logicals
+	switch in.Op {
+	case isa.ADD:
+		set(in.Rd, st[in.Rs].Add(st[in.Rt]))
+	case isa.SUB:
+		set(in.Rd, st[in.Rs].Sub(st[in.Rt]))
+	case isa.MUL, isa.DIV, isa.DIVU, isa.REM, isa.REMU:
+		set(in.Rd, Unknown)
+	case isa.AND:
+		set(in.Rd, st[in.Rs].And(st[in.Rt]))
+	case isa.OR:
+		set(in.Rd, st[in.Rs].Or(st[in.Rt]))
+	case isa.XOR:
+		set(in.Rd, st[in.Rs].Xor(st[in.Rt]))
+	case isa.NOR:
+		set(in.Rd, st[in.Rs].Nor(st[in.Rt]))
+	case isa.SLT, isa.SLTU, isa.SLTI, isa.SLTIU:
+		set(in.Rd, Bool01())
+	case isa.SLLV:
+		if n, ok := st[in.Rt].LowKnown(5); ok {
+			set(in.Rd, st[in.Rs].Shl(uint(n)))
+		} else {
+			set(in.Rd, Unknown)
+		}
+	case isa.SRLV:
+		if n, ok := st[in.Rt].LowKnown(5); ok {
+			set(in.Rd, st[in.Rs].Shr(uint(n)))
+		} else {
+			set(in.Rd, Unknown)
+		}
+	case isa.SRAV:
+		if n, ok := st[in.Rt].LowKnown(5); ok {
+			set(in.Rd, st[in.Rs].Sar(uint(n)))
+		} else {
+			set(in.Rd, Unknown)
+		}
+	case isa.ADDI:
+		set(in.Rd, st[in.Rs].Add(Exact(imm)))
+	case isa.ANDI:
+		set(in.Rd, st[in.Rs].And(Exact(imm)))
+	case isa.ORI:
+		set(in.Rd, st[in.Rs].Or(Exact(imm)))
+	case isa.XORI:
+		set(in.Rd, st[in.Rs].Xor(Exact(imm)))
+	case isa.SLL:
+		set(in.Rd, st[in.Rs].Shl(uint(in.Imm&31)))
+	case isa.SRL:
+		set(in.Rd, st[in.Rs].Shr(uint(in.Imm&31)))
+	case isa.SRA:
+		set(in.Rd, st[in.Rs].Sar(uint(in.Imm&31)))
+	case isa.LUI:
+		set(in.Rd, Exact(imm<<16))
+	case isa.JAL:
+		set(isa.RA, Exact(pc+isa.InstBytes))
+	case isa.JALR:
+		set(in.Rd, Exact(pc+isa.InstBytes))
+	case isa.SYSCALL:
+		set(isa.V0, Unknown) // sbrk result; exit never returns
+	case isa.MFC1:
+		set(in.Rd, Unknown)
+	default:
+		if in.Op.IsMem() {
+			if in.Op.IsLoad() && !in.Op.FPDest() {
+				set(in.Rd, Unknown)
+			}
+			if in.Op.Mode() == isa.AMPost {
+				set(in.Rs, st[in.Rs].Add(Exact(imm)))
+			}
+		}
+	}
+	st[isa.Zero] = Exact(0)
+}

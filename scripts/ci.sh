@@ -3,13 +3,18 @@
 # Run from anywhere; exits non-zero on the first failure.
 #
 # Expected runtime on a stock 4-core container: ~7 minutes total —
-#   gofmt/vet/build           ~20s
+#   gofmt/lint/vet/build      ~30s  (lint is the repo's own analyzer,
+#                                    scripts/lint: map-iteration-order
+#                                    determinism in the emitting packages)
 #   go test ./...             ~60s  (dominated by internal/experiments)
 #   go test -race -short      ~4m   (full suite under the race detector;
 #                                    -short trims the experiment sweeps and
 #                                    difftest seed counts, which -race would
 #                                    otherwise stretch past 15 minutes)
 #   fuzz smoke                ~40s  (4 targets x 5s plus instrumented builds)
+#   faclint smoke             ~10s  (static FAC-predictability analysis over
+#                                    the 19-benchmark suite must classify at
+#                                    least half of all load/store sites)
 #   facd smoke                ~15s  (boot the simulation daemon on an
 #                                    ephemeral port, run a tiny batch, verify
 #                                    the RunRecord report and the cache-served
@@ -30,6 +35,9 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
+echo "== repo lint =="
+go run ./scripts/lint
+
 echo "== go vet =="
 go vet ./...
 
@@ -47,6 +55,13 @@ for target in FuzzFACPredict FuzzEncodeDecode FuzzAsmRoundtrip FuzzEmuVsPipeline
     echo "-- $target"
     go test ./internal/difftest/ -run '^$' -fuzz "^${target}\$" -fuzztime 5s
 done
+
+echo "== faclint smoke =="
+verdicts=$(go run ./cmd/faclint -suite -min-classified 0.5)
+if [ -z "$verdicts" ]; then
+    echo "faclint produced no verdicts" >&2
+    exit 1
+fi
 
 echo "== facd smoke =="
 go run ./scripts/facdsmoke

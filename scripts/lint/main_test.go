@@ -1,0 +1,59 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSamplePackage checks the rule against the fixture package: the two
+// order-dependent loops are found, the clean and marker-suppressed loops
+// are not.
+func TestSamplePackage(t *testing.T) {
+	dir, err := filepath.Abs("testdata/sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLinter(dir, "sample.test/mod")
+	findings, err := l.lintDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2:\n%s", len(findings), strings.Join(findings, "\n"))
+	}
+	wants := []string{"appends to a slice", "calls Println"}
+	for i, want := range wants {
+		if !strings.Contains(findings[i], want) {
+			t.Errorf("finding %d = %q, want it to mention %q", i, findings[i], want)
+		}
+	}
+	for _, f := range findings {
+		if strings.Contains(f, "SortedKeys") || strings.Contains(f, ":47:") {
+			t.Errorf("marker-suppressed loop was reported: %q", f)
+		}
+	}
+}
+
+// TestRepoTargets lints the real target packages: the tree must stay clean
+// (CI runs the same check ahead of go vet).
+func TestRepoTargets(t *testing.T) {
+	root, err := repoRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLinter(root, mod)
+	for _, dir := range defaultTargets {
+		findings, err := l.lintDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		if len(findings) > 0 {
+			t.Errorf("%s:\n%s", dir, strings.Join(findings, "\n"))
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Package sample exercises the range-over-map rule: two positives (append
+// and emission), two clean loops, and one suppressed by the marker.
+package sample
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CollectValues appends in map order: finding.
+func CollectValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// DumpKeys prints in map order: finding.
+func DumpKeys(m map[string]int) {
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+// Sum folds with a commutative operation: clean.
+func Sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Invert writes into another map, which has no order: clean.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// SortedKeys collects keys and sorts them before use: suppressed.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	//lint:sorted
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
