@@ -176,8 +176,11 @@ func BenchmarkAblations(b *testing.B) {
 // compress workload for the baseline and FAC machines, and writes the
 // run records plus throughput metrics to BENCH_pipeline.json — the
 // artifact successive PRs diff (`go run ./cmd/experiments -diff`) to
-// detect simulator performance or statistics regressions.
+// detect simulator performance or statistics regressions. Set BENCH_OUT
+// to redirect the artifact (CI smoke runs do, so a measurement pass
+// never clobbers the committed trajectory file); see docs/PERFORMANCE.md.
 func BenchmarkPipeline(b *testing.B) {
+	b.ReportAllocs()
 	w, err := workload.ByName("compress")
 	if err != nil {
 		b.Fatal(err)
@@ -219,7 +222,11 @@ func BenchmarkPipeline(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_pipeline.json", data, 0o644); err != nil {
+	out := os.Getenv("BENCH_OUT")
+	if out == "" {
+		out = "BENCH_pipeline.json"
+	}
+	if err := os.WriteFile(out, data, 0o644); err != nil {
 		b.Fatal(err)
 	}
 }

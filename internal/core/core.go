@@ -38,7 +38,10 @@ type Result struct {
 // IPC returns instructions per cycle.
 func (r Result) IPC() float64 { return r.Stats.IPC() }
 
-// traceSource adapts the emulator to the pipeline's Source interface.
+// traceSource adapts the emulator to the pipeline's Source interface. It
+// also implements pipeline.BatchSource so the cycle loop can pull traces
+// in bulk, amortizing the per-instruction interface call and letting the
+// emulator write each trace in place.
 type traceSource struct {
 	e *emu.Emulator
 }
@@ -52,6 +55,17 @@ func (t *traceSource) Next() (emu.Trace, bool, error) {
 		return emu.Trace{}, false, err
 	}
 	return tr, true, nil
+}
+
+func (t *traceSource) NextBatch(buf []emu.Trace) (int, error) {
+	n := 0
+	for n < len(buf) && !t.e.Halted {
+		if err := t.e.StepInto(&buf[n]); err != nil {
+			return 0, err
+		}
+		n++
+	}
+	return n, nil
 }
 
 // Run executes the program on the timing simulator. maxInsts bounds the

@@ -32,6 +32,10 @@ type Trace struct {
 	PC     uint32
 	Inst   isa.Inst
 	NextPC uint32
+	// Pre points at the pre-decoded form of Inst when the producer holds a
+	// pre-decode table (the emulator shares the program's). Consumers fall
+	// back to isa.Predecode when nil, so hand-built traces stay valid.
+	Pre *isa.Pre
 	// Memory access operands (valid when Inst.Op.IsMem()):
 	EffAddr     uint32 // the architectural effective address
 	Base        uint32 // base register value at execute time
@@ -45,6 +49,7 @@ type Trace struct {
 type Emulator struct {
 	Prog *prog.Program
 	Mem  *mem.Memory
+	pre  []isa.Pre // the program's pre-decode table, indexed like Prog.Insts
 
 	R   [isa.NumRegs]uint32
 	F   [isa.NumRegs]float64
@@ -68,6 +73,7 @@ func New(p *prog.Program) *Emulator {
 	e := &Emulator{
 		Prog: p,
 		Mem:  p.NewMemory(),
+		pre:  p.Predecoded(),
 		PC:   p.Entry,
 		Brk:  p.HeapBase,
 	}
@@ -87,19 +93,30 @@ func signExt16(v int32) uint32 { return uint32(v) }
 // for architectural faults (unaligned access, bad PC, division by zero).
 // Stepping a halted emulator returns ErrHalted.
 func (e *Emulator) Step() (Trace, error) {
+	var tr Trace
+	err := e.StepInto(&tr)
+	return tr, err
+}
+
+// StepInto is Step writing the trace record in place — the allocation-free
+// form the batched trace source uses (the destination is a reused buffer
+// slot, so every field is overwritten).
+func (e *Emulator) StepInto(tr *Trace) error {
 	if e.Halted {
-		return Trace{}, ErrHalted
+		return ErrHalted
 	}
 	if e.MaxInsts != 0 && e.InstCount >= e.MaxInsts {
-		return Trace{}, fmt.Errorf("emu: instruction budget %d exceeded at pc %#x", e.MaxInsts, e.PC)
+		return fmt.Errorf("emu: instruction budget %d exceeded at pc %#x", e.MaxInsts, e.PC)
 	}
 	in, ok := e.Prog.InstAt(e.PC)
 	if !ok {
-		return Trace{}, fmt.Errorf("emu: bad pc %#x", e.PC)
+		return fmt.Errorf("emu: bad pc %#x", e.PC)
 	}
-	tr := Trace{PC: e.PC, Inst: in, NextPC: e.PC + isa.InstBytes}
-	if err := e.exec(in, &tr); err != nil {
-		return tr, fmt.Errorf("emu: pc %#x (%v in %s): %w", tr.PC, in, e.Prog.FuncName(tr.PC), err)
+	// InstAt validated the PC, so the text index is in range.
+	*tr = Trace{PC: e.PC, Inst: in, NextPC: e.PC + isa.InstBytes,
+		Pre: &e.pre[(e.PC-e.Prog.TextBase)/isa.InstBytes]}
+	if err := e.exec(in, tr); err != nil {
+		return fmt.Errorf("emu: pc %#x (%v in %s): %w", tr.PC, in, e.Prog.FuncName(tr.PC), err)
 	}
 	e.R[isa.Zero] = 0
 	e.InstCount++
@@ -108,7 +125,7 @@ func (e *Emulator) Step() (Trace, error) {
 		e.Halted = true
 		e.ExitCode = int32(e.R[isa.V0])
 	}
-	return tr, nil
+	return nil
 }
 
 // ErrHalted is returned by Step once the program has exited.
@@ -254,7 +271,7 @@ func (e *Emulator) exec(in isa.Inst, tr *Trace) error {
 		e.F[in.Rd] = math.Float64frombits(uint64(uint32(int32(e.F[in.Rs]))))
 
 	default:
-		if in.Op.IsMem() {
+		if tr.Pre.IsMem() {
 			return e.memOp(in, tr)
 		}
 		return fmt.Errorf("unimplemented op %v", in.Op)
@@ -279,25 +296,26 @@ func b2u(b bool) uint32 {
 // memOp executes a load or store, recording the operand values the
 // fast-address-calculation predictor sees.
 func (e *Emulator) memOp(in isa.Inst, tr *Trace) error {
+	pre := tr.Pre
 	base := e.R[in.BaseReg()]
 	var ofs uint32
-	switch in.Op.Mode() {
-	case isa.AMConst:
-		ofs = signExt16(in.Imm)
-	case isa.AMReg:
+	switch {
+	case pre.Flags&isa.PreRegOffset != 0:
 		ofs = e.R[in.IndexReg()]
 		tr.IsRegOffset = true
-	case isa.AMPost:
+	case pre.Flags&isa.PrePostInc != 0:
 		ofs = 0 // the access uses the base directly; increment is post
+	default:
+		ofs = signExt16(in.Imm)
 	}
 	addr := base + ofs
 	tr.EffAddr, tr.Base, tr.Offset = addr, base, ofs
 
-	size := in.Op.MemSize()
+	size := int(pre.MemSize)
 	if addr&uint32(size-1) != 0 {
 		return fmt.Errorf("unaligned %d-byte access at %#x", size, addr)
 	}
-	if in.Op.IsLoad() {
+	if pre.IsLoad() {
 		switch in.Op {
 		case isa.LB, isa.LBX:
 			e.R[in.Rd] = uint32(int32(int8(e.Mem.Read8(addr))))
@@ -325,7 +343,7 @@ func (e *Emulator) memOp(in isa.Inst, tr *Trace) error {
 			e.Mem.Write64(addr, math.Float64bits(e.F[data]))
 		}
 	}
-	if in.Op.Mode() == isa.AMPost {
+	if pre.Flags&isa.PrePostInc != 0 {
 		e.R[in.Rs] = base + signExt16(in.Imm)
 	}
 	return nil

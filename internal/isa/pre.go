@@ -1,0 +1,87 @@
+package isa
+
+// Pre is the pre-decoded form of one instruction: every property the
+// timing simulator and emulator consult per dynamic instance, flattened
+// into a small value so the per-fetch cost is field reads instead of
+// opTable lookups and Uses/Defs switch dispatch. A program's text is
+// pre-decoded once (prog.Program.Predecoded); the hot loops never call
+// Inst.Uses, Inst.Defs, or the Op predicate methods.
+//
+// The register lists reproduce Inst.Uses / Inst.Defs exactly, in the
+// same order (TestPredecodeMatchesInst enforces this for every op).
+type Pre struct {
+	Uses  [3]uint8 // unified ids of source registers (first NUses valid)
+	Defs  [2]uint8 // unified ids of destination registers (first NDefs valid)
+	NUses uint8
+	NDefs uint8
+	Class OpClass
+	Flags PreFlags
+	// BaseU is the unified id of the base register of a memory operation
+	// (the post-increment writeback target); 0 otherwise.
+	BaseU uint8
+	// MemSize is the access width in bytes of a memory operation; 0 otherwise.
+	MemSize uint8
+}
+
+// PreFlags are the pre-computed instruction predicates.
+type PreFlags uint8
+
+const (
+	PreControl   PreFlags = 1 << iota // can redirect the PC
+	PreMem                            // accesses data memory
+	PreLoad                           // reads data memory
+	PreStore                          // writes data memory
+	PrePostInc                        // post-increment addressing (AMPost)
+	PreRegOffset                      // register+register addressing (AMReg)
+)
+
+// IsControl reports whether the instruction can redirect the PC.
+func (p *Pre) IsControl() bool { return p.Flags&PreControl != 0 }
+
+// IsMem reports whether the instruction accesses data memory.
+func (p *Pre) IsMem() bool { return p.Flags&PreMem != 0 }
+
+// IsLoad reports whether the instruction reads data memory.
+func (p *Pre) IsLoad() bool { return p.Flags&PreLoad != 0 }
+
+// Predecode flattens one decoded instruction.
+func Predecode(in Inst) Pre {
+	var p Pre
+	var buf [4]uint8
+	uses := in.Uses(buf[:0])
+	p.NUses = uint8(copy(p.Uses[:], uses))
+	defs := in.Defs(buf[:0])
+	p.NDefs = uint8(copy(p.Defs[:], defs))
+	op := in.Op
+	p.Class = op.Class()
+	p.MemSize = uint8(op.MemSize())
+	if op.IsControl() {
+		p.Flags |= PreControl
+	}
+	if op.IsMem() {
+		p.Flags |= PreMem
+		p.BaseU = UInt(in.BaseReg())
+	}
+	if op.IsLoad() {
+		p.Flags |= PreLoad
+	}
+	if op.IsStore() {
+		p.Flags |= PreStore
+	}
+	switch op.Mode() {
+	case AMPost:
+		p.Flags |= PrePostInc
+	case AMReg:
+		p.Flags |= PreRegOffset
+	}
+	return p
+}
+
+// PredecodeAll pre-decodes a text segment.
+func PredecodeAll(insts []Inst) []Pre {
+	pre := make([]Pre, len(insts))
+	for i, in := range insts {
+		pre[i] = Predecode(in)
+	}
+	return pre
+}

@@ -18,6 +18,11 @@ const (
 // Memory is a sparse 32-bit address space. The zero value is ready to use.
 type Memory struct {
 	pages map[uint32]*[pageSize]byte
+	// One-entry lookup cache: accesses cluster heavily within a page
+	// (stack frames, array walks), so remembering the last page touched
+	// turns most map lookups into a compare. lastPage==nil means invalid.
+	lastPN   uint32
+	lastPage *[pageSize]byte
 }
 
 // New returns an empty memory.
@@ -26,24 +31,36 @@ func New() *Memory {
 }
 
 func (m *Memory) page(addr uint32) *[pageSize]byte {
+	pn := addr >> PageBits
+	if m.lastPage != nil && m.lastPN == pn {
+		return m.lastPage
+	}
 	if m.pages == nil {
 		m.pages = make(map[uint32]*[pageSize]byte)
 	}
-	pn := addr >> PageBits
 	p := m.pages[pn]
 	if p == nil {
 		p = new([pageSize]byte)
 		m.pages[pn] = p
 	}
+	m.lastPN, m.lastPage = pn, p
 	return p
 }
 
 // peek returns the page if present, without allocating.
 func (m *Memory) peek(addr uint32) *[pageSize]byte {
+	pn := addr >> PageBits
+	if m.lastPage != nil && m.lastPN == pn {
+		return m.lastPage
+	}
 	if m.pages == nil {
 		return nil
 	}
-	return m.pages[addr>>PageBits]
+	p := m.pages[pn]
+	if p != nil {
+		m.lastPN, m.lastPage = pn, p
+	}
+	return p
 }
 
 // Footprint returns the number of bytes of memory touched so far, rounded up

@@ -66,6 +66,13 @@ type Config struct {
 	SpeculateRegReg bool       // speculate register+register-mode accesses
 	SpeculateStores bool       // speculate stores (enter buffer in EX)
 
+	// NoFastForward disables stall fast-forwarding (the cycle loop then
+	// visits every stall cycle individually). Timing, statistics, and the
+	// event stream are identical either way — the flag exists so the
+	// equivalence can be regression-tested (TestFastForwardExact) and so
+	// anomalies can be bisected to the fast path.
+	NoFastForward bool
+
 	// AGI selects the alternative pipeline organization of Jouppi (1989)
 	// discussed in the paper's Related Work: a dedicated address-generation
 	// stage with ALU execution pushed to the cache-access stage. It removes

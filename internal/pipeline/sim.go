@@ -1,3 +1,4 @@
+//lint:hotpath
 package pipeline
 
 import (
@@ -18,6 +19,19 @@ type Source interface {
 	Next() (emu.Trace, bool, error)
 }
 
+// BatchSource is an optional refinement of Source: NextBatch fills buf
+// with as many traces as remain (up to len(buf)) and returns the count,
+// 0 at end of stream. Sources that implement it (core's emulator
+// adapter) are pulled in bulk, amortizing the per-instruction interface
+// call; the producer may run up to one batch ahead of the timing model,
+// which is safe because the stream is trace-driven and replayed as-is.
+type BatchSource interface {
+	NextBatch(buf []emu.Trace) (int, error)
+}
+
+// batchSize is the trace buffer length used with a BatchSource.
+const batchSize = 256
+
 // ringBits sizes the per-cycle cache-port reservation ring. Reservations
 // only ever target the current or next cycle, so a small ring suffices.
 const ringBits = 6
@@ -26,6 +40,7 @@ type sim struct {
 	cfg  Config
 	geom fac.Config
 	src  Source
+	bsrc BatchSource     // non-nil when src implements BatchSource
 	ctx  context.Context // nil = cancellation disabled
 
 	icache *cache.Cache
@@ -35,14 +50,19 @@ type sim struct {
 	stats Stats
 	sink  obs.Sink // nil = observability disabled (no event allocations)
 
-	// Fetch.
+	// Fetch: the trace buffer (batch[batchPos:batchLen] is unconsumed).
 	nextFetchCycle uint64
-	lookahead      emu.Trace
-	haveLookahead  bool
+	batch          []emu.Trace
+	batchPos       int
+	batchLen       int
 	srcDone        bool
 
-	// Issue queue (fetched, not yet issued), in program order.
-	pending []qent
+	// Issue queue (fetched, not yet issued), in program order. A fixed
+	// ring: capacity is the fetch guard's bound (2*FetchWidth+IssueWidth),
+	// so the steady state allocates nothing.
+	pending  []qent
+	pendHead int
+	pendLen  int
 
 	// Scoreboard: cycle at which each unified register can be sourced.
 	regReady [isa.NumURegs]uint64
@@ -55,8 +75,11 @@ type sim struct {
 	readsAt [1 << ringBits]uint8
 	storeAt [1 << ringBits]bool
 
-	// Store buffer (FIFO of entry-ready cycles).
+	// Store buffer (FIFO of entry-ready cycles), a fixed ring of
+	// StoreBufferEntries.
 	storeBuf []storeEnt
+	sbHead   int
+	sbLen    int
 
 	// FAC replay rule: accesses in the cycle after a mispredict may not
 	// speculate, except a load directly after a misspeculated load.
@@ -64,17 +87,69 @@ type sim struct {
 	lastMispredWasLoad bool
 	haveMispred        bool
 
-	lastEvent uint64 // completion time of the latest activity seen
+	nextCtxCheck uint64 // next cycle at which to poll ctx for cancellation
+	lastEvent    uint64 // completion time of the latest activity seen
 }
 
+// qent is one issue-queue entry: the pre-decoded instruction plus the few
+// trace fields the issue stage consumes.
 type qent struct {
-	tr       emu.Trace
+	pc       uint32
+	effAddr  uint32 // architectural effective address (memory ops)
+	base     uint32 // base register value at execute time
+	offset   uint32 // offset value (constant or index register)
+	isRegOff bool   // offset came from the register file
+	pre      isa.Pre
 	earliest uint64 // fetchCycle + 2 (IF, ID, then EX)
 }
 
 type storeEnt struct {
 	addr    uint32
 	entered uint64
+}
+
+// Issue-queue ring operations.
+
+func (s *sim) pendHeadEnt() *qent { return &s.pending[s.pendHead] }
+
+// pendSlot claims the next free ring slot and returns it for in-place
+// construction, avoiding a queue-entry copy per fetched instruction.
+func (s *sim) pendSlot() *qent {
+	i := s.pendHead + s.pendLen
+	if i >= len(s.pending) {
+		i -= len(s.pending)
+	}
+	s.pendLen++
+	return &s.pending[i]
+}
+
+func (s *sim) pendPop() {
+	s.pendHead++
+	if s.pendHead == len(s.pending) {
+		s.pendHead = 0
+	}
+	s.pendLen--
+}
+
+// Store-buffer ring operations.
+
+func (s *sim) sbPush(e storeEnt) {
+	i := s.sbHead + s.sbLen
+	if i >= len(s.storeBuf) {
+		i -= len(s.storeBuf)
+	}
+	s.storeBuf[i] = e
+	s.sbLen++
+}
+
+func (s *sim) sbPop() storeEnt {
+	e := s.storeBuf[s.sbHead]
+	s.sbHead++
+	if s.sbHead == len(s.storeBuf) {
+		s.sbHead = 0
+	}
+	s.sbLen--
+	return e
 }
 
 // Run simulates the instruction stream and returns timing statistics.
@@ -89,11 +164,11 @@ func RunObserved(cfg Config, src Source, sink obs.Sink) (Stats, error) {
 	return RunCtx(nil, cfg, src, sink)
 }
 
-// ctxCheckMask spaces out cancellation checks: the context is polled
-// every 4096 simulated cycles, so an abort costs at most a few
-// microseconds of extra simulation while the steady-state loop pays one
-// nil comparison per cycle.
-const ctxCheckMask = 1<<12 - 1
+// ctxCheckInterval spaces out cancellation checks: the context is polled
+// every 4096 simulated cycles (fast-forwarded cycles count), so an abort
+// costs at most a few microseconds of extra simulation while the
+// steady-state loop pays one nil comparison per cycle.
+const ctxCheckInterval = 1 << 12
 
 // RunCtx is RunObserved with cancellation: when ctx is non-nil, its
 // cancellation or deadline aborts the cycle loop promptly (checked every
@@ -104,6 +179,14 @@ func RunCtx(ctx context.Context, cfg Config, src Source, sink obs.Sink) (Stats, 
 		return Stats{}, err
 	}
 	s := &sim{cfg: cfg, src: src, ctx: ctx, btb: bpred.New(cfg.BTBEntries), sink: sink}
+	s.pending = make([]qent, 2*cfg.FetchWidth+cfg.IssueWidth)
+	s.storeBuf = make([]storeEnt, cfg.StoreBufferEntries)
+	if bs, ok := src.(BatchSource); ok {
+		s.bsrc = bs
+		s.batch = make([]emu.Trace, batchSize)
+	} else {
+		s.batch = make([]emu.Trace, 1)
+	}
 	s.stats.FACEnabled = cfg.FAC
 	if cfg.FAC {
 		s.geom = cfg.FACGeometry()
@@ -133,10 +216,11 @@ func (s *sim) run() error {
 	lastProgress := uint64(0)
 	prevInsts, prevBuf := uint64(0), 0
 	for {
-		if s.srcDone && !s.haveLookahead && len(s.pending) == 0 && len(s.storeBuf) == 0 {
+		if s.srcDone && s.batchPos >= s.batchLen && s.pendLen == 0 && s.sbLen == 0 {
 			break
 		}
-		if s.ctx != nil && now&ctxCheckMask == 0 {
+		if s.ctx != nil && now >= s.nextCtxCheck {
+			s.nextCtxCheck = now + ctxCheckInterval
 			if err := s.ctx.Err(); err != nil {
 				return fmt.Errorf("pipeline: run canceled at cycle %d: %w", now, err)
 			}
@@ -163,18 +247,115 @@ func (s *sim) run() error {
 		}
 		s.retireStores(now)
 
-		if s.stats.Insts != prevInsts || len(s.storeBuf) != prevBuf {
-			prevInsts, prevBuf = s.stats.Insts, len(s.storeBuf)
+		if s.stats.Insts != prevInsts || s.sbLen != prevBuf {
+			prevInsts, prevBuf = s.stats.Insts, s.sbLen
 			lastProgress = now
 		}
 		if now-lastProgress > 1_000_000 {
 			return fmt.Errorf("pipeline: no progress for 1M cycles at cycle %d (%d pending, %d store buffer)",
-				now, len(s.pending), len(s.storeBuf))
+				now, s.pendLen, s.sbLen)
+		}
+
+		// Stall fast-forwarding: when this cycle issued nothing and the
+		// pipeline is provably quiescent until a known future cycle (a
+		// miss fill, a long-latency result, a fetch redirect landing),
+		// jump straight there. Timing, statistics, and the event stream
+		// are bit-identical to walking the cycles one by one; see
+		// docs/PERFORMANCE.md for the invariant argument.
+		if issued == 0 && s.sbLen == 0 && !s.cfg.NoFastForward {
+			if wake := s.ffWake(now); wake > now+1 {
+				skipped := wake - now - 1
+				s.stats.StallCycles[cause] += skipped
+				if s.sink != nil {
+					for c := now + 1; c < wake; c++ {
+						s.sink.Event(obs.Event{Kind: obs.KindStall, Cause: cause, Cycle: c})
+					}
+				}
+				// Every live port reservation targets a cycle <= now+1 <
+				// wake, so the whole ring is stale at the resume cycle.
+				s.readsAt = [1 << ringBits]uint8{}
+				s.storeAt = [1 << ringBits]bool{}
+				now = wake - 1
+			}
 		}
 		now++
 	}
 	s.stats.Cycles = s.lastEvent
 	return nil
+}
+
+// ffWake returns the cycle to which the simulation can provably
+// fast-forward from the zero-issue cycle now: every skipped cycle would
+// issue nothing for the same recorded cause, mutate no simulator state,
+// and (stall events aside) emit nothing. It returns 0 when no such
+// window exists. The caller guarantees the store buffer is empty, so
+// retireStores is a no-op throughout the window.
+func (s *sim) ffWake(now uint64) uint64 {
+	const inf = ^uint64(0)
+	wake := inf
+	// Fetch next acts at nextFetchCycle — unless it is blocked on a full
+	// issue queue, in which case it cannot act before issue drains the
+	// queue (covered by the head examination below).
+	if !s.srcDone || s.batchPos < s.batchLen {
+		if s.pendLen+s.cfg.FetchWidth <= 2*s.cfg.FetchWidth+s.cfg.IssueWidth {
+			if s.nextFetchCycle <= now {
+				return 0 // fetch is active; no quiescent window
+			}
+			wake = s.nextFetchCycle
+		}
+	}
+	if s.pendLen > 0 {
+		q := s.pendHeadEnt()
+		if q.earliest > now {
+			if q.earliest < wake {
+				wake = q.earliest
+			}
+		} else {
+			// Mirror the issue stage's head examination exactly.
+			off := uint64(0)
+			if s.cfg.AGI {
+				switch q.pre.Class {
+				case isa.ClassIntALU, isa.ClassBranch, isa.ClassJump, isa.ClassSyscall:
+					off = 1
+				}
+			}
+			opWake := uint64(0)
+			for _, u := range q.pre.Uses[:q.pre.NUses] {
+				if r := s.regReady[u]; r > now+off && r-off > opWake {
+					opWake = r - off
+				}
+			}
+			if opWake != 0 {
+				if opWake < wake {
+					wake = opWake
+				}
+			} else {
+				// Operands are ready, so the head is blocked on a
+				// non-pipelined unit's issue interval; any other hazard
+				// (cache port, store buffer slot) can clear within a
+				// cycle and is not fast-forwarded.
+				var free uint64
+				switch q.pre.Class {
+				case isa.ClassIntMul, isa.ClassIntDiv:
+					free = s.intMDFree
+				case isa.ClassFPMul, isa.ClassFPDiv:
+					free = s.fpMDFree
+				default:
+					return 0
+				}
+				if free <= now {
+					return 0
+				}
+				if free < wake {
+					wake = free
+				}
+			}
+		}
+	}
+	if wake == inf || wake <= now+1 {
+		return 0
+	}
+	return wake
 }
 
 func (s *sim) note(cycle uint64) {
@@ -184,26 +365,41 @@ func (s *sim) note(cycle uint64) {
 }
 
 // peekTrace exposes the next dynamic instruction without consuming it.
-func (s *sim) peekTrace() (emu.Trace, bool, error) {
-	if s.haveLookahead {
-		return s.lookahead, true, nil
+// The returned pointer is valid until the next peekTrace call that
+// refills the batch buffer; nil means the stream has ended.
+func (s *sim) peekTrace() (*emu.Trace, error) {
+	if s.batchPos < s.batchLen {
+		return &s.batch[s.batchPos], nil
 	}
 	if s.srcDone {
-		return emu.Trace{}, false, nil
+		return nil, nil
+	}
+	if s.bsrc != nil {
+		n, err := s.bsrc.NextBatch(s.batch)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			s.srcDone = true
+			return nil, nil
+		}
+		s.batchPos, s.batchLen = 0, n
+		return &s.batch[0], nil
 	}
 	tr, ok, err := s.src.Next()
 	if err != nil {
-		return emu.Trace{}, false, err
+		return nil, err
 	}
 	if !ok {
 		s.srcDone = true
-		return emu.Trace{}, false, nil
+		return nil, nil
 	}
-	s.lookahead, s.haveLookahead = tr, true
-	return tr, true, nil
+	s.batch[0] = tr
+	s.batchPos, s.batchLen = 0, 1
+	return &s.batch[0], nil
 }
 
-func (s *sim) takeTrace() { s.haveLookahead = false }
+func (s *sim) takeTrace() { s.batchPos++ }
 
 // fetch models the IF stage: up to FetchWidth contiguous instructions per
 // cycle through the I-cache, ending early at predicted- or actually-taken
@@ -212,22 +408,23 @@ func (s *sim) fetch(now uint64) error {
 	if now < s.nextFetchCycle {
 		return nil
 	}
-	if len(s.pending)+s.cfg.FetchWidth > 2*s.cfg.FetchWidth+s.cfg.IssueWidth {
+	if s.pendLen+s.cfg.FetchWidth > 2*s.cfg.FetchWidth+s.cfg.IssueWidth {
 		return nil // issue queue full; fetch stalls
 	}
-	first, ok, err := s.peekTrace()
+	first, err := s.peekTrace()
 	if err != nil {
 		return err
 	}
-	if !ok {
+	if first == nil {
 		return nil
 	}
+	firstPC := first.PC
 
 	// I-cache access for the group's first block (and, if the group
 	// crosses, its successor block, fetched the same cycle).
 	groupReady := now
 	if s.icache != nil {
-		res := s.icache.Access(first.PC, false, now)
+		res := s.icache.Access(firstPC, false, now)
 		if res.Ready > groupReady {
 			groupReady = res.Ready
 		}
@@ -238,31 +435,42 @@ func (s *sim) fetch(now uint64) error {
 	}
 
 	fetched := 0
-	expectPC := first.PC
+	expectPC := firstPC
 	redirected := false
 	for fetched < s.cfg.FetchWidth {
-		tr, ok, err := s.peekTrace()
+		tr, err := s.peekTrace()
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if tr == nil {
 			break
 		}
 		if tr.PC != expectPC {
 			break // discontiguous (should not happen: redirects end groups)
 		}
-		if s.icache != nil && tr.PC&blockMask != first.PC&blockMask {
+		if s.icache != nil && tr.PC&blockMask != firstPC&blockMask {
 			res := s.icache.Access(tr.PC, false, now)
 			if res.Ready > groupReady {
 				groupReady = res.Ready
 			}
 		}
 		s.takeTrace()
-		s.pending = append(s.pending, qent{tr: tr, earliest: groupReady + 2})
+		q := s.pendSlot()
+		q.pc = tr.PC
+		q.effAddr = tr.EffAddr
+		q.base = tr.Base
+		q.offset = tr.Offset
+		q.isRegOff = tr.IsRegOffset
+		q.earliest = groupReady + 2
+		if tr.Pre != nil {
+			q.pre = *tr.Pre // the producer's pre-decode table (the common case)
+		} else {
+			q.pre = isa.Predecode(tr.Inst) // hand-built trace: decode locally
+		}
 		fetched++
 		expectPC = tr.PC + isa.InstBytes
 
-		if tr.Inst.Op.IsControl() {
+		if q.pre.IsControl() {
 			taken := tr.NextPC != tr.PC+isa.InstBytes
 			predTaken, _ := s.btb.Predict(tr.PC)
 			mis := s.btb.Update(tr.PC, taken, tr.NextPC)
@@ -287,7 +495,7 @@ func (s *sim) fetch(now uint64) error {
 		s.nextFetchCycle = groupReady + 1
 	}
 	if s.sink != nil && fetched > 0 {
-		s.sink.Event(obs.Event{Kind: obs.KindFetch, Cycle: now, PC: first.PC, Val: uint64(fetched)})
+		s.sink.Event(obs.Event{Kind: obs.KindFetch, Cycle: now, PC: firstPC, Val: uint64(fetched)})
 	}
 	return nil
 }
@@ -335,18 +543,16 @@ func (s *sim) issue(now uint64) (int, obs.StallCause, error) {
 	aluUsed := 0
 	fpAddUsed := 0
 	cause := obs.StallFrontend
-	var usesBuf [4]uint8
 
-	if len(s.pending) == 0 && s.srcDone && !s.haveLookahead {
+	if s.pendLen == 0 && s.srcDone && s.batchPos >= s.batchLen {
 		cause = obs.StallDrain // program done; store buffer still draining
 	}
-	for issued < s.cfg.IssueWidth && len(s.pending) > 0 {
-		q := &s.pending[0]
+	for issued < s.cfg.IssueWidth && s.pendLen > 0 {
+		q := s.pendHeadEnt()
 		if q.earliest > now {
 			cause = obs.StallFrontend // head not yet through IF/ID
 			break
 		}
-		op := q.tr.Inst.Op
 
 		// In the AGI organization ALU-class operations execute one stage
 		// later than address generation: their operands are needed one
@@ -355,7 +561,7 @@ func (s *sim) issue(now uint64) (int, obs.StallCause, error) {
 		needAt := now
 		aluShift := uint64(0)
 		if s.cfg.AGI {
-			switch op.Class() {
+			switch q.pre.Class {
 			case isa.ClassIntALU, isa.ClassBranch, isa.ClassJump, isa.ClassSyscall:
 				needAt = now + 1
 				aluShift = 1
@@ -364,7 +570,7 @@ func (s *sim) issue(now uint64) (int, obs.StallCause, error) {
 
 		// In-order issue: all source operands must be ready.
 		ready := true
-		for _, u := range q.tr.Inst.Uses(usesBuf[:0]) {
+		for _, u := range q.pre.Uses[:q.pre.NUses] {
 			if s.regReady[u] > needAt {
 				ready = false
 				break
@@ -376,7 +582,7 @@ func (s *sim) issue(now uint64) (int, obs.StallCause, error) {
 		}
 
 		var resultReady uint64
-		switch op.Class() {
+		switch q.pre.Class {
 		case isa.ClassIntALU, isa.ClassBranch, isa.ClassJump, isa.ClassSyscall:
 			if aluUsed >= s.cfg.IntALUs {
 				cause = obs.StallUnit
@@ -424,7 +630,7 @@ func (s *sim) issue(now uint64) (int, obs.StallCause, error) {
 				cause = obs.StallMemPort
 				goto stall
 			}
-			ok, rdy := s.scheduleLoad(q.tr, now)
+			ok, rdy := s.scheduleLoad(q, now)
 			if !ok {
 				cause = obs.StallMemPort
 				goto stall
@@ -438,9 +644,9 @@ func (s *sim) issue(now uint64) (int, obs.StallCause, error) {
 				cause = obs.StallMemPort
 				goto stall
 			}
-			if !s.scheduleStore(q.tr, now) {
+			if !s.scheduleStore(q, now) {
 				// Distinguish a full store buffer from a busy cache port.
-				if len(s.storeBuf) >= s.cfg.StoreBufferEntries {
+				if s.sbLen >= s.cfg.StoreBufferEntries {
 					cause = obs.StallStoreBuffer
 				} else {
 					cause = obs.StallMemPort
@@ -455,9 +661,9 @@ func (s *sim) issue(now uint64) (int, obs.StallCause, error) {
 		// Update the scoreboard. Post-increment memory ops write their base
 		// register from the AGU one cycle after issue regardless of the
 		// access latency.
-		for _, d := range q.tr.Inst.Defs(usesBuf[:0]) {
+		for _, d := range q.pre.Defs[:q.pre.NDefs] {
 			rdy := resultReady
-			if q.tr.Inst.Op.Mode() == isa.AMPost && d == isa.UInt(q.tr.Inst.Rs) {
+			if q.pre.Flags&isa.PrePostInc != 0 && d == q.pre.BaseU {
 				rdy = now + 1
 			}
 			s.regReady[d] = rdy
@@ -466,12 +672,12 @@ func (s *sim) issue(now uint64) (int, obs.StallCause, error) {
 		s.stats.Insts++
 		if s.sink != nil {
 			var addr uint32
-			if op.IsMem() {
-				addr = q.tr.EffAddr
+			if q.pre.IsMem() {
+				addr = q.effAddr
 			}
-			s.sink.Event(obs.Event{Kind: obs.KindIssue, Cycle: now, PC: q.tr.PC, Addr: addr, Val: resultReady})
+			s.sink.Event(obs.Event{Kind: obs.KindIssue, Cycle: now, PC: q.pc, Addr: addr, Val: resultReady})
 		}
-		s.pending = s.pending[1:]
+		s.pendPop()
 		issued++
 		continue
 
@@ -483,11 +689,11 @@ func (s *sim) issue(now uint64) (int, obs.StallCause, error) {
 
 // facEligible reports whether the access may speculate under fast address
 // calculation at this cycle.
-func (s *sim) facEligible(tr emu.Trace, now uint64, isLoad bool) bool {
+func (s *sim) facEligible(q *qent, now uint64, isLoad bool) bool {
 	if !s.cfg.FAC {
 		return false
 	}
-	if tr.Inst.Op.Mode() == isa.AMReg && !s.cfg.SpeculateRegReg {
+	if q.pre.Flags&isa.PreRegOffset != 0 && !s.cfg.SpeculateRegReg {
 		return false
 	}
 	if !isLoad && !s.cfg.SpeculateStores {
@@ -512,19 +718,19 @@ func (s *sim) noteMispredict(now uint64, wasLoad bool) {
 // scheduleLoad books cache bandwidth and computes the cycle the loaded
 // value becomes available. It returns ok=false when the load must stall
 // this cycle for a structural hazard.
-func (s *sim) scheduleLoad(tr emu.Trace, now uint64) (bool, uint64) {
-	if s.facEligible(tr, now, true) {
+func (s *sim) scheduleLoad(q *qent, now uint64) (bool, uint64) {
+	if s.facEligible(q, now, true) {
 		if !s.readFree(now) {
 			return false, 0
 		}
-		pred := s.geom.Predict(tr.Base, tr.Offset, tr.IsRegOffset)
+		pred := s.geom.Predict(q.base, q.offset, q.isRegOff)
 		s.stats.LoadsSpeculated++
 		s.useRead(now)
 		if s.sink != nil {
-			s.sink.Event(obs.Event{Kind: obs.KindFACPredict, Fail: pred.Failure, Cycle: now, PC: tr.PC, Addr: pred.Predicted})
+			s.sink.Event(obs.Event{Kind: obs.KindFACPredict, Fail: pred.Failure, Cycle: now, PC: q.pc, Addr: pred.Predicted})
 		}
 		if pred.OK {
-			ready := s.dcacheAccess(tr.EffAddr, false, now)
+			ready := s.dcacheAccess(q.effAddr, false, now)
 			return true, maxU64(ready+1, now+1)
 		}
 		// Misprediction: the EX-cycle access is wasted; the load replays in
@@ -536,9 +742,9 @@ func (s *sim) scheduleLoad(tr emu.Trace, now uint64) (bool, uint64) {
 		s.noteMispredict(now, true)
 		s.useRead(now + 1)
 		if s.sink != nil {
-			s.sink.Event(obs.Event{Kind: obs.KindReplay, Cycle: now + 1, PC: tr.PC, Addr: tr.EffAddr})
+			s.sink.Event(obs.Event{Kind: obs.KindReplay, Cycle: now + 1, PC: q.pc, Addr: q.effAddr})
 		}
-		ready := s.dcacheAccess(tr.EffAddr, false, now+1)
+		ready := s.dcacheAccess(q.effAddr, false, now+1)
 		return true, maxU64(ready+1, now+2)
 	}
 
@@ -547,30 +753,30 @@ func (s *sim) scheduleLoad(tr emu.Trace, now uint64) (bool, uint64) {
 		return false, 0
 	}
 	s.useRead(accessCycle)
-	ready := s.dcacheAccess(tr.EffAddr, false, accessCycle)
+	ready := s.dcacheAccess(q.effAddr, false, accessCycle)
 	return true, maxU64(ready+1, accessCycle+1)
 }
 
 // scheduleStore books the store's tag probe and a store-buffer entry.
-func (s *sim) scheduleStore(tr emu.Trace, now uint64) bool {
-	if len(s.storeBuf) >= s.cfg.StoreBufferEntries {
+func (s *sim) scheduleStore(q *qent, now uint64) bool {
+	if s.sbLen >= s.cfg.StoreBufferEntries {
 		// Full buffer stalls the pipeline while the oldest entry retires
 		// (handled in retireStores via the forced path).
 		s.stats.StoreBufferFullStalls++
 		return false
 	}
-	if s.facEligible(tr, now, false) {
+	if s.facEligible(q, now, false) {
 		if !s.storeFree(now) {
 			return false
 		}
-		pred := s.geom.Predict(tr.Base, tr.Offset, tr.IsRegOffset)
+		pred := s.geom.Predict(q.base, q.offset, q.isRegOff)
 		s.stats.StoresSpeculated++
 		s.useStore(now)
 		if s.sink != nil {
-			s.sink.Event(obs.Event{Kind: obs.KindFACPredict, Flags: obs.FlagStore, Fail: pred.Failure, Cycle: now, PC: tr.PC, Addr: pred.Predicted})
+			s.sink.Event(obs.Event{Kind: obs.KindFACPredict, Flags: obs.FlagStore, Fail: pred.Failure, Cycle: now, PC: q.pc, Addr: pred.Predicted})
 		}
 		if pred.OK {
-			s.storeBuf = append(s.storeBuf, storeEnt{addr: tr.EffAddr, entered: now})
+			s.sbPush(storeEnt{addr: q.effAddr, entered: now})
 			return true
 		}
 		// Mispredicted store: re-probe next cycle with the architectural
@@ -581,9 +787,9 @@ func (s *sim) scheduleStore(tr emu.Trace, now uint64) bool {
 		s.noteMispredict(now, false)
 		s.useStore(now + 1)
 		if s.sink != nil {
-			s.sink.Event(obs.Event{Kind: obs.KindReplay, Flags: obs.FlagStore, Cycle: now + 1, PC: tr.PC, Addr: tr.EffAddr})
+			s.sink.Event(obs.Event{Kind: obs.KindReplay, Flags: obs.FlagStore, Cycle: now + 1, PC: q.pc, Addr: q.effAddr})
 		}
-		s.storeBuf = append(s.storeBuf, storeEnt{addr: tr.EffAddr, entered: now + 1})
+		s.sbPush(storeEnt{addr: q.effAddr, entered: now + 1})
 		return true
 	}
 
@@ -592,29 +798,28 @@ func (s *sim) scheduleStore(tr emu.Trace, now uint64) bool {
 		return false
 	}
 	s.useStore(probeCycle)
-	s.storeBuf = append(s.storeBuf, storeEnt{addr: tr.EffAddr, entered: probeCycle})
+	s.sbPush(storeEnt{addr: q.effAddr, entered: probeCycle})
 	return true
 }
 
 // retireStores drains the store buffer during cycles in which the data
 // cache is otherwise unused, or forcibly when the buffer is full.
 func (s *sim) retireStores(now uint64) {
-	if len(s.storeBuf) == 0 {
+	if s.sbLen == 0 {
 		return
 	}
 	i := s.slot(now)
 	idle := s.readsAt[i] == 0 && !s.storeAt[i]
-	full := len(s.storeBuf) >= s.cfg.StoreBufferEntries
+	full := s.sbLen >= s.cfg.StoreBufferEntries
 	if !idle && !full {
 		return
 	}
-	e := s.storeBuf[0]
-	if e.entered >= now {
+	if s.storeBuf[s.sbHead].entered >= now {
 		return // entries need a cycle in the buffer before retiring
 	}
-	s.storeBuf = s.storeBuf[1:]
+	e := s.sbPop()
 	if s.sink != nil {
-		s.sink.Event(obs.Event{Kind: obs.KindStoreRetire, Flags: obs.FlagStore, Cycle: now, Addr: e.addr, Val: uint64(len(s.storeBuf))})
+		s.sink.Event(obs.Event{Kind: obs.KindStoreRetire, Flags: obs.FlagStore, Cycle: now, Addr: e.addr, Val: uint64(s.sbLen)})
 	}
 	ready := s.dcacheAccess(e.addr, true, now)
 	s.note(ready)

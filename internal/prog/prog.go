@@ -114,6 +114,18 @@ type Program struct {
 	Symbols  map[string]uint32
 
 	dataSegs []dataSeg
+	pre      []isa.Pre // pre-decoded Insts, computed once at link time
+}
+
+// Predecoded returns the pre-decoded text, indexed like Insts. Programs
+// built by Link carry the table from link time (shared safely across
+// concurrent simulations); hand-constructed Program values get a fresh
+// table per call.
+func (p *Program) Predecoded() []isa.Pre {
+	if p.pre != nil {
+		return p.pre
+	}
+	return isa.PredecodeAll(p.Insts)
 }
 
 type dataSeg struct {
@@ -297,6 +309,7 @@ func Link(o *Object, cfg Config) (*Program, error) {
 		SP:       cfg.StackTop,
 		HeapBase: heap,
 		Symbols:  symbols,
+		pre:      isa.PredecodeAll(insts),
 	}
 	if len(sdata) > 0 {
 		p.dataSegs = append(p.dataSegs, dataSeg{secBase[SecSData], sdata})

@@ -1,0 +1,96 @@
+// Command benchsmoke validates a freshly measured BENCH_pipeline.json
+// against the committed perf-trajectory artifact. CI runs BenchmarkPipeline
+// with -benchtime=1x and BENCH_OUT pointed at a scratch file, then invokes
+//
+//	go run ./scripts/benchsmoke -ref BENCH_pipeline.json -new <scratch>
+//
+// which fails when the fresh report is malformed (wrong schema, no
+// records, missing throughput metric) or when measured simulator
+// throughput regressed more than -max-regression (default 20%) below the
+// committed value. The committed artifact is only ever regenerated
+// deliberately (see docs/PERFORMANCE.md); this gate catches accidental
+// slowdowns and schema breakage without touching it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	ref := flag.String("ref", "BENCH_pipeline.json", "committed perf-trajectory artifact")
+	fresh := flag.String("new", "", "freshly measured report (required)")
+	maxReg := flag.Float64("max-regression", 0.20, "maximum tolerated relative throughput drop")
+	flag.Parse()
+	if *fresh == "" {
+		fatal(fmt.Errorf("-new is required"))
+	}
+
+	refRep, err := load(*ref)
+	if err != nil {
+		fatal(fmt.Errorf("ref %s: %w", *ref, err))
+	}
+	newRep, err := load(*fresh)
+	if err != nil {
+		fatal(fmt.Errorf("new %s: %w", *fresh, err))
+	}
+
+	refTp, err := throughput(refRep)
+	if err != nil {
+		fatal(fmt.Errorf("ref %s: %w", *ref, err))
+	}
+	newTp, err := throughput(newRep)
+	if err != nil {
+		fatal(fmt.Errorf("new %s: %w", *fresh, err))
+	}
+
+	// The simulated timing in the fresh records must match the committed
+	// ones exactly: throughput work must never change simulator results.
+	// (obs.Diff treats delta >= tolerance as a finding, so an exact-match
+	// gate needs an epsilon above zero.)
+	if diffs := obs.Diff(refRep, newRep, 1e-12); len(diffs) > 0 {
+		for _, d := range diffs {
+			fmt.Fprintln(os.Stderr, "benchsmoke:", d)
+		}
+		fatal(fmt.Errorf("%d simulated-timing difference(s) vs %s", len(diffs), *ref))
+	}
+
+	drop := (refTp - newTp) / refTp
+	fmt.Printf("benchsmoke: throughput %.2f Mcycles/s (committed %.2f, change %+.1f%%)\n",
+		newTp, refTp, -100*drop)
+	if drop > *maxReg {
+		fatal(fmt.Errorf("throughput regressed %.1f%% (max %.0f%%): %.2f -> %.2f Mcycles/s",
+			100*drop, 100**maxReg, refTp, newTp))
+	}
+}
+
+func load(path string) (*obs.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := obs.DecodeReport(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rep.Records) == 0 {
+		return nil, fmt.Errorf("report has no records")
+	}
+	return rep, nil
+}
+
+func throughput(r *obs.Report) (float64, error) {
+	tp, ok := r.Metrics["mcycles_per_sec"]
+	if !ok || tp <= 0 {
+		return 0, fmt.Errorf("missing or non-positive mcycles_per_sec metric")
+	}
+	return tp, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchsmoke:", err)
+	os.Exit(1)
+}

@@ -19,6 +19,12 @@
 #                                    ephemeral port, run a tiny batch, verify
 #                                    the RunRecord report and the cache-served
 #                                    resubmission, SIGTERM, assert clean drain)
+#   bench smoke               ~20s  (one BenchmarkPipeline iteration with
+#                                    BENCH_OUT redirected to a scratch file;
+#                                    scripts/benchsmoke checks the report
+#                                    schema, exact simulated-timing match vs
+#                                    the committed BENCH_pipeline.json, and
+#                                    <=20% throughput regression)
 #
 # The fuzz smoke stage runs each differential fuzz target briefly against
 # its committed seed corpus plus a few seconds of mutation, so a crasher
@@ -65,5 +71,11 @@ fi
 
 echo "== facd smoke =="
 go run ./scripts/facdsmoke
+
+echo "== bench smoke =="
+bench_out=$(mktemp)
+trap 'rm -f "$bench_out"' EXIT
+BENCH_OUT="$bench_out" go test -run '^$' -bench '^BenchmarkPipeline$' -benchtime 1x .
+go run ./scripts/benchsmoke -ref BENCH_pipeline.json -new "$bench_out"
 
 echo "CI OK"

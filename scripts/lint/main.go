@@ -1,25 +1,29 @@
 // Command lint is the repo's own vet-style static analyzer (stdlib go/ast +
-// go/types only, no external dependencies). It currently enforces one rule,
-// born from real nondeterminism bugs in this codebase:
+// go/types only, no external dependencies). It enforces two rules, both
+// born from real bugs in this codebase:
 //
-//	range-over-map order dependence: a `for ... range m` over a map whose
-//	body appends to a slice or emits output (calls named append, Write*,
-//	Print*, Fprint*, Emit*/emit*, print*) produces results that depend on
-//	Go's randomized map iteration order. Code generation, assembly,
-//	linking, and experiment export must be byte-deterministic, so such
-//	loops must iterate a sorted copy instead.
+//  1. Range-over-map order dependence: a `for ... range m` over a map whose
+//     body appends to a slice or emits output (calls named append, Write*,
+//     Print*, Fprint*, Emit*/emit*, print*) produces results that depend on
+//     Go's randomized map iteration order. Code generation, assembly,
+//     linking, and experiment export must be byte-deterministic, so such
+//     loops must iterate a sorted copy instead. A loop that is deliberately
+//     order-independent downstream is suppressed with the marker comment
+//     //lint:sorted on the `for` line or the line directly above it.
 //
-// A loop that is deliberately order-independent downstream (the caller
-// sorts, or the collection feeds a set) is suppressed by putting the
-// marker comment
-//
-//	//lint:sorted
-//
-// on the `for` line or the line directly above it.
+//  2. Hot-path allocations: a file whose first comment is //lint:hotpath
+//     declares that its steady state must not allocate (the simulator's
+//     cycle loop; TestSteadyStateZeroAllocs enforces the dynamic side).
+//     In such files every `append` call, map composite literal, and
+//     `make(map...)` call is flagged — the hot structures are fixed-size
+//     rings sized once at setup, so growth idioms are regressions.
+//     Deliberate setup-time or error-path allocations are suppressed with
+//     //lint:alloc-ok on the same line or the line above.
 //
 // Usage: go run ./scripts/lint [package-dir ...]
-// Without arguments it lints the packages where emission order matters:
-// internal/minic, internal/asm, internal/prog, internal/experiments.
+// Without arguments it lints the packages where emission order matters
+// (internal/minic, internal/asm, internal/prog, internal/experiments)
+// plus the hot-path-marked simulator core (internal/pipeline).
 package main
 
 import (
@@ -43,6 +47,7 @@ var defaultTargets = []string{
 	"internal/asm",
 	"internal/prog",
 	"internal/experiments",
+	"internal/pipeline",
 }
 
 func main() {
@@ -194,6 +199,9 @@ func (l *linter) lintDir(dir string) ([]string, error) {
 	}
 	var findings []string
 	for _, f := range files {
+		if hasHotpathMarker(f) {
+			findings = append(findings, l.lintHotpath(f, info)...)
+		}
 		sorted := markerLines(l.fset, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			rs, ok := n.(*ast.RangeStmt)
@@ -225,6 +233,83 @@ func (l *linter) lintDir(dir string) ([]string, error) {
 	}
 	sort.Strings(findings)
 	return findings, nil
+}
+
+// hasHotpathMarker reports whether the file opts into the hot-path
+// allocation rule with a //lint:hotpath comment.
+func hasHotpathMarker(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == "lint:hotpath" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// allocOKLines returns the file lines carrying a //lint:alloc-ok marker,
+// which suppresses the hot-path allocation rule on that line or the next.
+func allocOKLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == "lint:alloc-ok" {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// lintHotpath flags allocation-prone patterns in a //lint:hotpath file:
+// append calls (unbounded growth — hot structures must be fixed rings),
+// map composite literals, and make(map...) calls.
+func (l *linter) lintHotpath(f *ast.File, info *types.Info) []string {
+	okLines := allocOKLines(l.fset, f)
+	var findings []string
+	report := func(pos token.Pos, what string) {
+		p := l.fset.Position(pos)
+		if okLines[p.Line] || okLines[p.Line-1] {
+			return
+		}
+		rel, err := filepath.Rel(l.root, p.Filename)
+		if err != nil {
+			rel = p.Filename
+		}
+		findings = append(findings, fmt.Sprintf(
+			"%s:%d: %s in //lint:hotpath file (use a preallocated ring/buffer, or mark //lint:alloc-ok for setup code)",
+			filepath.ToSlash(rel), p.Line, what))
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					switch b.Name() {
+					case "append":
+						report(n.Pos(), "append")
+					case "make":
+						if len(n.Args) > 0 {
+							if tv, ok := info.Types[n.Args[0]]; ok {
+								if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+									report(n.Pos(), "make(map)")
+								}
+							}
+						}
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					report(n.Pos(), "map literal")
+				}
+			}
+		}
+		return true
+	})
+	return findings
 }
 
 // markerLines returns the file lines carrying a //lint:sorted marker. The

@@ -6,9 +6,9 @@ import (
 	"testing"
 )
 
-// TestSamplePackage checks the rule against the fixture package: the two
-// order-dependent loops are found, the clean and marker-suppressed loops
-// are not.
+// TestSamplePackage checks both rules against the fixture package: the two
+// order-dependent loops and the three hot-path allocation idioms are
+// found; the clean and marker-suppressed cases are not.
 func TestSamplePackage(t *testing.T) {
 	dir, err := filepath.Abs("testdata/sample")
 	if err != nil {
@@ -19,18 +19,21 @@ func TestSamplePackage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(findings) != 2 {
-		t.Fatalf("got %d findings, want 2:\n%s", len(findings), strings.Join(findings, "\n"))
+	if len(findings) != 5 {
+		t.Fatalf("got %d findings, want 5:\n%s", len(findings), strings.Join(findings, "\n"))
 	}
-	wants := []string{"appends to a slice", "calls Println"}
-	for i, want := range wants {
-		if !strings.Contains(findings[i], want) {
-			t.Errorf("finding %d = %q, want it to mention %q", i, findings[i], want)
+	all := strings.Join(findings, "\n")
+	for _, want := range []string{"append", "map literal", "make(map)", "appends to a slice", "calls Println"} {
+		if !strings.Contains(all, want) {
+			t.Errorf("no finding mentions %q:\n%s", want, all)
 		}
 	}
 	for _, f := range findings {
 		if strings.Contains(f, "SortedKeys") || strings.Contains(f, ":47:") {
 			t.Errorf("marker-suppressed loop was reported: %q", f)
+		}
+		if strings.Contains(f, "hotSetupOK") || strings.Contains(f, "hotSliceOK") {
+			t.Errorf("suppressed or benign hot-path case was reported: %q", f)
 		}
 	}
 }

@@ -1,0 +1,26 @@
+//lint:hotpath
+package sample
+
+// Fixture for the hot-path allocation rule: the three unmarked
+// allocation idioms below must each be flagged; the marked one must not.
+
+func hotAppend(xs []int) []int {
+	return append(xs, 1) // flagged: append
+}
+
+func hotMapLit() map[string]int {
+	return map[string]int{"a": 1} // flagged: map literal
+}
+
+func hotMakeMap() map[int]int {
+	return make(map[int]int) // flagged: make(map)
+}
+
+func hotSetupOK() map[int]int {
+	//lint:alloc-ok
+	return make(map[int]int)
+}
+
+func hotSliceOK() []int {
+	return make([]int, 8) // slice make is fine: sized once at setup
+}
