@@ -6,17 +6,24 @@
 // The daemon is deterministic end to end: a batch report is byte-identical
 // to what an in-process run of the same jobs would export, so results can
 // be cached, diffed, and shared across machines. docs/SERVICE.md describes
-// the API, the content-addressed result cache, and the operational
-// endpoints.
+// the API, the content-addressed result cache, the multi-tenant quota and
+// fair-scheduling model, and the operational endpoints.
 //
 // Usage:
 //
 //	facd -addr :8080 -cache ~/.fac-cache
 //	facd -addr 127.0.0.1:0 -workers 4 -job-timeout 5m
+//	facd -clients alice:tokenA:2,bob:tokenB:1 -access-log access.jsonl
+//
+// With -clients, every API request (except /healthz and /metrics) must
+// carry "Authorization: Bearer <token>"; tenants are scheduled in
+// weighted-fair order and held to per-tenant queue and in-flight quotas.
 //
 // facd prints "facd listening on <addr>" once it accepts connections. On
 // SIGTERM or SIGINT it stops accepting work, drains queued and running
-// jobs (bounded by -drain-timeout), and exits 0 on a clean drain.
+// jobs (bounded by -drain-timeout), and exits 0 on a clean drain, printing
+// its final job accounting (submitted == completed+failed+cancelled on a
+// clean drain — no admitted job is ever dropped unreported).
 package main
 
 import (
@@ -27,60 +34,169 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/simsvc"
 )
 
+// options gathers the daemon configuration parsed from flags.
+type options struct {
+	addr         string
+	workers      int
+	queueDepth   int
+	jobTimeout   time.Duration
+	cacheDir     string
+	cacheMax     int64
+	maxInsts     uint64
+	drainTimeout time.Duration
+
+	clients        string
+	maxQueuedPer   int
+	maxInFlightPer int
+	maxBodyBytes   int64
+	accessLogPath  string
+
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
+}
+
 func main() {
-	var (
-		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
-		workers      = flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
-		queueDepth   = flag.Int("queue", 0, "job queue depth before submissions get 429 (0 = 64)")
-		jobTimeout   = flag.Duration("job-timeout", 0, "per-job deadline (0 = none)")
-		cacheDir     = flag.String("cache", "", "persistent result cache directory (shared with cmd/experiments -cache)")
-		cacheMax     = flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries beyond this size (0 = unbounded)")
-		maxInsts     = flag.Uint64("max-insts", simsvc.DefaultMaxInsts, "instruction budget per simulation")
-		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long to wait for in-flight jobs on shutdown")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	flag.IntVar(&o.workers, "workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	flag.IntVar(&o.queueDepth, "queue", 0, "global job queue depth before submissions get 429 (0 = 64)")
+	flag.DurationVar(&o.jobTimeout, "job-timeout", 0, "per-job deadline (0 = none)")
+	flag.StringVar(&o.cacheDir, "cache", "", "persistent result cache directory (shared with cmd/experiments -cache)")
+	flag.Int64Var(&o.cacheMax, "cache-max-bytes", 0, "evict least-recently-used cache entries beyond this size (0 = unbounded)")
+	flag.Uint64Var(&o.maxInsts, "max-insts", simsvc.DefaultMaxInsts, "instruction budget per simulation")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 2*time.Minute, "how long to wait for in-flight jobs on shutdown")
+	flag.StringVar(&o.clients, "clients", "", "authenticated tenants as name:token[:weight],... (empty = open access, one anonymous tenant)")
+	flag.IntVar(&o.maxQueuedPer, "max-queued-per-client", 0, "per-tenant queued-jobs quota (0 = the global -queue depth)")
+	flag.IntVar(&o.maxInFlightPer, "max-inflight-per-client", 0, "per-tenant cap on concurrently running jobs, batch+sync (0 = -workers)")
+	flag.Int64Var(&o.maxBodyBytes, "max-body-bytes", 0, "reject request bodies larger than this with 413 (0 = 4 MiB)")
+	flag.StringVar(&o.accessLogPath, "access-log", "", "write JSONL access events (request/admit/reject/complete) to this file; \"-\" = stderr")
+	flag.DurationVar(&o.readHeaderTimeout, "read-header-timeout", 10*time.Second, "close connections whose request headers take longer than this (slowloris guard)")
+	flag.DurationVar(&o.readTimeout, "read-timeout", time.Minute, "close connections whose full request takes longer than this to read")
+	flag.DurationVar(&o.writeTimeout, "write-timeout", 15*time.Minute, "abort responses not fully written within this (must exceed the longest sync run; 0 = none)")
+	flag.DurationVar(&o.idleTimeout, "idle-timeout", 2*time.Minute, "close idle keep-alive connections after this")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queueDepth, *jobTimeout, *cacheDir, *cacheMax, *maxInsts, *drainTimeout); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "facd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queueDepth int, jobTimeout time.Duration, cacheDir string, cacheMax int64, maxInsts uint64, drainTimeout time.Duration) error {
+// parseClients parses the -clients flag: comma-separated
+// name:token[:weight] entries. Weights default to 1; quota caps come
+// from the shared -max-queued-per-client / -max-inflight-per-client
+// flags.
+func parseClients(s string) ([]simsvc.TenantConfig, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []simsvc.TenantConfig
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		parts := strings.Split(entry, ":")
+		if len(parts) < 2 || len(parts) > 3 || parts[0] == "" || parts[1] == "" {
+			return nil, fmt.Errorf("bad -clients entry %q (want name:token[:weight])", entry)
+		}
+		c := simsvc.TenantConfig{Name: parts[0], Token: parts[1]}
+		if len(parts) == 3 {
+			w, err := strconv.Atoi(parts[2])
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("bad weight in -clients entry %q", entry)
+			}
+			c.Weight = w
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-clients %q names no tenants", s)
+	}
+	return out, nil
+}
+
+// newHTTPServer wires the connection timeouts that keep one slow or
+// stalled client from holding a connection (and its goroutine) forever:
+// ReadHeaderTimeout bounds the slowloris window, ReadTimeout the whole
+// request read, WriteTimeout the response (it must exceed the longest
+// synchronous run), and IdleTimeout reclaims parked keep-alives.
+func newHTTPServer(h http.Handler, o options) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: o.readHeaderTimeout,
+		ReadTimeout:       o.readTimeout,
+		WriteTimeout:      o.writeTimeout,
+		IdleTimeout:       o.idleTimeout,
+	}
+}
+
+func run(o options) error {
 	runner := &simsvc.Runner{
 		Resolve: func(m string) (pipeline.Config, error) {
 			return experiments.MachineConfig(experiments.Machine(m))
 		},
-		MaxInsts: maxInsts,
+		MaxInsts: o.maxInsts,
 	}
-	if cacheDir != "" {
-		dc, err := simsvc.OpenDiskCache(cacheDir, cacheMax)
+	if o.cacheDir != "" {
+		dc, err := simsvc.OpenDiskCache(o.cacheDir, o.cacheMax)
 		if err != nil {
 			return fmt.Errorf("open cache: %w", err)
 		}
 		runner.Cache = dc
 	}
 
-	svc := simsvc.NewServer(simsvc.ServerConfig{
-		Workers:    workers,
-		QueueDepth: queueDepth,
-		JobTimeout: jobTimeout,
-	}, runner)
-	svc.Start()
-
-	ln, err := net.Listen("tcp", addr)
+	clients, err := parseClients(o.clients)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: svc.Handler()}
+	var accessLog obs.AccessSink
+	switch o.accessLogPath {
+	case "":
+	case "-":
+		accessLog = obs.NewAccessLog(os.Stderr)
+	default:
+		f, err := os.OpenFile(o.accessLogPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("open access log: %w", err)
+		}
+		defer f.Close()
+		accessLog = obs.NewAccessLog(f)
+	}
+
+	svc, err := simsvc.NewServer(simsvc.ServerConfig{
+		Workers:            o.workers,
+		QueueDepth:         o.queueDepth,
+		JobTimeout:         o.jobTimeout,
+		Clients:            clients,
+		DefaultMaxQueued:   o.maxQueuedPer,
+		DefaultMaxInFlight: o.maxInFlightPer,
+		MaxBodyBytes:       o.maxBodyBytes,
+		AccessLog:          accessLog,
+	}, runner)
+	if err != nil {
+		return err
+	}
+	svc.Start()
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := newHTTPServer(svc.Handler(), o)
 
 	// Announce readiness on stdout; scripts (and the CI smoke stage) parse
 	// this line to find the bound port.
@@ -105,7 +221,7 @@ func run(addr string, workers, queueDepth int, jobTimeout time.Duration, cacheDi
 	stop()
 	fmt.Println("facd draining")
 
-	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
 	drainErr := svc.Drain(drainCtx)
 
@@ -115,9 +231,14 @@ func run(addr string, workers, queueDepth int, jobTimeout time.Duration, cacheDi
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	<-errCh
+	st := svc.Stats()
 	if drainErr != nil {
-		return fmt.Errorf("drain: %w", drainErr)
+		return fmt.Errorf("drain (submitted=%d completed=%d failed=%d cancelled=%d): %w",
+			st.Submitted, st.Completed, st.Failed, st.Cancelled, drainErr)
 	}
-	fmt.Println("facd drained cleanly")
+	// The accounting identity on this line is the drop-free guarantee
+	// cmd/facload asserts: every admitted job reached a terminal state.
+	fmt.Printf("facd drained cleanly (submitted=%d completed=%d failed=%d cancelled=%d)\n",
+		st.Submitted, st.Completed, st.Failed, st.Cancelled)
 	return nil
 }

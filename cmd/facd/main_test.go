@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseClients covers the -clients flag grammar.
+func TestParseClients(t *testing.T) {
+	got, err := parseClients("alice:tok-a:2, bob:tok-b ,carol:tok-c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d clients, want 3", len(got))
+	}
+	if got[0].Name != "alice" || got[0].Token != "tok-a" || got[0].Weight != 2 {
+		t.Fatalf("alice parsed as %+v", got[0])
+	}
+	if got[1].Name != "bob" || got[1].Token != "tok-b" || got[1].Weight != 0 {
+		t.Fatalf("bob parsed as %+v", got[1])
+	}
+
+	if got, err := parseClients(""); err != nil || got != nil {
+		t.Fatalf("empty flag: %v, %v", got, err)
+	}
+
+	for _, bad := range []string{
+		"alice",          // no token
+		"alice:",         // empty token
+		":tok",           // empty name
+		"a:t:x",          // non-numeric weight
+		"a:t:0",          // weight < 1
+		"a:t:-1",         // negative weight
+		"a:t:2:extra",    // too many fields
+		",,",             // nothing but separators
+		"ok:tok,broken:", // one good entry does not excuse a bad one
+	} {
+		if got, err := parseClients(bad); err == nil {
+			t.Fatalf("parseClients(%q) accepted: %+v", bad, got)
+		}
+	}
+}
+
+// TestSlowlorisTimeout is the regression test for the unbounded
+// http.Server: a client that opens a connection and trickles headers
+// without ever finishing must be cut off by ReadHeaderTimeout instead of
+// holding a connection goroutine forever.
+func TestSlowlorisTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := options{
+		readHeaderTimeout: 200 * time.Millisecond,
+		readTimeout:       time.Second,
+		writeTimeout:      time.Second,
+		idleTimeout:       time.Second,
+	}
+	srv := newHTTPServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}), o)
+	if srv.ReadHeaderTimeout == 0 || srv.ReadTimeout == 0 || srv.WriteTimeout == 0 || srv.IdleTimeout == 0 {
+		t.Fatal("newHTTPServer left a connection timeout unset")
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	// Send a request line and one header, then stall without the
+	// terminating blank line — the classic slowloris hold.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "GET /healthz HTTP/1.1\r\nHost: x\r\nX-Slow: 1\r\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	buf := make([]byte, 1)
+	_, rerr := conn.Read(buf)
+	elapsed := time.Since(start)
+	if rerr == nil {
+		t.Fatal("server answered a request whose headers never completed")
+	}
+	if ne, ok := rerr.(net.Error); ok && ne.Timeout() {
+		t.Fatalf("server still holding the stalled connection after %v", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("stalled connection closed only after %v; ReadHeaderTimeout not effective", elapsed)
+	}
+
+	// A well-formed request on a fresh connection still succeeds.
+	conn2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	fmt.Fprintf(conn2, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+	conn2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	line, err := bufio.NewReader(conn2).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(line, "200") {
+		t.Fatalf("healthy request got %q", line)
+	}
+}

@@ -1,0 +1,359 @@
+// Command facload is a mixed-tenant load generator and soak test for
+// facd. It builds the daemon, boots it with N equally-weighted
+// authenticated tenants and deliberately tight per-tenant quotas, then
+// hammers it from one open-loop submitter per tenant so the service runs
+// saturated for the whole soak. Every submission is a unique simulation
+// (the instruction budget varies per job), so the overload is real work,
+// not cache hits.
+//
+// Mid-soak — while submitters are still racing — facload sends the
+// daemon SIGTERM and verifies the hardening contract end to end:
+//
+//   - Graceful-drain correctness: facd exits 0 and its final accounting
+//     line satisfies submitted == completed+failed+cancelled, submitted
+//     equals the number of jobs facload saw accepted with 202, and
+//     nothing failed or was cancelled: no admitted job is ever dropped
+//     unreported, even with submissions racing the drain.
+//   - Fairness: per-tenant completed-run counts from the access log stay
+//     within -fair-min (min/max ratio, default 0.5) at equal weights —
+//     no tenant is starved.
+//   - Bounded queueing: the p99 of per-job queue wait from access-log
+//     complete events stays under -p99-max.
+//
+// Usage (from the repo root):
+//
+//	go run ./cmd/facload                      # 4 tenants, 30s soak
+//	go run ./cmd/facload -tenants 3 -duration 5s
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+type options struct {
+	tenants     int
+	duration    time.Duration
+	workers     int
+	maxQueued   int
+	maxInFlight int
+	fairMin     float64
+	p99Max      time.Duration
+	minPerTen   int
+	workload    string
+	toolchain   string
+	machine     string
+}
+
+func main() {
+	var o options
+	flag.IntVar(&o.tenants, "tenants", 4, "number of equally-weighted tenants submitting concurrently")
+	flag.DurationVar(&o.duration, "duration", 30*time.Second, "soak length before the mid-soak SIGTERM")
+	flag.IntVar(&o.workers, "workers", 2, "daemon worker pool size (small keeps the service saturated)")
+	flag.IntVar(&o.maxQueued, "max-queued-per-client", 8, "per-tenant queued-jobs quota on the daemon")
+	flag.IntVar(&o.maxInFlight, "max-inflight-per-client", 2, "per-tenant in-flight cap on the daemon")
+	flag.Float64Var(&o.fairMin, "fair-min", 0.5, "minimum allowed min/max ratio of per-tenant completed runs")
+	flag.DurationVar(&o.p99Max, "p99-max", 5*time.Second, "maximum allowed p99 queue wait")
+	flag.IntVar(&o.minPerTen, "min-completed-per-tenant", 5, "throughput floor: every tenant must complete at least this many runs")
+	flag.StringVar(&o.workload, "workload", "hashp", "workload to submit (a short one keeps per-run cost low)")
+	flag.StringVar(&o.toolchain, "toolchain", "base", "toolchain for submitted jobs")
+	flag.StringVar(&o.machine, "machine", "base32", "machine for submitted jobs")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "facload:", err)
+		os.Exit(1)
+	}
+	fmt.Println("facload OK")
+}
+
+func token(i int) string { return fmt.Sprintf("tok-t%d", i) }
+
+// authedJSON posts a JSON body with a tenant's bearer token.
+func authedJSON(client *http.Client, url, tok string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequest("POST", url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer "+tok)
+	return client.Do(req)
+}
+
+var drainLine = regexp.MustCompile(`facd drained cleanly \(submitted=(\d+) completed=(\d+) failed=(\d+) cancelled=(\d+)\)`)
+
+func run(o options) error {
+	if o.tenants < 2 {
+		return fmt.Errorf("-tenants %d: fairness needs at least 2", o.tenants)
+	}
+	tmp, err := os.MkdirTemp("", "facload")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "facd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/facd")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build facd: %w", err)
+	}
+
+	var clients []string
+	for i := 0; i < o.tenants; i++ {
+		clients = append(clients, fmt.Sprintf("t%d:%s:1", i, token(i)))
+	}
+	accessLog := filepath.Join(tmp, "access.jsonl")
+	daemon := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-workers", fmt.Sprint(o.workers),
+		"-queue", fmt.Sprint(o.tenants*o.maxQueued),
+		"-clients", strings.Join(clients, ","),
+		"-max-queued-per-client", fmt.Sprint(o.maxQueued),
+		"-max-inflight-per-client", fmt.Sprint(o.maxInFlight),
+		"-access-log", accessLog,
+	)
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		return fmt.Errorf("start facd: %w", err)
+	}
+	defer daemon.Process.Kill()
+
+	ready := make(chan string, 1)
+	scanDone := make(chan struct{})
+	var outBuf bytes.Buffer
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			outBuf.WriteString(line + "\n")
+			if addr, ok := strings.CutPrefix(line, "facd listening on "); ok {
+				ready <- addr
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("facd never announced its address")
+	}
+
+	httpc := &http.Client{Timeout: 2 * time.Minute}
+
+	// Probe the workload's natural instruction count with one synchronous
+	// run (sync runs are outside the batch accounting). Each soak job then
+	// sets a unique max_insts above the natural count, so every submission
+	// has a distinct cache key and costs a real simulation — overload, not
+	// cache traffic — while still running to its natural completion.
+	probe, err := json.Marshal(map[string]any{
+		"workload": o.workload, "toolchain": o.toolchain, "machine": o.machine,
+	})
+	if err != nil {
+		return err
+	}
+	presp, err := authedJSON(httpc, base+"/v1/run", token(0), probe)
+	if err != nil {
+		return fmt.Errorf("probe run: %w", err)
+	}
+	var probed struct {
+		Record struct {
+			Insts uint64 `json:"instructions"`
+		} `json:"record"`
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(presp.Body).Decode(&probed)
+	presp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if presp.StatusCode != http.StatusOK || probed.Record.Insts == 0 {
+		return fmt.Errorf("probe run status %d: %s", presp.StatusCode, probed.Error)
+	}
+	natural := probed.Record.Insts
+	fmt.Printf("facload: soaking %s for %v (%d tenants, %d workers, %d insts/run)\n",
+		base, o.duration, o.tenants, o.workers, natural)
+
+	// The soak: one open-loop submitter per tenant, single-job batches,
+	// retrying on 429 backpressure, stopping at the first 503 (drain) or
+	// transport error (server gone). jobSeq makes every job unique.
+	var jobSeq atomic.Uint64
+	accepted := make([]atomic.Uint64, o.tenants)
+	var wg sync.WaitGroup
+	for ten := 0; ten < o.tenants; ten++ {
+		wg.Add(1)
+		go func(ten int) {
+			defer wg.Done()
+			for {
+				body, err := json.Marshal(map[string]any{"jobs": []map[string]any{{
+					"workload":  o.workload,
+					"toolchain": o.toolchain,
+					"machine":   o.machine,
+					"max_insts": natural + 1 + jobSeq.Add(1),
+				}}})
+				if err != nil {
+					panic(err)
+				}
+				resp, err := authedJSON(httpc, base+"/v1/batches", token(ten), body)
+				if err != nil {
+					return // server shut its listener; soak is over
+				}
+				code := resp.StatusCode
+				resp.Body.Close()
+				switch code {
+				case http.StatusAccepted:
+					accepted[ten].Add(1)
+				case http.StatusTooManyRequests:
+					time.Sleep(20 * time.Millisecond) // backpressure; retry
+				case http.StatusServiceUnavailable:
+					return // draining
+				default:
+					fmt.Fprintf(os.Stderr, "facload: tenant %d submit status %d\n", ten, code)
+					return
+				}
+			}
+		}(ten)
+	}
+
+	// Mid-soak SIGTERM: the submitters are still racing when the drain
+	// starts, which is exactly the window the drop-free guarantee covers.
+	time.Sleep(o.duration)
+	if err := daemon.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	wg.Wait()
+	select {
+	case <-scanDone:
+	case <-time.After(5 * time.Minute):
+		return fmt.Errorf("facd did not exit after SIGTERM")
+	}
+	if err := daemon.Wait(); err != nil {
+		return fmt.Errorf("facd exited uncleanly: %w\noutput:\n%s", err, outBuf.String())
+	}
+
+	var totalAccepted uint64
+	for ten := range accepted {
+		totalAccepted += accepted[ten].Load()
+	}
+
+	// Assertion 1 — graceful-drain correctness. The daemon's final line is
+	// its own accounting identity; cross-check it against what the clients
+	// observed so a dropped-but-unreported job cannot hide on either side.
+	m := drainLine.FindStringSubmatch(outBuf.String())
+	if m == nil {
+		return fmt.Errorf("missing clean-drain line; output:\n%s", outBuf.String())
+	}
+	var submitted, completed, failed, cancelled uint64
+	fmt.Sscanf(m[1], "%d", &submitted)
+	fmt.Sscanf(m[2], "%d", &completed)
+	fmt.Sscanf(m[3], "%d", &failed)
+	fmt.Sscanf(m[4], "%d", &cancelled)
+	if submitted != completed+failed+cancelled {
+		return fmt.Errorf("drain dropped jobs: submitted=%d but completed+failed+cancelled=%d",
+			submitted, completed+failed+cancelled)
+	}
+	if submitted != totalAccepted {
+		return fmt.Errorf("daemon admitted %d jobs but clients saw %d accepted (lost or phantom admissions)",
+			submitted, totalAccepted)
+	}
+	if failed != 0 || cancelled != 0 {
+		return fmt.Errorf("soak jobs did not all succeed: failed=%d cancelled=%d", failed, cancelled)
+	}
+
+	// Assertions 2 and 3 come from the access log: per-tenant completions
+	// for fairness, per-job queue waits for the latency bound.
+	doneByTenant, waits, err := readCompletions(accessLog)
+	if err != nil {
+		return err
+	}
+	var logged uint64
+	for _, n := range doneByTenant {
+		logged += n
+	}
+	if logged != submitted {
+		return fmt.Errorf("access log records %d completions, daemon reports %d", logged, submitted)
+	}
+
+	minDone, maxDone := ^uint64(0), uint64(0)
+	for ten := 0; ten < o.tenants; ten++ {
+		n := doneByTenant[fmt.Sprintf("t%d", ten)]
+		fmt.Printf("facload: tenant t%d accepted=%d completed=%d\n", ten, accepted[ten].Load(), n)
+		if n < minDone {
+			minDone = n
+		}
+		if n > maxDone {
+			maxDone = n
+		}
+		if n < uint64(o.minPerTen) {
+			return fmt.Errorf("tenant t%d completed only %d runs (floor %d)", ten, n, o.minPerTen)
+		}
+	}
+	ratio := float64(minDone) / float64(maxDone)
+	if ratio < o.fairMin {
+		return fmt.Errorf("unfair schedule: min/max completed ratio %.2f < %.2f (min=%d max=%d)",
+			ratio, o.fairMin, minDone, maxDone)
+	}
+
+	sort.Float64s(waits)
+	p99 := waits[(len(waits)*99+99)/100-1]
+	fmt.Printf("facload: %d jobs drained cleanly, fairness ratio %.2f, queue wait p50=%.0fms p99=%.0fms\n",
+		submitted, ratio, waits[len(waits)/2], p99)
+	if p99 > float64(o.p99Max.Milliseconds()) {
+		return fmt.Errorf("queue wait p99 %.0fms exceeds %v", p99, o.p99Max)
+	}
+	return nil
+}
+
+// readCompletions parses the daemon's JSONL access log into per-tenant
+// completed-run counts and the queue-wait distribution.
+func readCompletions(path string) (map[string]uint64, []float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("open access log: %w", err)
+	}
+	defer f.Close()
+	byTenant := make(map[string]uint64)
+	var waits []float64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e struct {
+			Event       string  `json:"event"`
+			Client      string  `json:"client"`
+			QueueWaitMS float64 `json:"queue_wait_ms"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, nil, fmt.Errorf("bad access-log line %q: %w", sc.Text(), err)
+		}
+		if e.Event == "complete" {
+			byTenant[e.Client]++
+			waits = append(waits, e.QueueWaitMS)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(waits) == 0 {
+		return nil, nil, fmt.Errorf("access log %s has no complete events", path)
+	}
+	return byTenant, waits, nil
+}

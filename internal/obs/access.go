@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// AccessEventSchema versions the service access-log line format. Bump it
+// when a field changes meaning, so log consumers can detect drift.
+const AccessEventSchema = "fac/access/v1"
+
+// Access event kinds. Unlike the simulator's Event stream, access events
+// describe the *service* around the simulator — who asked for what, what
+// was admitted or refused, and how long admitted work waited and ran.
+const (
+	// AccessRequest: one HTTP request completed, with its final status.
+	AccessRequest = "request"
+	// AccessAdmit: a batch submission was accepted; Jobs counts its jobs.
+	AccessAdmit = "admit"
+	// AccessReject: a request was refused (auth, quota, overload, bad
+	// input); Reason carries the human-readable cause.
+	AccessReject = "reject"
+	// AccessComplete: one job reached a terminal state, with queue-wait
+	// and run-latency timings.
+	AccessComplete = "complete"
+)
+
+// AccessEvent is one structured service access-log record. Zero-valued
+// fields are omitted from the JSON encoding, so each event kind only
+// carries the fields that apply to it. Unlike RunRecord exports, access
+// events are operational telemetry: they carry wall-clock time and are
+// not part of the deterministic report surface.
+type AccessEvent struct {
+	Time   time.Time `json:"time"`
+	Event  string    `json:"event"`
+	Client string    `json:"client,omitempty"`
+	Method string    `json:"method,omitempty"`
+	Path   string    `json:"path,omitempty"`
+	Status int       `json:"status,omitempty"`
+	Reason string    `json:"reason,omitempty"`
+	Batch  string    `json:"batch,omitempty"`
+	Job    string    `json:"job,omitempty"`
+	Jobs   int       `json:"jobs,omitempty"`
+	State  string    `json:"state,omitempty"`
+	// CacheHit marks a completion served from the persistent result cache.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// QueueWaitMS is submission-to-start latency for batch jobs.
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
+	// RunMS is start-to-terminal latency (simulation or cache lookup).
+	RunMS float64 `json:"run_ms,omitempty"`
+}
+
+// AccessSink receives service access events. Implementations must be
+// safe for concurrent use: the service emits from request handlers and
+// worker goroutines alike.
+type AccessSink interface {
+	Access(e AccessEvent)
+}
+
+// AccessLog writes access events as JSON Lines to an io.Writer, one
+// object per line, serialized by an internal mutex. Encoding errors are
+// dropped: the access log is telemetry and must never fail a request.
+type AccessLog struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewAccessLog returns an AccessLog writing to w.
+func NewAccessLog(w io.Writer) *AccessLog {
+	return &AccessLog{enc: json.NewEncoder(w)}
+}
+
+// Access implements AccessSink.
+func (l *AccessLog) Access(e AccessEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_ = l.enc.Encode(e)
+}
+
+// AccessCollector retains every event in memory; tests and the facload
+// soak verifier use it (or parse an AccessLog file into one).
+type AccessCollector struct {
+	mu     sync.Mutex
+	events []AccessEvent
+}
+
+// Access implements AccessSink.
+func (c *AccessCollector) Access(e AccessEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, e)
+}
+
+// Events snapshots the collected events in arrival order.
+func (c *AccessCollector) Events() []AccessEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]AccessEvent, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// ByEvent counts collected events per kind.
+func (c *AccessCollector) ByEvent(kind string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, e := range c.events {
+		if e.Event == kind {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAccessLogJSONLines: events encode one JSON object per line, with
+// kind-specific fields present and zero-valued fields omitted.
+func TestAccessLogJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLog(&buf)
+	l.Access(AccessEvent{Time: time.Unix(1, 0).UTC(), Event: AccessRequest,
+		Client: "alice", Method: "POST", Path: "/v1/batches", Status: 202})
+	l.Access(AccessEvent{Time: time.Unix(2, 0).UTC(), Event: AccessComplete,
+		Client: "alice", Job: "j1", Batch: "b1", State: "done",
+		CacheHit: true, QueueWaitMS: 12.5, RunMS: 80})
+
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("%d lines, want 2", len(lines))
+	}
+	req := lines[0]
+	if req["event"] != "request" || req["client"] != "alice" || req["status"] != float64(202) {
+		t.Fatalf("request line %+v", req)
+	}
+	if _, present := req["cache_hit"]; present {
+		t.Fatalf("zero-valued cache_hit not omitted: %+v", req)
+	}
+	done := lines[1]
+	if done["event"] != "complete" || done["job"] != "j1" || done["cache_hit"] != true {
+		t.Fatalf("complete line %+v", done)
+	}
+	if done["queue_wait_ms"] != 12.5 || done["run_ms"] != float64(80) {
+		t.Fatalf("latency fields %+v", done)
+	}
+}
+
+// TestAccessLogConcurrent: concurrent emitters never interleave bytes
+// mid-line.
+func TestAccessLogConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewAccessLog(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				l.Access(AccessEvent{Event: AccessAdmit, Client: strings.Repeat("x", 64), Jobs: k})
+			}
+		}()
+	}
+	wg.Wait()
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		if !json.Valid(sc.Bytes()) {
+			t.Fatalf("invalid JSON line: %q", sc.Text())
+		}
+		n++
+	}
+	if n != 8*50 {
+		t.Fatalf("%d lines, want %d", n, 8*50)
+	}
+}
+
+// TestAccessCollector: collection and per-kind counting.
+func TestAccessCollector(t *testing.T) {
+	var c AccessCollector
+	c.Access(AccessEvent{Event: AccessAdmit, Jobs: 3})
+	c.Access(AccessEvent{Event: AccessReject, Reason: "quota"})
+	c.Access(AccessEvent{Event: AccessReject, Reason: "auth"})
+	if c.ByEvent(AccessReject) != 2 || c.ByEvent(AccessAdmit) != 1 || c.ByEvent(AccessComplete) != 0 {
+		t.Fatalf("counts wrong: %+v", c.Events())
+	}
+	ev := c.Events()
+	if len(ev) != 3 || ev[1].Reason != "quota" {
+		t.Fatalf("events %+v", ev)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -30,7 +31,10 @@ func resolveMachine(m string) (pipeline.Config, error) {
 func newDaemon(t *testing.T, cache *simsvc.DiskCache, cfg simsvc.ServerConfig) (*simsvc.Server, *simsvc.Runner, string) {
 	t.Helper()
 	runner := &simsvc.Runner{Resolve: resolveMachine, MaxInsts: e2eMaxInsts, Cache: cache}
-	s := simsvc.NewServer(cfg, runner)
+	s, err := simsvc.NewServer(cfg, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.Start()
 	hs := httptest.NewServer(s.Handler())
 	t.Cleanup(hs.Close)
@@ -310,5 +314,49 @@ func TestCacheKeySensitivity(t *testing.T) {
 			t.Fatalf("variant %q collides with %q", v.name, prev)
 		}
 		seen[k] = v.name
+	}
+}
+
+// TestE2EConcurrentIdenticalSubmits: many clients submitting the same
+// job at once cost one simulation total — concurrent copies join the
+// in-flight run (singleflight) and later copies hit the persistent
+// cache — and every submitter gets byte-identical report bytes.
+func TestE2EConcurrentIdenticalSubmits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulation in -short mode")
+	}
+	cache, err := simsvc.OpenDiskCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runner, base := newDaemon(t, cache, simsvc.ServerConfig{Workers: 4, QueueDepth: 32})
+
+	const copies = 6
+	jobs := []simsvc.JobSpec{{Workload: "queens", Toolchain: "base", Machine: "base32"}}
+	reports := make([][]byte, copies)
+	var wg sync.WaitGroup
+	for i := 0; i < copies; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, reports[i] = submitAndWait(t, base, jobs)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < copies; i++ {
+		if !bytes.Equal(reports[0], reports[i]) {
+			t.Fatalf("submitter %d got different report bytes:\n%s\nvs\n%s", i, reports[0], reports[i])
+		}
+	}
+	st := cache.Stats()
+	if st.Entries != 1 {
+		t.Fatalf("%d identical jobs created %d cache entries, want 1", copies, st.Entries)
+	}
+	// Exactly one copy simulated; the rest were deduplicated onto it or
+	// served from the cache it filled.
+	if got := runner.DedupCount() + st.Hits; got != copies-1 {
+		t.Fatalf("dedup (%d) + cache hits (%d) = %d, want %d short-circuited copies",
+			runner.DedupCount(), st.Hits, got, copies-1)
 	}
 }

@@ -1,0 +1,286 @@
+package simsvc
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestSched(t *testing.T, maxTotal int, clients []TenantConfig, defQueued, defInFlight int) (*Scheduler, *sync.Mutex) {
+	t.Helper()
+	var mu sync.Mutex
+	sc, err := newScheduler(&mu, maxTotal, clients, defQueued, defInFlight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, &mu
+}
+
+func queuedJobs(t *tenant, n int) []*jobEntry {
+	jobs := make([]*jobEntry, n)
+	for i := range jobs {
+		jobs[i] = &jobEntry{state: StateQueued, tenant: t}
+	}
+	return jobs
+}
+
+// TestSchedulerConfig: duplicate names/tokens and out-of-range weights
+// are construction errors, and defaults apply per tenant.
+func TestSchedulerConfig(t *testing.T) {
+	var mu sync.Mutex
+	for _, bad := range [][]TenantConfig{
+		{{Name: "", Token: "t"}},
+		{{Name: "a", Token: ""}},
+		{{Name: "a", Token: "t", Weight: -1}},
+		{{Name: "a", Token: "t", Weight: maxWeight + 1}},
+		{{Name: "a", Token: "t1"}, {Name: "a", Token: "t2"}},
+		{{Name: "a", Token: "t"}, {Name: "b", Token: "t"}},
+	} {
+		if _, err := newScheduler(&mu, 8, bad, 4, 2); err == nil {
+			t.Fatalf("config %+v accepted", bad)
+		}
+	}
+	sc, err := newScheduler(&mu, 8, []TenantConfig{
+		{Name: "a", Token: "ta"},
+		{Name: "b", Token: "tb", Weight: 3, MaxQueued: 9, MaxInFlight: 5},
+	}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := sc.byName["a"], sc.byName["b"]
+	if a.weight != 1 || a.maxQueued != 4 || a.maxInFlight != 2 {
+		t.Fatalf("defaults not applied: %+v", a)
+	}
+	if b.weight != 3 || b.maxQueued != 9 || b.maxInFlight != 5 {
+		t.Fatalf("explicit config lost: %+v", b)
+	}
+}
+
+// TestSchedulerWeightedOrder: with both tenants backlogged, service
+// opportunities split by weight (2:1), interleaved rather than bursty.
+func TestSchedulerWeightedOrder(t *testing.T) {
+	sc, mu := newTestSched(t, 100, []TenantConfig{
+		{Name: "heavy", Token: "th", Weight: 2},
+		{Name: "light", Token: "tl", Weight: 1},
+	}, 100, 100)
+	heavy, light := sc.byName["heavy"], sc.byName["light"]
+	mu.Lock()
+	sc.pushLocked(heavy, queuedJobs(heavy, 30))
+	sc.pushLocked(light, queuedJobs(light, 30))
+
+	counts := map[string]int{}
+	var order []string
+	for i := 0; i < 30; i++ {
+		j := sc.nextLocked()
+		counts[j.tenant.name]++
+		order = append(order, j.tenant.name[:1])
+		sc.doneLocked(j.tenant) // job finishes immediately
+	}
+	mu.Unlock()
+	if counts["heavy"] != 20 || counts["light"] != 10 {
+		t.Fatalf("30 scheduling slots split %v, want heavy=20 light=10", counts)
+	}
+	// Stride scheduling interleaves: the light tenant is never locked out
+	// for longer than one full weight round.
+	if s := strings.Join(order, ""); strings.Contains(s, "hhhhh") {
+		t.Fatalf("bursty schedule %s", s)
+	}
+}
+
+// TestSchedulerEqualWeightsRoundRobin: equal weights alternate service.
+func TestSchedulerEqualWeightsRoundRobin(t *testing.T) {
+	sc, mu := newTestSched(t, 100, []TenantConfig{
+		{Name: "a", Token: "ta"},
+		{Name: "b", Token: "tb"},
+	}, 100, 100)
+	a, b := sc.byName["a"], sc.byName["b"]
+	mu.Lock()
+	sc.pushLocked(a, queuedJobs(a, 10))
+	sc.pushLocked(b, queuedJobs(b, 10))
+	counts := map[string]int{}
+	for i := 0; i < 20; i++ {
+		j := sc.nextLocked()
+		counts[j.tenant.name]++
+		sc.doneLocked(j.tenant)
+	}
+	mu.Unlock()
+	if counts["a"] != 10 || counts["b"] != 10 {
+		t.Fatalf("equal weights split %v", counts)
+	}
+}
+
+// TestSchedulerIdleBanksNoCredit: a tenant that sat idle while another
+// was served does not get a catch-up burst when it finally submits.
+func TestSchedulerIdleBanksNoCredit(t *testing.T) {
+	sc, mu := newTestSched(t, 1000, []TenantConfig{
+		{Name: "busy", Token: "tb"},
+		{Name: "idle", Token: "ti"},
+	}, 1000, 1000)
+	busy, idle := sc.byName["busy"], sc.byName["idle"]
+	mu.Lock()
+	sc.pushLocked(busy, queuedJobs(busy, 40))
+	for i := 0; i < 20; i++ {
+		j := sc.nextLocked()
+		sc.doneLocked(j.tenant)
+	}
+	// idle arrives late; fair from here on is 1:1, not 20 in a row.
+	sc.pushLocked(idle, queuedJobs(idle, 20))
+	counts := map[string]int{}
+	for i := 0; i < 20; i++ {
+		j := sc.nextLocked()
+		counts[j.tenant.name]++
+		sc.doneLocked(j.tenant)
+	}
+	mu.Unlock()
+	if counts["idle"] > 11 || counts["idle"] < 9 {
+		t.Fatalf("late arrival served %v of 20 slots, want ~10", counts)
+	}
+}
+
+// TestSchedulerInFlightCap: a tenant at its in-flight cap is passed over
+// even with the lowest virtual time, and becomes eligible again when a
+// run finishes.
+func TestSchedulerInFlightCap(t *testing.T) {
+	sc, mu := newTestSched(t, 100, []TenantConfig{
+		{Name: "capped", Token: "tc", Weight: 100, MaxInFlight: 1},
+		{Name: "other", Token: "to"},
+	}, 100, 100)
+	capped, other := sc.byName["capped"], sc.byName["other"]
+	mu.Lock()
+	sc.pushLocked(capped, queuedJobs(capped, 3))
+	sc.pushLocked(other, queuedJobs(other, 3))
+
+	j1 := sc.nextLocked()
+	if j1.tenant != capped {
+		t.Fatalf("first slot went to %s", j1.tenant.name)
+	}
+	// capped is now at its cap: the next two slots must go to other.
+	if j := sc.nextLocked(); j.tenant != other {
+		t.Fatalf("capped tenant scheduled past its in-flight cap")
+	}
+	sc.doneLocked(capped)
+	if j := sc.nextLocked(); j.tenant != capped {
+		t.Fatal("released slot did not re-enable the capped tenant")
+	}
+	mu.Unlock()
+}
+
+// TestSchedulerAdmitQuotas: per-tenant and global queue bounds both
+// reject with a Retry-After-carrying quota error.
+func TestSchedulerAdmitQuotas(t *testing.T) {
+	sc, mu := newTestSched(t, 6, []TenantConfig{
+		{Name: "a", Token: "ta", MaxQueued: 2},
+		{Name: "b", Token: "tb", MaxQueued: 100},
+	}, 4, 4)
+	a, b := sc.byName["a"], sc.byName["b"]
+	mu.Lock()
+	defer mu.Unlock()
+
+	if err := sc.admitLocked(a, 3, 2); err == nil {
+		t.Fatal("batch over the tenant quota admitted")
+	} else {
+		var qe *quotaError
+		if !errors.As(err, &qe) || qe.retry < 1 {
+			t.Fatalf("tenant rejection %v carries no retry hint", err)
+		}
+		if !strings.Contains(err.Error(), `client "a"`) {
+			t.Fatalf("tenant rejection %v does not name the client", err)
+		}
+	}
+	if err := sc.admitLocked(a, 2, 2); err != nil {
+		t.Fatalf("batch within quota rejected: %v", err)
+	}
+	sc.pushLocked(a, queuedJobs(a, 2))
+	if err := sc.admitLocked(a, 1, 2); err == nil {
+		t.Fatal("tenant over its queued cap admitted")
+	}
+	// b has a huge personal quota but the global queue (6) has 4 slots left.
+	if err := sc.admitLocked(b, 5, 2); err == nil {
+		t.Fatal("batch over the global queue bound admitted")
+	}
+	if err := sc.admitLocked(b, 4, 2); err != nil {
+		t.Fatalf("batch within the global bound rejected: %v", err)
+	}
+}
+
+// TestSchedulerSyncSlots: synchronous runs consume the same in-flight
+// slots as batch jobs.
+func TestSchedulerSyncSlots(t *testing.T) {
+	sc, mu := newTestSched(t, 8, []TenantConfig{{Name: "a", Token: "ta", MaxInFlight: 2}}, 8, 2)
+	a := sc.byName["a"]
+	mu.Lock()
+	defer mu.Unlock()
+	if err := sc.acquireSyncLocked(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.acquireSyncLocked(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.acquireSyncLocked(a); err == nil {
+		t.Fatal("third concurrent sync run admitted past MaxInFlight=2")
+	}
+	sc.doneLocked(a)
+	if err := sc.acquireSyncLocked(a); err != nil {
+		t.Fatalf("released slot not reusable: %v", err)
+	}
+}
+
+// TestSchedulerPurge: cancelled-while-queued jobs free their queue slots
+// on purge without being scheduled.
+func TestSchedulerPurge(t *testing.T) {
+	sc, mu := newTestSched(t, 4, []TenantConfig{{Name: "a", Token: "ta"}}, 4, 4)
+	a := sc.byName["a"]
+	mu.Lock()
+	defer mu.Unlock()
+	jobs := queuedJobs(a, 4)
+	sc.pushLocked(a, jobs)
+	jobs[0].state = StateCancelled
+	jobs[2].state = StateCancelled
+	sc.purgeLocked()
+	if sc.totalQueued != 2 || len(a.queue) != 2 {
+		t.Fatalf("purge left totalQueued=%d len(queue)=%d, want 2/2", sc.totalQueued, len(a.queue))
+	}
+	if err := sc.admitLocked(a, 2, 1); err != nil {
+		t.Fatalf("freed slots not admittable: %v", err)
+	}
+	if j := sc.nextLocked(); j != jobs[1] {
+		t.Fatal("purge broke FIFO order")
+	}
+}
+
+// TestSchedulerDrain: a draining scheduler serves its backlog, then
+// returns nil to every waiter, including ones already blocked.
+func TestSchedulerDrain(t *testing.T) {
+	sc, mu := newTestSched(t, 8, []TenantConfig{{Name: "a", Token: "ta"}}, 8, 8)
+	a := sc.byName["a"]
+
+	// A blocked waiter must be woken by drainLocked.
+	got := make(chan *jobEntry, 1)
+	go func() {
+		mu.Lock()
+		j := sc.nextLocked()
+		mu.Unlock()
+		got <- j
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter block
+	mu.Lock()
+	sc.pushLocked(a, queuedJobs(a, 1))
+	mu.Unlock()
+	if j := <-got; j == nil {
+		t.Fatal("waiter got nil before drain")
+	}
+
+	mu.Lock()
+	sc.pushLocked(a, queuedJobs(a, 2))
+	sc.drainLocked()
+	j1, j2 := sc.nextLocked(), sc.nextLocked()
+	if j1 == nil || j2 == nil {
+		t.Fatal("draining scheduler dropped backlog")
+	}
+	if j := sc.nextLocked(); j != nil {
+		t.Fatal("drained empty scheduler returned a job")
+	}
+	mu.Unlock()
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sort"
@@ -20,14 +21,33 @@ import (
 type ServerConfig struct {
 	// Workers is the simulation worker-pool size (0 = GOMAXPROCS).
 	Workers int
-	// QueueDepth bounds the job queue; submissions that would overflow it
-	// are rejected with 429 and a Retry-After hint (0 = 64).
+	// QueueDepth bounds the global job queue; submissions that would
+	// overflow it are rejected with 429 and a Retry-After hint (0 = 64).
 	QueueDepth int
 	// JobTimeout is the per-job deadline (0 = none). It applies to queued
 	// batch jobs and to synchronous /v1/run requests alike.
 	JobTimeout time.Duration
 	// Tool names the report producer in batch reports (0 = "facd").
 	Tool string
+
+	// Clients declares the authenticated tenants. When empty the service
+	// is open: every request maps to a single anonymous tenant. When
+	// non-empty, requests must present a configured bearer token and are
+	// scheduled fairly by tenant weight.
+	Clients []TenantConfig
+	// DefaultMaxQueued is the per-tenant queued-jobs cap for clients that
+	// set none (0 = QueueDepth, i.e. only the global bound applies).
+	DefaultMaxQueued int
+	// DefaultMaxInFlight is the per-tenant cap on concurrently running
+	// jobs — batch plus synchronous — for clients that set none
+	// (0 = Workers).
+	DefaultMaxInFlight int
+	// MaxBodyBytes bounds any request body; larger bodies are refused
+	// with 413 before they can exhaust memory (0 = 4 MiB).
+	MaxBodyBytes int64
+	// AccessLog, when non-nil, receives structured
+	// request/admit/reject/complete events (see obs.AccessEvent).
+	AccessLog obs.AccessSink
 }
 
 // JobRunner executes and validates job specs. *Runner is the production
@@ -49,29 +69,63 @@ const (
 // jobEntry is the service-side state of one job. Mutable fields are
 // guarded by the server mutex.
 type jobEntry struct {
-	id    string
-	batch string
-	spec  JobSpec
+	id     string
+	seq    int
+	batch  string
+	spec   JobSpec
+	tenant *tenant
 
 	state    string
 	errMsg   string
 	cacheHit bool
 	rec      *obs.RunRecord
 
+	enqueued time.Time
+	started  time.Time
+	finished time.Time
+
 	ctx    context.Context
 	cancel context.CancelFunc
 }
 
-// Server is the simulation service: a bounded worker pool fed by a
-// bounded queue, with batch bookkeeping, cancellation, backpressure,
-// metrics, and graceful drain.
+// queueWait is submission-to-start latency; for jobs cancelled while
+// queued it measures submission to cancellation.
+func (j *jobEntry) queueWait() time.Duration {
+	if j.started.IsZero() {
+		if j.finished.IsZero() {
+			return 0
+		}
+		return j.finished.Sub(j.enqueued)
+	}
+	return j.started.Sub(j.enqueued)
+}
+
+// runTime is start-to-terminal latency (zero while running or never
+// started).
+func (j *jobEntry) runTime() time.Duration {
+	if j.started.IsZero() || j.finished.IsZero() {
+		return 0
+	}
+	return j.finished.Sub(j.started)
+}
+
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Server is the simulation service: a bounded worker pool fed by
+// per-tenant queues under weighted-fair scheduling, with token
+// authentication, per-tenant quotas, batch bookkeeping, cancellation,
+// backpressure, structured access logs, metrics, and graceful drain.
 type Server struct {
 	cfg    ServerConfig
 	runner JobRunner
 
+	sched        *Scheduler
+	authRequired bool
+	anon         *tenant
+	accessLog    obs.AccessSink
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
-	queue      chan *jobEntry
 	wg         sync.WaitGroup
 
 	mu       sync.Mutex
@@ -91,8 +145,14 @@ type Server struct {
 	syncRuns  uint64
 }
 
-// NewServer builds a server; call Start to launch its workers.
-func NewServer(cfg ServerConfig, runner JobRunner) *Server {
+// anonTenantName identifies the single tenant of an open (no configured
+// clients) server.
+const anonTenantName = "anon"
+
+// NewServer builds a server; call Start to launch its workers. It fails
+// on inconsistent tenant configuration (duplicate names or tokens,
+// out-of-range weights).
+func NewServer(cfg ServerConfig, runner JobRunner) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -102,16 +162,42 @@ func NewServer(cfg ServerConfig, runner JobRunner) *Server {
 	if cfg.Tool == "" {
 		cfg.Tool = "facd"
 	}
+	if cfg.DefaultMaxQueued <= 0 {
+		cfg.DefaultMaxQueued = cfg.QueueDepth
+	}
+	if cfg.DefaultMaxInFlight <= 0 {
+		cfg.DefaultMaxInFlight = cfg.Workers
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 4 << 20
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:        cfg,
 		runner:     runner,
+		accessLog:  cfg.AccessLog,
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		queue:      make(chan *jobEntry, cfg.QueueDepth),
 		jobs:       make(map[string]*jobEntry),
 		batches:    make(map[string][]*jobEntry),
 	}
+	clients := cfg.Clients
+	s.authRequired = len(clients) > 0
+	if !s.authRequired {
+		// Open server: one anonymous tenant holds all quota state. The
+		// token is never matched because authentication is skipped.
+		clients = []TenantConfig{{Name: anonTenantName, Token: "\x00anonymous"}}
+	}
+	sched, err := newScheduler(&s.mu, cfg.QueueDepth, clients, cfg.DefaultMaxQueued, cfg.DefaultMaxInFlight)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	s.sched = sched
+	if !s.authRequired {
+		s.anon = sched.order[0]
+	}
+	return s, nil
 }
 
 // Start launches the worker pool. It is idempotent.
@@ -130,14 +216,26 @@ func (s *Server) Start() {
 
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		s.mu.Lock()
+		j := s.sched.nextLocked()
+		s.mu.Unlock()
+		if j == nil {
+			return
+		}
 		s.runJob(j)
 	}
 }
 
-// runJob executes one queued job, honoring cancellation that raced its
-// dequeue and the per-job deadline.
+// runJob executes one scheduled job, honoring cancellation that raced
+// its dequeue and the per-job deadline. The job's tenant in-flight slot
+// (claimed by nextLocked) is always released.
 func (s *Server) runJob(j *jobEntry) {
+	defer func() {
+		s.mu.Lock()
+		s.sched.doneLocked(j.tenant)
+		s.mu.Unlock()
+	}()
 	s.mu.Lock()
 	if j.state != StateQueued {
 		s.mu.Unlock()
@@ -145,11 +243,15 @@ func (s *Server) runJob(j *jobEntry) {
 	}
 	if j.ctx.Err() != nil {
 		j.state = StateCancelled
+		j.finished = time.Now()
 		s.cancelled++
+		j.tenant.completed++
 		s.mu.Unlock()
+		s.completeEvent(j)
 		return
 	}
 	j.state = StateRunning
+	j.started = time.Now()
 	s.busy++
 	s.mu.Unlock()
 
@@ -162,8 +264,9 @@ func (s *Server) runJob(j *jobEntry) {
 	rec, hit, err := s.runner.Run(ctx, j.spec)
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.busy--
+	j.finished = time.Now()
+	j.tenant.completed++
 	switch {
 	case err == nil:
 		j.state = StateDone
@@ -172,6 +275,7 @@ func (s *Server) runJob(j *jobEntry) {
 		s.completed++
 		if hit {
 			s.cacheHits++
+			j.tenant.cacheHits++
 		}
 	case j.ctx.Err() != nil && errors.Is(err, context.Canceled):
 		// The job (or the whole server) was cancelled, not a failure of
@@ -184,6 +288,51 @@ func (s *Server) runJob(j *jobEntry) {
 		j.errMsg = err.Error()
 		s.failed++
 	}
+	s.mu.Unlock()
+	s.completeEvent(j)
+}
+
+// completeEvent emits the job's terminal access event. Call without the
+// server mutex and only after the job is terminal (its fields are then
+// immutable).
+func (s *Server) completeEvent(j *jobEntry) {
+	s.access(obs.AccessEvent{
+		Event:       obs.AccessComplete,
+		Client:      j.tenant.name,
+		Batch:       j.batch,
+		Job:         j.id,
+		State:       j.state,
+		CacheHit:    j.cacheHit,
+		QueueWaitMS: durMS(j.queueWait()),
+		RunMS:       durMS(j.runTime()),
+	})
+}
+
+func (s *Server) access(e obs.AccessEvent) {
+	if s.accessLog == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	s.accessLog.Access(e)
+}
+
+// DrainStats is the server's batch-job accounting snapshot. For a
+// drained server, Submitted == Completed+Failed+Cancelled: every
+// admitted job reached a reported terminal state, none were dropped.
+type DrainStats struct {
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Cancelled uint64 `json:"cancelled"`
+}
+
+// Stats snapshots the job counters.
+func (s *Server) Stats() DrainStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return DrainStats{Submitted: s.submitted, Completed: s.completed, Failed: s.failed, Cancelled: s.cancelled}
 }
 
 // Drain stops accepting new work, lets queued and running jobs finish,
@@ -194,7 +343,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue) // submissions check draining under mu, so no send can race this
+		s.sched.drainLocked() // submissions check draining under mu, so no push can race this
 	}
 	started := s.started
 	s.mu.Unlock()
@@ -216,7 +365,60 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// Handler returns the HTTP API.
+// tenantCtxKey carries the authenticated tenant through a request.
+type tenantCtxKey struct{}
+
+func (s *Server) tenantFrom(r *http.Request) *tenant {
+	t, _ := r.Context().Value(tenantCtxKey{}).(*tenant)
+	return t
+}
+
+// authenticate resolves the request's tenant. With no configured
+// clients every request maps to the anonymous tenant; otherwise the
+// Authorization header must carry a configured bearer token. The token
+// table is immutable after construction, so no lock is taken.
+func (s *Server) authenticate(r *http.Request) (*tenant, error) {
+	if !s.authRequired {
+		return s.anon, nil
+	}
+	h := r.Header.Get("Authorization")
+	if h == "" {
+		return nil, errors.New("missing Authorization header (want \"Bearer <token>\")")
+	}
+	tok, ok := strings.CutPrefix(h, "Bearer ")
+	if !ok {
+		return nil, errors.New("malformed Authorization header (want \"Bearer <token>\")")
+	}
+	t, ok := s.sched.byToken[tok]
+	if !ok {
+		return nil, errors.New("unknown token")
+	}
+	return t, nil
+}
+
+// statusWriter captures the response status for access logging.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Handler returns the HTTP API. Every endpoint except the operational
+// pair (/healthz, /metrics) authenticates the caller, bounds the request
+// body, and is access-logged.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/batches", s.handleSubmit)
@@ -225,9 +427,34 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/batches/{id}", s.handleBatchCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("POST /v1/run", s.handleRunSync)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+
+	ops := http.NewServeMux()
+	ops.HandleFunc("GET /metrics", s.handleMetrics)
+	ops.HandleFunc("GET /healthz", s.handleHealthz)
+
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" || r.URL.Path == "/healthz" {
+			ops.ServeHTTP(w, r)
+			return
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		client := ""
+		t, err := s.authenticate(r)
+		if err != nil {
+			s.reject(sw, nil, http.StatusUnauthorized, "%v", err)
+		} else {
+			client = t.name
+			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+			mux.ServeHTTP(sw, r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, t)))
+		}
+		s.access(obs.AccessEvent{
+			Event:  obs.AccessRequest,
+			Client: client,
+			Method: r.Method,
+			Path:   r.URL.Path,
+			Status: sw.status,
+		})
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -242,6 +469,64 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// reject refuses a request: it writes the error response, counts the
+// rejection against the tenant (when known), and emits a reject access
+// event carrying the reason.
+func (s *Server) reject(w http.ResponseWriter, t *tenant, status int, format string, args ...any) {
+	reason := fmt.Sprintf(format, args...)
+	if t != nil {
+		s.mu.Lock()
+		t.rejected++
+		s.mu.Unlock()
+	}
+	client := ""
+	if t != nil {
+		client = t.name
+	}
+	writeErr(w, status, "%s", reason)
+	s.access(obs.AccessEvent{
+		Event:  obs.AccessReject,
+		Client: client,
+		Status: status,
+		Reason: reason,
+	})
+}
+
+// decodeStrict decodes exactly one JSON value from the request body:
+// unknown fields are errors (client typos fail loudly instead of being
+// ignored), trailing data after the first value is an error, and a body
+// over the server's byte limit maps to 413 rather than a generic 400.
+func decodeStrict(r *http.Request, v any) (status int, err error) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", mbe.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("bad request body: %w", err)
+	}
+	if tok, err := dec.Token(); err != io.EOF {
+		return http.StatusBadRequest, fmt.Errorf("trailing data after JSON body (next token %v)", tok)
+	}
+	return 0, nil
+}
+
+// parseID validates an API identifier of the form <prefix><positive
+// decimal>, e.g. "j12" or "b3". It rejects everything strconv.Atoi
+// would partially accept ("", "j", "jxyz", "j+1", "j007") so malformed
+// ids can never alias a real job or batch.
+func parseID(prefix byte, id string) (int, bool) {
+	if len(id) < 2 || id[0] != prefix {
+		return 0, false
+	}
+	n, err := strconv.Atoi(id[1:])
+	if err != nil || n <= 0 || strconv.Itoa(n) != id[1:] {
+		return 0, false
+	}
+	return n, true
+}
+
 // submitRequest is the body of POST /v1/batches.
 type submitRequest struct {
 	Jobs []JobSpec `json:"jobs"`
@@ -252,22 +537,23 @@ type submitRequest struct {
 const maxBatchJobs = 4096
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantFrom(r)
 	var req submitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+	if status, err := decodeStrict(r, &req); err != nil {
+		s.reject(w, t, status, "%v", err)
 		return
 	}
 	if len(req.Jobs) == 0 {
-		writeErr(w, http.StatusBadRequest, "batch has no jobs")
+		s.reject(w, t, http.StatusBadRequest, "batch has no jobs")
 		return
 	}
 	if len(req.Jobs) > maxBatchJobs {
-		writeErr(w, http.StatusBadRequest, "batch has %d jobs, max %d", len(req.Jobs), maxBatchJobs)
+		s.reject(w, t, http.StatusBadRequest, "batch has %d jobs, max %d", len(req.Jobs), maxBatchJobs)
 		return
 	}
 	for i, spec := range req.Jobs {
 		if err := s.runner.Validate(spec); err != nil {
-			writeErr(w, http.StatusBadRequest, "job %d (%s): %v", i, spec, err)
+			s.reject(w, t, http.StatusBadRequest, "job %d (%s): %v", i, spec, err)
 			return
 		}
 	}
@@ -275,26 +561,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		s.reject(w, t, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	if !s.started {
 		s.mu.Unlock()
-		writeErr(w, http.StatusServiceUnavailable, "server not started")
+		s.reject(w, t, http.StatusServiceUnavailable, "server not started")
 		return
 	}
-	// Backpressure: reject rather than block when the queue cannot take
-	// the whole batch. Queue occupancy only shrinks outside this mutex
-	// (workers dequeue, submitters enqueue under it), so the check
-	// guarantees the sends below cannot block.
-	if free := cap(s.queue) - len(s.queue); len(req.Jobs) > free {
-		retry := int(time.Duration(len(s.queue)/s.cfg.Workers+1) * time.Second / time.Second)
+	// Backpressure: reject rather than block when the tenant's queue
+	// quota or the global queue cannot take the whole batch. A batch is
+	// admitted entirely or not at all.
+	if err := s.sched.admitLocked(t, len(req.Jobs), s.cfg.Workers); err != nil {
+		t.rejected++
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", strconv.Itoa(retry))
-		writeErr(w, http.StatusTooManyRequests, "job queue full (%d queued, %d free, batch of %d)",
-			cap(s.queue)-free, free, len(req.Jobs))
+		var qe *quotaError
+		if errors.As(err, &qe) {
+			w.Header().Set("Retry-After", strconv.Itoa(qe.retry))
+		}
+		reason := err.Error()
+		writeErr(w, http.StatusTooManyRequests, "%s", reason)
+		s.access(obs.AccessEvent{Event: obs.AccessReject, Client: t.name, Status: http.StatusTooManyRequests, Reason: reason})
 		return
 	}
+	now := time.Now()
 	s.batchSeq++
 	batchID := "b" + strconv.Itoa(s.batchSeq)
 	jobIDs := make([]string, 0, len(req.Jobs))
@@ -303,22 +593,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.jobSeq++
 		ctx, cancel := context.WithCancel(s.baseCtx)
 		j := &jobEntry{
-			id:     "j" + strconv.Itoa(s.jobSeq),
-			batch:  batchID,
-			spec:   spec,
-			state:  StateQueued,
-			ctx:    ctx,
-			cancel: cancel,
+			id:       "j" + strconv.Itoa(s.jobSeq),
+			seq:      s.jobSeq,
+			batch:    batchID,
+			spec:     spec,
+			tenant:   t,
+			state:    StateQueued,
+			enqueued: now,
+			ctx:      ctx,
+			cancel:   cancel,
 		}
 		s.jobs[j.id] = j
 		entries = append(entries, j)
 		jobIDs = append(jobIDs, j.id)
 		s.submitted++
-		s.queue <- j
 	}
 	s.batches[batchID] = entries
+	s.sched.pushLocked(t, entries)
 	s.mu.Unlock()
 
+	s.access(obs.AccessEvent{Event: obs.AccessAdmit, Client: t.name, Batch: batchID, Jobs: len(jobIDs)})
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"batch": batchID,
 		"jobs":  jobIDs,
@@ -327,29 +621,37 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 // jobView is the API representation of a job.
 type jobView struct {
-	ID        string         `json:"id"`
-	Batch     string         `json:"batch"`
-	Workload  string         `json:"workload"`
-	Toolchain string         `json:"toolchain"`
-	Machine   string         `json:"machine"`
-	State     string         `json:"state"`
-	CacheHit  bool           `json:"cache_hit,omitempty"`
-	Error     string         `json:"error,omitempty"`
-	Record    *obs.RunRecord `json:"record,omitempty"`
+	ID        string `json:"id"`
+	Batch     string `json:"batch"`
+	Client    string `json:"client"`
+	Workload  string `json:"workload"`
+	Toolchain string `json:"toolchain"`
+	Machine   string `json:"machine"`
+	State     string `json:"state"`
+	CacheHit  bool   `json:"cache_hit,omitempty"`
+	Error     string `json:"error,omitempty"`
+	// QueueWaitMS and RunMS are wall-clock service latencies, reported
+	// once the job has started (and finished, respectively).
+	QueueWaitMS float64        `json:"queue_wait_ms,omitempty"`
+	RunMS       float64        `json:"run_ms,omitempty"`
+	Record      *obs.RunRecord `json:"record,omitempty"`
 }
 
 // viewLocked renders a job; includeRecord controls payload size on batch
 // listings.
 func (j *jobEntry) viewLocked(includeRecord bool) jobView {
 	v := jobView{
-		ID:        j.id,
-		Batch:     j.batch,
-		Workload:  j.spec.Workload,
-		Toolchain: j.spec.Toolchain,
-		Machine:   j.spec.Machine,
-		State:     j.state,
-		CacheHit:  j.cacheHit,
-		Error:     j.errMsg,
+		ID:          j.id,
+		Batch:       j.batch,
+		Client:      j.tenant.name,
+		Workload:    j.spec.Workload,
+		Toolchain:   j.spec.Toolchain,
+		Machine:     j.spec.Machine,
+		State:       j.state,
+		CacheHit:    j.cacheHit,
+		Error:       j.errMsg,
+		QueueWaitMS: durMS(j.queueWait()),
+		RunMS:       durMS(j.runTime()),
 	}
 	if includeRecord {
 		v.Record = j.rec
@@ -363,6 +665,10 @@ func terminal(state string) bool {
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if _, ok := parseID('b', id); !ok {
+		writeErr(w, http.StatusNotFound, "malformed batch id %q", id)
+		return
+	}
 	s.mu.Lock()
 	entries, ok := s.batches[id]
 	if !ok {
@@ -397,6 +703,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBatchReport(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if _, ok := parseID('b', id); !ok {
+		writeErr(w, http.StatusNotFound, "malformed batch id %q", id)
+		return
+	}
 	s.mu.Lock()
 	entries, ok := s.batches[id]
 	if !ok {
@@ -428,6 +738,10 @@ func (s *Server) handleBatchReport(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleBatchCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if _, ok := parseID('b', id); !ok {
+		writeErr(w, http.StatusNotFound, "malformed batch id %q", id)
+		return
+	}
 	s.mu.Lock()
 	entries, ok := s.batches[id]
 	if !ok {
@@ -436,24 +750,40 @@ func (s *Server) handleBatchCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	n := 0
+	now := time.Now()
+	var done []*jobEntry
 	for _, j := range entries {
 		switch j.state {
 		case StateQueued:
 			j.state = StateCancelled
+			j.finished = now
 			s.cancelled++
+			j.tenant.completed++
 			j.cancel()
+			done = append(done, j)
 			n++
 		case StateRunning:
 			j.cancel() // runJob records the terminal state when Run returns
 			n++
 		}
 	}
+	if len(done) > 0 {
+		// Cancelled-while-queued jobs free their queue slots immediately.
+		s.sched.purgeLocked()
+	}
 	s.mu.Unlock()
+	for _, j := range done {
+		s.completeEvent(j)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"batch": id, "cancelling": n})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if _, ok := parseID('j', id); !ok {
+		writeErr(w, http.StatusNotFound, "malformed job id %q", id)
+		return
+	}
 	s.mu.Lock()
 	j, ok := s.jobs[id]
 	if !ok {
@@ -469,26 +799,46 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // handleRunSync runs one job synchronously on the caller's connection:
 // the request context carries client-disconnect cancellation straight
 // into the pipeline's cycle loop. It bypasses the queue (no backpressure
-// interplay with batches) but shares the runner's cache and dedup.
+// interplay with batches) but counts against the tenant's in-flight cap
+// and shares the runner's cache and dedup.
 func (s *Server) handleRunSync(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantFrom(r)
+	var spec JobSpec
+	if status, err := decodeStrict(r, &spec); err != nil {
+		s.reject(w, t, status, "%v", err)
+		return
+	}
+	if err := s.runner.Validate(spec); err != nil {
+		s.reject(w, t, http.StatusBadRequest, "%v", err)
+		return
+	}
+
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		s.reject(w, t, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if err := s.sched.acquireSyncLocked(t); err != nil {
+		t.rejected++
+		s.mu.Unlock()
+		var qe *quotaError
+		if errors.As(err, &qe) {
+			w.Header().Set("Retry-After", strconv.Itoa(qe.retry))
+		}
+		reason := err.Error()
+		writeErr(w, http.StatusTooManyRequests, "%s", reason)
+		s.access(obs.AccessEvent{Event: obs.AccessReject, Client: t.name, Status: http.StatusTooManyRequests, Reason: reason})
 		return
 	}
 	s.syncRuns++
 	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.sched.doneLocked(t)
+		s.mu.Unlock()
+	}()
 
-	var spec JobSpec
-	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
-		return
-	}
-	if err := s.runner.Validate(spec); err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
-	}
 	ctx := r.Context()
 	if s.cfg.JobTimeout > 0 {
 		var cancel context.CancelFunc
@@ -507,12 +857,12 @@ func (s *Server) handleRunSync(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, status, "%v", err)
 		return
 	}
-	s.mu.Lock()
-	s.completed++
 	if hit {
+		s.mu.Lock()
 		s.cacheHits++
+		t.cacheHits++
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"cache_hit": hit,
 		"record":    rec,
@@ -522,6 +872,7 @@ func (s *Server) handleRunSync(w http.ResponseWriter, r *http.Request) {
 // runSummary is one finished job's stall/latency digest in /metrics.
 type runSummary struct {
 	Job             string             `json:"job"`
+	Client          string             `json:"client"`
 	Key             string             `json:"key"` // benchmark|toolchain|machine
 	CacheHit        bool               `json:"cache_hit"`
 	Cycles          uint64             `json:"cycles"`
@@ -536,11 +887,12 @@ type runSummary struct {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	m := map[string]any{
-		"queue_depth":    len(s.queue),
-		"queue_capacity": cap(s.queue),
+		"queue_depth":    s.sched.totalQueued,
+		"queue_capacity": s.sched.maxTotal,
 		"workers":        s.cfg.Workers,
 		"workers_busy":   s.busy,
 		"draining":       s.draining,
+		"auth_required":  s.authRequired,
 		"jobs": map[string]uint64{
 			"submitted":  s.submitted,
 			"completed":  s.completed,
@@ -550,14 +902,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"sync_runs":  s.syncRuns,
 		},
 	}
-	var runs []runSummary
-	for _, j := range s.jobs {
+	clients := make(map[string]any, len(s.sched.order))
+	for _, t := range s.sched.order {
+		clients[t.name] = t.viewLocked()
+	}
+	m["clients"] = clients
+
+	var finished []*jobEntry
+	// Sorted by job sequence number below, so the listing is deterministic.
+	for _, j := range s.jobs { //lint:sorted
 		if j.state != StateDone || j.rec == nil {
 			continue
 		}
+		finished = append(finished, j)
+	}
+	sort.Slice(finished, func(i, k int) bool { return finished[i].seq < finished[k].seq })
+	runs := make([]runSummary, 0, len(finished))
+	for _, j := range finished {
 		rec := j.rec
 		runs = append(runs, runSummary{
 			Job:             j.id,
+			Client:          j.tenant.name,
 			Key:             rec.Key(),
 			CacheHit:        j.cacheHit,
 			Cycles:          rec.Cycles,
@@ -570,10 +935,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	s.mu.Unlock()
-	sort.Slice(runs, func(i, j int) bool {
-		// Numeric job-id order ("j2" < "j10").
-		return jobNum(runs[i].Job) < jobNum(runs[j].Job)
-	})
 	m["runs"] = runs
 
 	if rs, ok := s.runner.(interface{ CacheStats() (DiskCacheStats, bool) }); ok {
@@ -588,15 +949,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, m)
 }
 
-func jobNum(id string) int {
-	n, _ := strconv.Atoi(strings.TrimPrefix(id, "j"))
-	return n
-}
-
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
-	depth := len(s.queue)
+	depth := s.sched.totalQueued
 	busy := s.busy
 	s.mu.Unlock()
 	status := http.StatusOK

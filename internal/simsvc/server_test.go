@@ -5,9 +5,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -108,7 +110,10 @@ func waitTerminal(t *testing.T, base, id string) map[string]any {
 // newTestServer builds a started server + httptest frontend.
 func newTestServer(t *testing.T, cfg ServerConfig, runner JobRunner) (*Server, string) {
 	t.Helper()
-	s := NewServer(cfg, runner)
+	s, err := NewServer(cfg, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.Start()
 	hs := httptest.NewServer(s.Handler())
 	t.Cleanup(hs.Close)
@@ -388,5 +393,573 @@ func TestServerMetrics(t *testing.T) {
 	}
 	if m["workers"].(float64) != 2 {
 		t.Fatalf("metrics workers %+v", m["workers"])
+	}
+}
+
+// --- multi-tenant hardening tests (auth, quotas, robustness, access log) ---
+
+// doReq issues a request with an optional bearer token.
+func doReq(t *testing.T, method, url, token string, body []byte) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func oneJob(w string) submitRequest {
+	return submitRequest{Jobs: []JobSpec{{Workload: w, Toolchain: "base", Machine: "base32"}}}
+}
+
+// TestServerAuth: with clients configured, requests without a valid
+// bearer token get 401; /healthz and /metrics stay open.
+func TestServerAuth(t *testing.T) {
+	_, base := newTestServer(t, ServerConfig{
+		Workers: 1,
+		Clients: []TenantConfig{{Name: "alice", Token: "tok-a"}},
+	}, &stubRunner{})
+
+	body := mustJSON(t, oneJob("w"))
+	for name, resp := range map[string]*http.Response{
+		"no token":      doReq(t, "POST", base+"/v1/batches", "", body),
+		"unknown token": doReq(t, "POST", base+"/v1/batches", "nope", body),
+		"GET no token":  doReq(t, "GET", base+"/v1/jobs/j1", "", nil),
+	} {
+		if resp.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("%s: status %d, want 401", name, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	// A malformed scheme is 401 too.
+	req, _ := http.NewRequest("POST", base+"/v1/batches", bytes.NewReader(body))
+	req.Header.Set("Authorization", "Basic dXNlcjpwYXNz")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("malformed scheme: status %d, want 401", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	ok := doReq(t, "POST", base+"/v1/batches", "tok-a", body)
+	if ok.StatusCode != http.StatusAccepted {
+		t.Fatalf("valid token: status %d, want 202", ok.StatusCode)
+	}
+	ok.Body.Close()
+
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp := doReq(t, "GET", base+path, "", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s without token: status %d, want 200", path, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestServerTenantQuota: one tenant exhausting its queued quota gets 429
+// with Retry-After while another tenant still submits freely — per-client
+// backpressure, not global.
+func TestServerTenantQuota(t *testing.T) {
+	r := &stubRunner{block: make(chan struct{}), started: make(chan string, 16)}
+	defer close(r.block)
+	_, base := newTestServer(t, ServerConfig{
+		Workers: 1, QueueDepth: 32,
+		Clients: []TenantConfig{
+			{Name: "greedy", Token: "tok-g", MaxQueued: 2, MaxInFlight: 1},
+			{Name: "modest", Token: "tok-m", MaxQueued: 4},
+		},
+	}, r)
+
+	// Occupy the single worker with greedy's first job, then fill greedy's
+	// queue quota exactly.
+	resp := doReq(t, "POST", base+"/v1/batches", "tok-g", mustJSON(t, oneJob("g-run")))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	<-r.started
+	resp = doReq(t, "POST", base+"/v1/batches", "tok-g", mustJSON(t, submitRequest{Jobs: []JobSpec{
+		{Workload: "g1", Toolchain: "base", Machine: "base32"},
+		{Workload: "g2", Toolchain: "base", Machine: "base32"},
+	}}))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("quota-filling submit: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	over := doReq(t, "POST", base+"/v1/batches", "tok-g", mustJSON(t, oneJob("g3")))
+	if over.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: %d, want 429", over.StatusCode)
+	}
+	if over.Header.Get("Retry-After") == "" {
+		t.Fatal("tenant 429 without Retry-After")
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(over.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	over.Body.Close()
+	if !strings.Contains(e.Error, `client "greedy"`) {
+		t.Fatalf("429 body %q does not name the tenant", e.Error)
+	}
+
+	// The other tenant is unaffected by greedy's backpressure.
+	ok := doReq(t, "POST", base+"/v1/batches", "tok-m", mustJSON(t, oneJob("m1")))
+	if ok.StatusCode != http.StatusAccepted {
+		t.Fatalf("modest tenant blocked by greedy's quota: %d", ok.StatusCode)
+	}
+	ok.Body.Close()
+}
+
+// TestServerStrictJSON: submissions with unknown fields, trailing
+// garbage, or malformed bodies fail loudly with 400 and a useful
+// message, on both the batch and sync endpoints.
+func TestServerStrictJSON(t *testing.T) {
+	_, base := newTestServer(t, ServerConfig{Workers: 1}, &stubRunner{})
+	cases := []struct {
+		name    string
+		body    string
+		wantMsg string
+	}{
+		{"unknown top-level field", `{"jobz": []}`, "unknown field"},
+		{"typoed job field", `{"jobs": [{"workload": "w", "tool_chain": "base", "machine": "base32"}]}`, "unknown field"},
+		{"trailing garbage", `{"jobs": [{"workload": "w", "toolchain": "base", "machine": "base32"}]} {"x":1}`, "trailing data"},
+		{"two values", `{"jobs": [{"workload": "w", "toolchain": "base", "machine": "base32"}]}[]`, "trailing data"},
+		{"not json", `hello`, "bad request body"},
+		{"empty body", ``, "bad request body"},
+		{"wrong type", `{"jobs": "w"}`, "bad request body"},
+	}
+	for _, tc := range cases {
+		resp := doReq(t, "POST", base+"/v1/batches", "", []byte(tc.body))
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, e.Error)
+		}
+		if !strings.Contains(e.Error, tc.wantMsg) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, e.Error, tc.wantMsg)
+		}
+	}
+	// Sync endpoint: same strictness.
+	for _, body := range []string{
+		`{"workload": "w", "toolchain": "base", "machine": "base32", "max_inst": 5}`,
+		`{"workload": "w", "toolchain": "base", "machine": "base32"} extra`,
+	} {
+		resp := doReq(t, "POST", base+"/v1/run", "", []byte(body))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("sync body %q: status %d, want 400", body, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	// Nothing was admitted by any of the rejects.
+	m := decode[map[string]any](t, func() *http.Response {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}())
+	if n := m["jobs"].(map[string]any)["submitted"].(float64); n != 0 {
+		t.Fatalf("%v jobs admitted from rejected bodies", n)
+	}
+}
+
+// TestServerBodyLimit: a request body over MaxBodyBytes is refused with
+// 413 before it can exhaust memory.
+func TestServerBodyLimit(t *testing.T) {
+	_, base := newTestServer(t, ServerConfig{Workers: 1, MaxBodyBytes: 1024}, &stubRunner{})
+	huge := []byte(`{"jobs": [` + strings.Repeat(`{"workload": "w", "toolchain": "base", "machine": "base32"},`, 100))
+	huge = append(huge[:len(huge)-1], []byte(`]}`)...)
+	if len(huge) <= 1024 {
+		t.Fatalf("test body too small (%d bytes)", len(huge))
+	}
+	resp := doReq(t, "POST", base+"/v1/batches", "", huge)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !strings.Contains(e.Error, "1024") {
+		t.Fatalf("413 body %q does not state the limit", e.Error)
+	}
+	// A normal-sized submission still works.
+	ok := doReq(t, "POST", base+"/v1/batches", "", mustJSON(t, oneJob("small")))
+	if ok.StatusCode != http.StatusAccepted {
+		t.Fatalf("small body after big one: %d", ok.StatusCode)
+	}
+	ok.Body.Close()
+}
+
+// TestServerMalformedIDs: ids strconv would partially parse ("jxyz",
+// "j007", "j-1", "") answer 404 instead of aliasing job j0, on every
+// job/batch endpoint.
+func TestServerMalformedIDs(t *testing.T) {
+	_, base := newTestServer(t, ServerConfig{Workers: 1}, &stubRunner{})
+	// A real job to prove malformed ids do not alias it.
+	sub := decode[submitResponse](t, postJSON(t, base+"/v1/batches", oneJob("real")))
+	waitTerminal(t, base, sub.Batch)
+
+	bad := []string{"jxyz", "j", "j0", "j007", "j-1", "j+1", "j1x", "x1", "1"}
+	for _, id := range bad {
+		resp := doReq(t, "GET", base+"/v1/jobs/"+id, "", nil)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("job id %q: status %d, want 404", id, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	for _, id := range []string{"bxyz", "b0", "b007", "j1"} {
+		for _, probe := range []struct{ method, path string }{
+			{"GET", "/v1/batches/" + id},
+			{"GET", "/v1/batches/" + id + "/report"},
+			{"DELETE", "/v1/batches/" + id},
+		} {
+			resp := doReq(t, probe.method, base+probe.path, "", nil)
+			if resp.StatusCode != http.StatusNotFound {
+				t.Fatalf("%s %s: status %d, want 404", probe.method, probe.path, resp.StatusCode)
+			}
+			resp.Body.Close()
+		}
+	}
+	// The well-formed ids still resolve.
+	resp := doReq(t, "GET", base+"/v1/jobs/"+sub.Jobs[0], "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid job id: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestServerCancelTerminalBatch: cancelling a batch whose jobs already
+// finished is a no-op — states stay terminal, nothing is re-cancelled.
+func TestServerCancelTerminalBatch(t *testing.T) {
+	_, base := newTestServer(t, ServerConfig{Workers: 1}, &stubRunner{})
+	sub := decode[submitResponse](t, postJSON(t, base+"/v1/batches", submitRequest{Jobs: []JobSpec{
+		{Workload: "done1", Toolchain: "base", Machine: "base32"},
+		{Workload: "fail-x", Toolchain: "base", Machine: "base32"},
+	}}))
+	waitTerminal(t, base, sub.Batch)
+
+	resp := doReq(t, "DELETE", base+"/v1/batches/"+sub.Batch, "", nil)
+	st := decode[map[string]any](t, resp)
+	if st["cancelling"].(float64) != 0 {
+		t.Fatalf("terminal batch cancel reported %v in-progress cancellations", st["cancelling"])
+	}
+	b := getBatch(t, base, sub.Batch)
+	if b["done"].(float64) != 1 || b["failed"].(float64) != 1 || b["cancelled"].(float64) != 0 {
+		t.Fatalf("terminal states disturbed by cancel: %+v", b)
+	}
+	// And cancelling twice more stays harmless.
+	for i := 0; i < 2; i++ {
+		resp := doReq(t, "DELETE", base+"/v1/batches/"+sub.Batch, "", nil)
+		resp.Body.Close()
+	}
+}
+
+// TestServerDrainRacingSubmits: submissions racing a drain are either
+// fully admitted (and then run to completion) or rejected with 503 —
+// never half-admitted, never dropped. The accounting identity
+// submitted == completed+failed+cancelled holds after the drain.
+func TestServerDrainRacingSubmits(t *testing.T) {
+	r := &stubRunner{}
+	s, base := newTestServer(t, ServerConfig{Workers: 2, QueueDepth: 256}, r)
+
+	const submitters = 4
+	var accepted atomic.Int64
+	var rejected atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for k := 0; ; k++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp := postJSON(t, base+"/v1/batches", submitRequest{Jobs: []JobSpec{
+					{Workload: fmt.Sprintf("w%d-%d", n, k), Toolchain: "base", Machine: "base32"},
+					{Workload: fmt.Sprintf("x%d-%d", n, k), Toolchain: "base", Machine: "base32"},
+				}})
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					accepted.Add(2)
+				case http.StatusServiceUnavailable:
+					rejected.Add(2)
+					resp.Body.Close()
+					return // draining: stay stopped
+				case http.StatusTooManyRequests:
+					// backpressure; retry
+				default:
+					t.Errorf("submit status %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	time.Sleep(30 * time.Millisecond) // let the submitters build load
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Submitted != uint64(accepted.Load()) {
+		t.Fatalf("server admitted %d jobs, clients saw %d accepted", st.Submitted, accepted.Load())
+	}
+	if got := st.Completed + st.Failed + st.Cancelled; got != st.Submitted {
+		t.Fatalf("drain dropped jobs: submitted=%d terminal=%d (%+v)", st.Submitted, got, st)
+	}
+	if st.Failed != 0 || st.Cancelled != 0 {
+		t.Fatalf("graceful drain cancelled or failed jobs: %+v", st)
+	}
+	if accepted.Load() == 0 {
+		t.Fatal("race window admitted nothing; test proved nothing")
+	}
+}
+
+// TestServerWeightedFairnessUnderContention: two backlogged tenants on
+// one worker are served interleaved according to their weights; neither
+// starves.
+func TestServerWeightedFairnessUnderContention(t *testing.T) {
+	r := &stubRunner{block: make(chan struct{}), started: make(chan string, 64)}
+	_, base := newTestServer(t, ServerConfig{
+		Workers: 1, QueueDepth: 64,
+		Clients: []TenantConfig{
+			{Name: "a", Token: "tok-a", MaxInFlight: 1},
+			{Name: "b", Token: "tok-b", MaxInFlight: 1},
+		},
+	}, r)
+
+	// First job occupies the worker so both backlogs build while blocked.
+	resp := doReq(t, "POST", base+"/v1/batches", "tok-a", mustJSON(t, oneJob("a-0")))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	<-r.started
+	var specs []JobSpec
+	for i := 1; i <= 8; i++ {
+		specs = append(specs, JobSpec{Workload: fmt.Sprintf("a-%d", i), Toolchain: "base", Machine: "base32"})
+	}
+	resp = doReq(t, "POST", base+"/v1/batches", "tok-a", mustJSON(t, submitRequest{Jobs: specs}))
+	resp.Body.Close()
+	specs = nil
+	for i := 1; i <= 8; i++ {
+		specs = append(specs, JobSpec{Workload: fmt.Sprintf("b-%d", i), Toolchain: "base", Machine: "base32"})
+	}
+	resp = doReq(t, "POST", base+"/v1/batches", "tok-b", mustJSON(t, submitRequest{Jobs: specs}))
+	resp.Body.Close()
+
+	close(r.block) // release the floodgates
+	var order []string
+	for i := 0; i < 16; i++ {
+		select {
+		case w := <-r.started:
+			if w != "a-0" {
+				order = append(order, w[:1])
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d jobs started", len(order))
+		}
+	}
+	counts := map[string]int{}
+	firstHalf := map[string]int{}
+	for i, p := range order {
+		counts[p]++
+		if i < 8 {
+			firstHalf[p]++
+		}
+	}
+	// Equal weights: both tenants get service early, not a-then-b.
+	if firstHalf["a"] < 3 || firstHalf["b"] < 3 {
+		t.Fatalf("first 8 slots split %v; a tenant was starved (order %v)", firstHalf, order)
+	}
+}
+
+// TestServerAccessEvents: the access log sees the full lifecycle —
+// request, admit, complete with latencies — plus rejects for auth and
+// quota refusals.
+func TestServerAccessEvents(t *testing.T) {
+	col := &obs.AccessCollector{}
+	r := &stubRunner{}
+	_, base := newTestServer(t, ServerConfig{
+		Workers: 1, AccessLog: col,
+		Clients: []TenantConfig{{Name: "alice", Token: "tok-a", MaxQueued: 4}},
+	}, r)
+
+	// 401 reject.
+	resp := doReq(t, "POST", base+"/v1/batches", "", mustJSON(t, oneJob("w")))
+	resp.Body.Close()
+	// Admitted batch.
+	resp = doReq(t, "POST", base+"/v1/batches", "tok-a", mustJSON(t, submitRequest{Jobs: []JobSpec{
+		{Workload: "ok", Toolchain: "base", Machine: "base32"},
+		{Workload: "fail-z", Toolchain: "base", Machine: "base32"},
+	}}))
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// Poll with the token.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp := doReq(t, "GET", base+"/v1/batches/"+sub.Batch, "tok-a", nil)
+		b := decode[map[string]any](t, resp)
+		if b["terminal"] == true {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("batch never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Over-quota reject.
+	resp = doReq(t, "POST", base+"/v1/batches", "tok-a", mustJSON(t, submitRequest{Jobs: []JobSpec{
+		{Workload: "q1", Toolchain: "base", Machine: "base32"},
+		{Workload: "q2", Toolchain: "base", Machine: "base32"},
+		{Workload: "q3", Toolchain: "base", Machine: "base32"},
+		{Workload: "q4", Toolchain: "base", Machine: "base32"},
+		{Workload: "q5", Toolchain: "base", Machine: "base32"},
+	}}))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("quota probe: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	events := col.Events()
+	var rejects, admits, completes, requests int
+	for _, e := range events {
+		switch e.Event {
+		case obs.AccessReject:
+			rejects++
+			if e.Status == http.StatusUnauthorized && e.Client != "" {
+				t.Fatalf("auth reject attributed to a client: %+v", e)
+			}
+			if e.Status == http.StatusTooManyRequests && e.Client != "alice" {
+				t.Fatalf("quota reject not attributed: %+v", e)
+			}
+			if e.Reason == "" {
+				t.Fatalf("reject without reason: %+v", e)
+			}
+		case obs.AccessAdmit:
+			admits++
+			if e.Client != "alice" || e.Batch != sub.Batch || e.Jobs != 2 {
+				t.Fatalf("admit event %+v", e)
+			}
+		case obs.AccessComplete:
+			completes++
+			if e.Client != "alice" || e.Job == "" || !terminal(e.State) {
+				t.Fatalf("complete event %+v", e)
+			}
+			if e.State == StateDone && e.RunMS < 0 {
+				t.Fatalf("negative run latency: %+v", e)
+			}
+		case obs.AccessRequest:
+			requests++
+			if e.Method == "" || e.Path == "" || e.Status == 0 {
+				t.Fatalf("request event %+v", e)
+			}
+		}
+	}
+	if rejects != 2 || admits != 1 || completes != 2 {
+		t.Fatalf("event counts rejects=%d admits=%d completes=%d (want 2/1/2): %+v", rejects, admits, completes, events)
+	}
+	if requests < 3 {
+		t.Fatalf("only %d request events", requests)
+	}
+}
+
+// TestServerPerClientMetrics: /metrics exposes per-tenant scheduling and
+// quota state.
+func TestServerPerClientMetrics(t *testing.T) {
+	_, base := newTestServer(t, ServerConfig{
+		Workers: 1,
+		Clients: []TenantConfig{
+			{Name: "alice", Token: "tok-a", Weight: 2},
+			{Name: "bob", Token: "tok-b"},
+		},
+	}, &stubRunner{})
+	resp := doReq(t, "POST", base+"/v1/batches", "tok-a", mustJSON(t, oneJob("w1")))
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r2 := doReq(t, "GET", base+"/v1/batches/"+sub.Batch, "tok-a", nil)
+		b := decode[map[string]any](t, r2)
+		if b["terminal"] == true {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("batch never finished")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := decode[map[string]any](t, mresp)
+	clients, ok := m["clients"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics has no clients block: %+v", m)
+	}
+	alice := clients["alice"].(map[string]any)
+	if alice["weight"].(float64) != 2 || alice["admitted"].(float64) != 1 || alice["completed"].(float64) != 1 {
+		t.Fatalf("alice metrics %+v", alice)
+	}
+	bob := clients["bob"].(map[string]any)
+	if bob["admitted"].(float64) != 0 {
+		t.Fatalf("bob metrics %+v", bob)
+	}
+	if m["auth_required"] != true {
+		t.Fatalf("auth_required %v", m["auth_required"])
+	}
+	// Job views carry the client and latency fields.
+	jresp := doReq(t, "GET", base+"/v1/jobs/"+sub.Jobs[0], "tok-b", nil)
+	jv := decode[jobView](t, jresp)
+	if jv.Client != "alice" || jv.State != StateDone {
+		t.Fatalf("job view %+v", jv)
 	}
 }

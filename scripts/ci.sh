@@ -18,7 +18,13 @@
 #   facd smoke                ~15s  (boot the simulation daemon on an
 #                                    ephemeral port, run a tiny batch, verify
 #                                    the RunRecord report and the cache-served
-#                                    resubmission, SIGTERM, assert clean drain)
+#                                    resubmission, probe the multi-tenant
+#                                    hardening surface — 401/429/413/404 —
+#                                    SIGTERM, assert clean drain)
+#   facload smoke             ~15s  (cmd/facload: 3-tenant overload soak with
+#                                    a mid-soak SIGTERM; asserts weighted-fair
+#                                    scheduling, bounded p99 queue wait, and
+#                                    the drop-free drain accounting identity)
 #   bench smoke               ~20s  (one BenchmarkPipeline iteration with
 #                                    BENCH_OUT redirected to a scratch file;
 #                                    scripts/benchsmoke checks the report
@@ -71,6 +77,9 @@ fi
 
 echo "== facd smoke =="
 go run ./scripts/facdsmoke
+
+echo "== facload smoke =="
+go run ./cmd/facload -tenants 3 -duration 5s
 
 echo "== bench smoke =="
 bench_out=$(mktemp)

@@ -1,8 +1,11 @@
 // Command facdsmoke is the CI smoke test for the facd daemon: it builds
-// facd, boots it on an ephemeral port with a fresh result cache, submits
-// a tiny batch, verifies the returned RunRecord report, re-submits the
-// batch to prove it is served from the persistent cache, then sends
-// SIGTERM and asserts a clean drain (exit 0). Run from the repo root:
+// facd, boots it on an ephemeral port with a fresh result cache and one
+// authenticated tenant with deliberately tight limits, submits a tiny
+// batch, verifies the returned RunRecord report, re-submits the batch to
+// prove it is served from the persistent cache, probes the multi-tenant
+// hardening surface (unauthenticated request, over-quota burst,
+// oversized body, malformed job id), then sends SIGTERM and asserts a
+// clean drain (exit 0). Run from the repo root:
 //
 //	go run ./scripts/facdsmoke
 package main
@@ -45,10 +48,15 @@ func run() error {
 		return fmt.Errorf("build facd: %w", err)
 	}
 
+	// One authenticated tenant with a tight queue quota and body limit, so
+	// the hardening probes below have deterministic trip points.
 	daemon := exec.Command(bin,
 		"-addr", "127.0.0.1:0",
 		"-cache", filepath.Join(tmp, "cache"),
 		"-max-insts", "5000000",
+		"-clients", "smoke:smoketoken:1",
+		"-max-queued-per-client", "2",
+		"-max-body-bytes", "4096",
 	)
 	stdout, err := daemon.StdoutPipe()
 	if err != nil {
@@ -84,9 +92,28 @@ func run() error {
 		return fmt.Errorf("facd never announced its address")
 	}
 
+	// do sends an authenticated request as the "smoke" tenant.
+	do := func(method, url, body string) (*http.Response, error) {
+		var rd *strings.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		} else {
+			rd = strings.NewReader("")
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Authorization", "Bearer smoketoken")
+		if body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		return http.DefaultClient.Do(req)
+	}
+
 	batch := `{"jobs": [{"workload": "queens", "toolchain": "base", "machine": "base32"}]}`
 	submit := func() (string, error) {
-		resp, err := http.Post(base+"/v1/batches", "application/json", strings.NewReader(batch))
+		resp, err := do("POST", base+"/v1/batches", batch)
 		if err != nil {
 			return "", err
 		}
@@ -109,7 +136,7 @@ func run() error {
 			if time.Now().After(deadline) {
 				return fmt.Errorf("batch %s never finished", id)
 			}
-			resp, err := http.Get(base + "/v1/batches/" + id)
+			resp, err := do("GET", base+"/v1/batches/"+id, "")
 			if err != nil {
 				return err
 			}
@@ -141,7 +168,7 @@ func run() error {
 	if err := wait(id); err != nil {
 		return err
 	}
-	resp, err := http.Get(base + "/v1/batches/" + id + "/report")
+	resp, err := do("GET", base+"/v1/batches/"+id+"/report", "")
 	if err != nil {
 		return err
 	}
@@ -186,6 +213,56 @@ func run() error {
 	}
 	if metrics.Jobs.CacheHits == 0 {
 		return fmt.Errorf("resubmitted batch was not served from cache")
+	}
+
+	// Hardening probes: each abuse pattern must be refused with the right
+	// status, and none of them may disturb the daemon (the clean drain
+	// below is the proof).
+
+	// Unauthenticated request: 401.
+	resp2, err := http.Post(base+"/v1/batches", "application/json", strings.NewReader(batch))
+	if err != nil {
+		return err
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusUnauthorized {
+		return fmt.Errorf("unauthenticated submit got %d, want 401", resp2.StatusCode)
+	}
+
+	// Over-quota burst: a 3-job batch cannot fit the tenant's 2-slot queue
+	// quota, whatever the queue holds right now — 429 with Retry-After.
+	job := `{"workload": "queens", "toolchain": "base", "machine": "base32"}`
+	resp2, err = do("POST", base+"/v1/batches", `{"jobs": [`+job+`,`+job+`,`+job+`]}`)
+	if err != nil {
+		return err
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		return fmt.Errorf("over-quota burst got %d, want 429", resp2.StatusCode)
+	}
+	if resp2.Header.Get("Retry-After") == "" {
+		return fmt.Errorf("over-quota 429 carries no Retry-After")
+	}
+
+	// Oversized body: past -max-body-bytes 4096 — 413.
+	resp2, err = do("POST", base+"/v1/batches",
+		`{"jobs": [{"workload": "`+strings.Repeat("a", 5000)+`", "toolchain": "base", "machine": "base32"}]}`)
+	if err != nil {
+		return err
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusRequestEntityTooLarge {
+		return fmt.Errorf("oversized body got %d, want 413", resp2.StatusCode)
+	}
+
+	// Malformed job id: must be 404, not an alias of some real job.
+	resp2, err = do("GET", base+"/v1/jobs/jxyz", "")
+	if err != nil {
+		return err
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("malformed job id got %d, want 404", resp2.StatusCode)
 	}
 
 	// SIGTERM: the daemon must drain and exit 0.
