@@ -14,6 +14,10 @@
 //	                                 #   print cycle/IPC regressions
 //	experiments -cache ~/.fac-cache  # reuse (and extend) a persistent result
 //	                                 #   cache shared with the facd daemon
+//	experiments -cache d -deps d/deps.jsonl  # incremental: a re-run with
+//	                                 #   unchanged inputs re-simulates nothing
+//	experiments -remote http://host:8080     # run the grid on a daemon or
+//	                                 #   fleet coordinator instead of locally
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/depslog"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/simsvc"
@@ -45,6 +50,9 @@ func main() {
 		tol      = flag.Float64("tolerance", 0.005, "relative change reported by -diff")
 		cacheDir = flag.String("cache", "", "persistent result cache directory (shared with the facd daemon)")
 		cacheMax = flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries beyond this size (0 = unbounded)")
+		depsPath = flag.String("deps", "", "ninja-style dependency log for incremental re-runs (records input hashes; reports the clean/dirty split)")
+		remote   = flag.String("remote", "", "run named-machine simulations on this facd daemon or fleet coordinator URL instead of locally")
+		token    = flag.String("token", "", "bearer token for -remote")
 	)
 	flag.Parse()
 
@@ -65,6 +73,18 @@ func main() {
 			os.Exit(1)
 		}
 		s.SetCache(dc)
+	}
+	if *depsPath != "" {
+		dl, err := depslog.Open(*depsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "deps log open failed:", err)
+			os.Exit(1)
+		}
+		defer dl.Close()
+		s.SetDeps(dl)
+	}
+	if *remote != "" {
+		s.SetRemote(&simsvc.Client{Base: *remote, Token: *token})
 	}
 	steps := []struct {
 		on   bool
@@ -180,6 +200,12 @@ func main() {
 	if st, ok := s.CacheStats(); ok {
 		fmt.Printf("[result cache %s: %d entries, %d hits / %d misses (%.0f%% hit rate)]\n",
 			st.Dir, st.Entries, st.Hits, st.Misses, 100*st.HitRate())
+	}
+	// The incremental-rebuild proof line: an unchanged re-run with -deps
+	// prints simulated=0 with every run deps-clean.
+	if c := s.Counts(); *depsPath != "" || *remote != "" {
+		fmt.Printf("[runs: simulated=%d remote=%d cache-hits=%d deps-clean=%d]\n",
+			c.Simulated, c.Remote, c.CacheHits, c.DepsClean)
 	}
 }
 

@@ -14,10 +14,20 @@
 //	facd -addr :8080 -cache ~/.fac-cache
 //	facd -addr 127.0.0.1:0 -workers 4 -job-timeout 5m
 //	facd -clients alice:tokenA:2,bob:tokenB:1 -access-log access.jsonl
+//	facd -coordinator http://w1:8080,http://w2:8080
 //
-// With -clients, every API request (except /healthz and /metrics) must
-// carry "Authorization: Bearer <token>"; tenants are scheduled in
-// weighted-fair order and held to per-tenant queue and in-flight quotas.
+// With -clients (or -clients-file, which additionally reloads on
+// SIGHUP without dropping work), every API request (except /healthz and
+// /metrics) must carry "Authorization: Bearer <token>"; tenants are
+// scheduled in weighted-fair order and held to per-tenant queue and
+// in-flight quotas.
+//
+// With -coordinator, the daemon simulates nothing itself: each job is
+// dispatched to the worker daemon owning the job's content-addressed
+// cache key on a consistent-hash ring, with failover and hedged
+// re-dispatch around the ring when a worker dies or straggles. The API
+// (including batch progress streams) is identical either way, and so —
+// byte for byte — are the reports.
 //
 // facd prints "facd listening on <addr>" once it accepts connections. On
 // SIGTERM or SIGINT it stops accepting work, drains queued and running
@@ -40,9 +50,11 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/simsvc"
+	"repro/internal/workload"
 )
 
 // options gathers the daemon configuration parsed from flags.
@@ -57,10 +69,16 @@ type options struct {
 	drainTimeout time.Duration
 
 	clients        string
+	clientsFile    string
 	maxQueuedPer   int
 	maxInFlightPer int
 	maxBodyBytes   int64
 	accessLogPath  string
+	warm           bool
+
+	coordinator string
+	workerToken string
+	hedgeAfter  time.Duration
 
 	readHeaderTimeout time.Duration
 	readTimeout       time.Duration
@@ -79,6 +97,11 @@ func main() {
 	flag.Uint64Var(&o.maxInsts, "max-insts", simsvc.DefaultMaxInsts, "instruction budget per simulation")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", 2*time.Minute, "how long to wait for in-flight jobs on shutdown")
 	flag.StringVar(&o.clients, "clients", "", "authenticated tenants as name:token[:weight],... (empty = open access, one anonymous tenant)")
+	flag.StringVar(&o.clientsFile, "clients-file", "", "read tenants from this file (one name:token[:weight] per line, # comments); SIGHUP reloads it without dropping work")
+	flag.BoolVar(&o.warm, "warm", false, "pre-simulate and pin the standard experiment grid in the result cache before serving (requires -cache)")
+	flag.StringVar(&o.coordinator, "coordinator", "", "run as fleet coordinator dispatching to these worker daemon URLs (comma-separated); no local simulation")
+	flag.StringVar(&o.workerToken, "worker-token", "", "bearer token the coordinator presents to its workers")
+	flag.DurationVar(&o.hedgeAfter, "hedge-after", 0, "coordinator: launch a backup dispatch on the next shard owner after this straggler delay (0 = 30s, negative = never)")
 	flag.IntVar(&o.maxQueuedPer, "max-queued-per-client", 0, "per-tenant queued-jobs quota (0 = the global -queue depth)")
 	flag.IntVar(&o.maxInFlightPer, "max-inflight-per-client", 0, "per-tenant cap on concurrently running jobs, batch+sync (0 = -workers)")
 	flag.Int64Var(&o.maxBodyBytes, "max-body-bytes", 0, "reject request bodies larger than this with 413 (0 = 4 MiB)")
@@ -129,6 +152,42 @@ func parseClients(s string) ([]simsvc.TenantConfig, error) {
 	return out, nil
 }
 
+// loadClientsFile reads a tenants file: one name:token[:weight] entry
+// per line, blank lines and #-comments ignored. The same parser backs
+// startup and SIGHUP reloads, so a file that boots the daemon always
+// reloads cleanly too.
+func loadClientsFile(path string) ([]simsvc.TenantConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("clients file: %w", err)
+	}
+	var entries []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		entries = append(entries, line)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("clients file %s names no tenants", path)
+	}
+	return parseClients(strings.Join(entries, ","))
+}
+
+// warmSpecs enumerates the standard experiment grid — every workload
+// under each (toolchain, machine) pair of the paper's central figure —
+// as job specs for cache warming.
+func warmSpecs() []simsvc.JobSpec {
+	var specs []simsvc.JobSpec
+	for _, w := range workload.All() {
+		for _, pair := range experiments.StandardGrid() {
+			specs = append(specs, simsvc.JobSpec{Workload: w.Name, Toolchain: pair[0], Machine: pair[1]})
+		}
+	}
+	return specs
+}
+
 // newHTTPServer wires the connection timeouts that keep one slow or
 // stalled client from holding a connection (and its goroutine) forever:
 // ReadHeaderTimeout bounds the slowloris window, ReadTimeout the whole
@@ -159,7 +218,40 @@ func run(o options) error {
 		runner.Cache = dc
 	}
 
-	clients, err := parseClients(o.clients)
+	var jobRunner simsvc.JobRunner = runner
+	if o.coordinator != "" {
+		urls := strings.Split(o.coordinator, ",")
+		for i := range urls {
+			urls[i] = strings.TrimSpace(urls[i])
+		}
+		disp, err := fleet.New(fleet.Config{
+			Workers:    urls,
+			Token:      o.workerToken,
+			Local:      runner,
+			HedgeAfter: o.hedgeAfter,
+		})
+		if err != nil {
+			return err
+		}
+		pingCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err = disp.Ping(pingCtx)
+		cancel()
+		if err != nil {
+			return err
+		}
+		jobRunner = disp
+	}
+
+	var clients []simsvc.TenantConfig
+	var err error
+	switch {
+	case o.clientsFile != "" && o.clients != "":
+		return fmt.Errorf("use -clients or -clients-file, not both")
+	case o.clientsFile != "":
+		clients, err = loadClientsFile(o.clientsFile)
+	default:
+		clients, err = parseClients(o.clients)
+	}
 	if err != nil {
 		return err
 	}
@@ -186,11 +278,48 @@ func run(o options) error {
 		DefaultMaxInFlight: o.maxInFlightPer,
 		MaxBodyBytes:       o.maxBodyBytes,
 		AccessLog:          accessLog,
-	}, runner)
+	}, jobRunner)
 	if err != nil {
 		return err
 	}
+
+	if o.warm {
+		if runner.Cache == nil {
+			return fmt.Errorf("-warm requires -cache")
+		}
+		if o.coordinator != "" {
+			return fmt.Errorf("-warm runs local simulations; a coordinator has none (warm the workers instead)")
+		}
+		simulated, hits, err := runner.Warm(context.Background(), warmSpecs())
+		if err != nil {
+			return fmt.Errorf("warm: %w", err)
+		}
+		// Parsed by scripts, like the listening line below.
+		fmt.Printf("facd warmed standard grid (simulated=%d cached=%d pinned=%d)\n",
+			simulated, hits, simulated+hits)
+	}
 	svc.Start()
+
+	if o.clientsFile != "" {
+		// Token rotation without restart: SIGHUP re-reads the tenants file
+		// and swaps it in atomically. A bad file or a reload that would
+		// orphan live work is rejected and the old table stays in force.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				clients, err := loadClientsFile(o.clientsFile)
+				if err == nil {
+					err = svc.ReloadClients(clients)
+				}
+				if err != nil {
+					fmt.Printf("facd clients reload rejected: %v\n", err)
+					continue
+				}
+				fmt.Printf("facd reloaded clients (%d tenants)\n", len(clients))
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {

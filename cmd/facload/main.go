@@ -20,10 +20,20 @@
 //   - Bounded queueing: the p99 of per-job queue wait from access-log
 //     complete events stays under -p99-max.
 //
+// With -fleet, facload instead soaks the distributed fabric: it boots
+// two worker daemons, a coordinator sharding across them, and a
+// stand-alone reference daemon, submits a batch of unique jobs, SIGKILLs
+// one worker mid-batch, and verifies that the batch drains with zero
+// lost jobs, that every worker received work for its shard, and that the
+// coordinator's report bytes are identical to the reference daemon's.
+// It then SIGTERMs the coordinator mid-batch and checks the same
+// drain-accounting identity the single-daemon soak enforces.
+//
 // Usage (from the repo root):
 //
 //	go run ./cmd/facload                      # 4 tenants, 30s soak
 //	go run ./cmd/facload -tenants 3 -duration 5s
+//	go run ./cmd/facload -fleet               # coordinator + 2 workers, worker kill
 package main
 
 import (
@@ -57,6 +67,9 @@ type options struct {
 	workload    string
 	toolchain   string
 	machine     string
+	fleet       bool
+	fleetSize   int
+	fleetJobs   int
 }
 
 func main() {
@@ -72,9 +85,16 @@ func main() {
 	flag.StringVar(&o.workload, "workload", "hashp", "workload to submit (a short one keeps per-run cost low)")
 	flag.StringVar(&o.toolchain, "toolchain", "base", "toolchain for submitted jobs")
 	flag.StringVar(&o.machine, "machine", "base32", "machine for submitted jobs")
+	flag.BoolVar(&o.fleet, "fleet", false, "soak the sharded fleet (coordinator + workers + mid-batch worker kill) instead of one daemon")
+	flag.IntVar(&o.fleetSize, "fleet-size", 2, "worker daemon count for -fleet")
+	flag.IntVar(&o.fleetJobs, "fleet-jobs", 12, "batch size for the -fleet soak")
 	flag.Parse()
 
-	if err := run(o); err != nil {
+	soak := run
+	if o.fleet {
+		soak = runFleet
+	}
+	if err := soak(o); err != nil {
 		fmt.Fprintln(os.Stderr, "facload:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,256 @@
+// Package depslog is a ninja-style dependency log for incremental
+// experiment re-runs: an append-only JSONL file recording, for each
+// build/run node, the content hashes of its inputs and of its output.
+// A node whose recorded input hashes match the current inputs is clean
+// and need not be re-executed; anything else is dirty. Appends are
+// cheap and crash-safe (a torn final line is ignored on reopen), later
+// entries win, and the log compacts itself on Close once superseded
+// lines outnumber live ones — the same recompaction discipline as
+// ninja's .ninja_deps.
+//
+// The log deliberately stores only hashes, never results: results live
+// in the content-addressed DiskCache keyed by the same hashes. The log
+// answers "what would re-run and why" (and proves an unchanged grid
+// re-simulates nothing); the cache answers "what is the result".
+package depslog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Schema versions the on-disk line format. A log whose header carries a
+// different schema is discarded wholesale — the log is a rebuild
+// accelerator, not a source of truth, so starting over is always safe.
+const Schema = "fac/deps/v1"
+
+// Entry records one node's last known execution: the content hashes of
+// every input it consumed and the hash naming its output (for run nodes,
+// the simulation's content-addressed cache key).
+type Entry struct {
+	Node   string            `json:"node"`
+	Inputs map[string]string `json:"inputs"`
+	Output string            `json:"output"`
+}
+
+// header is the log's first line.
+type header struct {
+	Schema string `json:"schema"`
+}
+
+// Log is an open deps log. Safe for concurrent use.
+type Log struct {
+	path string
+
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string]Entry
+	live    int // lines in the file still current
+	stale   int // superseded or unparseable lines, drives compaction
+}
+
+// Open reads (creating if absent) the deps log at path. Unparseable
+// lines — a torn tail from a crash mid-append — are skipped and counted
+// stale; a schema mismatch discards the whole log.
+func Open(path string) (*Log, error) {
+	l := &Log{path: path, entries: make(map[string]Entry)}
+	data, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+		// Fresh log; created on first Record.
+	case err != nil:
+		return nil, fmt.Errorf("depslog: open: %w", err)
+	default:
+		l.load(data)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("depslog: open: %w", err)
+	}
+	l.f = f
+	if l.live == 0 && len(l.entries) == 0 {
+		// New or discarded log: (re)write the header. Truncate first so a
+		// schema-mismatched body cannot linger beneath fresh appends.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("depslog: reset: %w", err)
+		}
+		if err := l.appendLocked(header{Schema: Schema}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// load replays the file's lines into the memo, later entries winning.
+func (l *Log) load(data []byte) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if first {
+			first = false
+			var h header
+			if json.Unmarshal(line, &h) != nil || h.Schema != Schema {
+				l.entries = make(map[string]Entry)
+				l.live = 0
+				l.stale = 0
+				return // discard: wrong or missing schema header
+			}
+			continue
+		}
+		var e Entry
+		if json.Unmarshal(line, &e) != nil || e.Node == "" {
+			l.stale++ // torn tail or corruption; skip
+			continue
+		}
+		if _, dup := l.entries[e.Node]; dup {
+			l.stale++
+		} else {
+			l.live++
+		}
+		l.entries[e.Node] = e
+	}
+}
+
+// appendLocked marshals v and appends it as one line.
+func (l *Log) appendLocked(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("depslog: encode: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := l.f.Write(b); err != nil {
+		return fmt.Errorf("depslog: append: %w", err)
+	}
+	return nil
+}
+
+// Clean reports whether node was last executed with exactly these
+// inputs; when it was, the recorded output hash is returned and the
+// caller may skip re-execution.
+func (l *Log) Clean(node string, inputs map[string]string) (output string, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, found := l.entries[node]
+	if !found || len(e.Inputs) != len(inputs) {
+		return "", false
+	}
+	for k, v := range inputs {
+		if e.Inputs[k] != v {
+			return "", false
+		}
+	}
+	return e.Output, true
+}
+
+// Record appends node's execution to the log, superseding any earlier
+// entry for the same node. Identical re-records are dropped without a
+// write, so steady-state clean re-runs never grow the file.
+func (l *Log) Record(node string, inputs map[string]string, output string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := Entry{Node: node, Inputs: inputs, Output: output}
+	if prev, ok := l.entries[node]; ok {
+		if sameEntry(prev, e) {
+			return nil
+		}
+		l.stale++
+	} else {
+		l.live++
+	}
+	l.entries[node] = e
+	return l.appendLocked(e)
+}
+
+func sameEntry(a, b Entry) bool {
+	if a.Node != b.Node || a.Output != b.Output || len(a.Inputs) != len(b.Inputs) {
+		return false
+	}
+	for k, v := range a.Inputs {
+		if b.Inputs[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of live nodes.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
+
+// Close flushes and closes the log, compacting it first when superseded
+// lines outnumber live ones (atomic tmp+rename; nodes written in sorted
+// order so a compacted log is deterministic).
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	defer func() { l.f = nil }()
+	if l.stale <= l.live {
+		return l.f.Close()
+	}
+	// Compact.
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(l.path), "deps-*")
+	if err != nil {
+		return fmt.Errorf("depslog: compact: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	writeLine := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		_, err = w.Write(b)
+		return err
+	}
+	err = writeLine(header{Schema: Schema})
+	nodes := make([]string, 0, len(l.entries))
+	for n := range l.entries {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		if err != nil {
+			break
+		}
+		err = writeLine(l.entries[n])
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("depslog: compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), l.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("depslog: compact: %w", err)
+	}
+	return nil
+}

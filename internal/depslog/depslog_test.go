@@ -1,0 +1,189 @@
+package depslog
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func in(kv ...string) map[string]string {
+	m := make(map[string]string, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	return m
+}
+
+// TestDepsLogRoundtrip: recorded nodes are clean on the same inputs —
+// in the same process and after reopening — and dirty on any change.
+func TestDepsLogRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deps.jsonl")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.Clean("run|a", in("src", "s1")); ok {
+		t.Fatal("empty log reported a clean node")
+	}
+	if err := l.Record("run|a", in("src", "s1", "cfg", "c1"), "out1"); err != nil {
+		t.Fatal(err)
+	}
+	if out, ok := l.Clean("run|a", in("src", "s1", "cfg", "c1")); !ok || out != "out1" {
+		t.Fatalf("Clean = %q, %v", out, ok)
+	}
+	for _, dirty := range []map[string]string{
+		in("src", "s2", "cfg", "c1"),           // changed hash
+		in("src", "s1"),                        // missing input
+		in("src", "s1", "cfg", "c1", "x", "y"), // extra input
+	} {
+		if _, ok := l.Clean("run|a", dirty); ok {
+			t.Fatalf("inputs %v reported clean", dirty)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if out, ok := l2.Clean("run|a", in("src", "s1", "cfg", "c1")); !ok || out != "out1" {
+		t.Fatal("reopened log lost the entry")
+	}
+}
+
+// TestDepsLogLaterEntriesWin: re-recording a node supersedes the old
+// entry; identical re-records do not grow the file.
+func TestDepsLogLaterEntriesWin(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deps.jsonl")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Record("n", in("i", "v1"), "o1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Record("n", in("i", "v2"), "o2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.Clean("n", in("i", "v1")); ok {
+		t.Fatal("superseded entry still clean")
+	}
+	if out, ok := l.Clean("n", in("i", "v2")); !ok || out != "o2" {
+		t.Fatal("latest entry not in force")
+	}
+
+	size := func() int64 {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+	before := size()
+	for i := 0; i < 5; i++ {
+		if err := l.Record("n", in("i", "v2"), "o2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if size() != before {
+		t.Fatal("identical re-records grew the log")
+	}
+}
+
+// TestDepsLogTornTailAndSchema: a torn final line (crash mid-append) is
+// skipped; a wrong-schema log is discarded wholesale.
+func TestDepsLogTornTailAndSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deps.jsonl")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Record("n", in("i", "v"), "o"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"node":"torn","inputs":{"i`)
+	f.Close()
+
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l2.Clean("n", in("i", "v")); !ok {
+		t.Fatal("torn tail took the healthy prefix with it")
+	}
+	if l2.Len() != 1 {
+		t.Fatalf("live nodes = %d, want 1", l2.Len())
+	}
+	l2.Close()
+
+	// Wrong schema: start over.
+	if err := os.WriteFile(path, []byte(`{"schema":"fac/deps/v0"}`+"\n"+`{"node":"n","inputs":{},"output":"o"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if l3.Len() != 0 {
+		t.Fatal("wrong-schema log not discarded")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), `{"schema":"`+Schema+`"}`) {
+		t.Fatalf("discarded log not re-headed: %q", data)
+	}
+}
+
+// TestDepsLogCompaction: once superseded lines outnumber live ones,
+// Close rewrites the file to just the header plus live entries, in
+// sorted node order.
+func TestDepsLogCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "deps.jsonl")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		// Rewrites of the same two nodes: 12 lines, 2 live.
+		v := string(rune('0' + i))
+		l.Record("b-node", in("i", v), "o"+v)
+		l.Record("a-node", in("i", v), "o"+v)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("compacted log has %d lines, want 3 (header + 2 nodes):\n%s", len(lines), data)
+	}
+	if !strings.Contains(lines[1], `"a-node"`) || !strings.Contains(lines[2], `"b-node"`) {
+		t.Fatalf("compacted log not in sorted node order:\n%s", data)
+	}
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if out, ok := l2.Clean("a-node", in("i", "5")); !ok || out != "o5" {
+		t.Fatal("compaction lost the latest entry")
+	}
+}

@@ -195,16 +195,23 @@ func (s *Suite) speedup(w workload.Workload, tc string, m Machine, baseM Machine
 	return float64(base.Cycles) / float64(run.Cycles), nil
 }
 
-// Figure6 measures program speedups with and without software support, for
-// 16- and 32-byte blocks, with and without register+register speculation.
-func (s *Suite) Figure6() (*Figure6Result, error) {
-	pairs := [][2]string{
+// StandardGrid returns the (toolchain, machine) pairs of the paper's
+// central speedup figure — the grid every regeneration needs. It is the
+// shared definition behind Figure6's prefetch, facd -warm (which
+// pre-simulates and pins exactly these runs), and the fleet soak.
+func StandardGrid() [][2]string {
+	return [][2]string{
 		{"base", string(MBase32)}, {"base", string(MBase16)},
 		{"base", string(MFAC16)}, {"base", string(MFAC32)},
 		{"fac", string(MFAC16)}, {"fac", string(MFAC32)},
 		{"base", string(MFAC32RR)}, {"fac", string(MFAC32RR)},
 	}
-	if err := s.Prefetch(pairs); err != nil {
+}
+
+// Figure6 measures program speedups with and without software support, for
+// 16- and 32-byte blocks, with and without register+register speculation.
+func (s *Suite) Figure6() (*Figure6Result, error) {
+	if err := s.Prefetch(StandardGrid()); err != nil {
 		return nil, err
 	}
 	res := &Figure6Result{}

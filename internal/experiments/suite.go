@@ -9,12 +9,17 @@ package experiments
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/depslog"
 	"repro/internal/fac"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
@@ -125,6 +130,24 @@ type Suite struct {
 	timings  map[string]pipeline.Stats
 	records  map[string]obs.RunRecord
 	disk     *simsvc.DiskCache
+	deps     *depslog.Log
+	remote   *simsvc.Client
+	counts   RunCounts
+}
+
+// RunCounts is the suite's execution accounting for one process: where
+// each timing run's result actually came from. DepsClean counts runs the
+// deps log proved unchanged (and the cache then served) — an unchanged
+// grid re-run reports Simulated == 0 with DepsClean == everything.
+type RunCounts struct {
+	// Simulated counts fresh local simulations.
+	Simulated int `json:"simulated"`
+	// Remote counts runs served by a remote daemon or fleet coordinator.
+	Remote int `json:"remote"`
+	// CacheHits counts runs rehydrated from the persistent disk cache.
+	CacheHits int `json:"cache_hits"`
+	// DepsClean counts cache hits the deps log had already proven clean.
+	DepsClean int `json:"deps_clean"`
 }
 
 // NewSuite creates an experiment suite.
@@ -147,6 +170,36 @@ func (s *Suite) SetCache(c *simsvc.DiskCache) {
 	s.mu.Lock()
 	s.disk = c
 	s.mu.Unlock()
+}
+
+// SetDeps attaches a dependency log: every build and timing run records
+// its input hashes, and a run whose recorded inputs are unchanged is
+// counted clean instead of dirty when the cache serves it. The log is
+// what turns "the cache happened to hit" into "nothing needed to run":
+// cmd/experiments -deps reports the clean/dirty split after each pass.
+func (s *Suite) SetDeps(l *depslog.Log) {
+	s.mu.Lock()
+	s.deps = l
+	s.mu.Unlock()
+}
+
+// SetRemote routes named-machine timing runs to a simulation daemon (or
+// fleet coordinator) instead of simulating locally. Determinism makes
+// the substitution invisible: the daemon returns the exact RunRecord a
+// local run would produce, so reports are byte-identical either way.
+// Ad-hoc sweep configurations outside the named machine table still run
+// locally — a remote daemon only resolves machine names.
+func (s *Suite) SetRemote(c *simsvc.Client) {
+	s.mu.Lock()
+	s.remote = c
+	s.mu.Unlock()
+}
+
+// Counts snapshots the suite's execution accounting.
+func (s *Suite) Counts() RunCounts {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts
 }
 
 // CacheStats reports the attached persistent cache's statistics, if any.
@@ -190,7 +243,15 @@ func (s *Suite) Program(w workload.Workload, tc string) (*prog.Program, error) {
 		}
 		s.mu.Lock()
 		s.programs[key] = p
+		deps := s.deps
 		s.mu.Unlock()
+		if deps != nil {
+			// Build nodes complete the source → binary → run chain in the
+			// log. The build is a pure function of its inputs, so the
+			// output id is content-derived too.
+			in := map[string]string{"source": shaHex(w.Source), "toolchain": tc}
+			_ = deps.Record("build|"+key, in, shaHex(w.Source+"|"+tc))
+		}
 		return p, nil
 	})
 	if err != nil {
@@ -262,6 +323,8 @@ func (s *Suite) timing(ctx context.Context, w workload.Workload, tc string, m Ma
 		return st, nil
 	}
 	disk := s.disk
+	deps := s.deps
+	remote := s.remote
 	s.mu.Unlock()
 
 	v, shared, err := s.flight.Do("timing|"+key, func() (any, error) {
@@ -272,18 +335,71 @@ func (s *Suite) timing(ctx context.Context, w workload.Workload, tc string, m Ma
 		}
 		s.mu.Unlock()
 
-		// Persistent cache: a prior process (this tool or the facd daemon)
-		// may have already simulated this exact configuration.
 		var diskKey string
-		if disk != nil {
+		if disk != nil || deps != nil {
 			if k, err := simsvc.CacheKey(w, tc, string(m), cfg, s.MaxInsts); err == nil {
 				diskKey = k
-				if rec, ok := disk.Get(k); ok {
-					st := pipeline.StatsFromRecord(rec)
-					s.memoize(key, st, rec, record)
-					return st, nil
-				}
 			}
+		}
+		node := "run|" + key
+		var inputs map[string]string
+		clean := false
+		if deps != nil && diskKey != "" {
+			inputs = runInputs(w, tc, m, cfg, s.MaxInsts)
+			// Clean means: this node last ran with exactly these input
+			// hashes and produced exactly this cache key. The result still
+			// has to come from the cache — a clean node whose entry was
+			// evicted is re-executed (and the accounting shows it).
+			if out, ok := deps.Clean(node, inputs); ok && out == diskKey {
+				clean = true
+			}
+		}
+		finish := func(st pipeline.Stats, rec obs.RunRecord, bump func(*RunCounts)) {
+			s.memoize(key, st, rec, record)
+			s.mu.Lock()
+			bump(&s.counts)
+			s.mu.Unlock()
+			if deps != nil && diskKey != "" {
+				// Best effort: a lost deps entry only costs a "dirty" verdict
+				// (and a cache probe) next run.
+				_ = deps.Record(node, inputs, diskKey)
+			}
+		}
+
+		// Persistent cache: a prior process (this tool or the facd daemon)
+		// may have already simulated this exact configuration.
+		if disk != nil && diskKey != "" {
+			if rec, ok := disk.Get(diskKey); ok {
+				st := pipeline.StatsFromRecord(rec)
+				finish(st, rec, func(c *RunCounts) {
+					c.CacheHits++
+					if clean {
+						c.DepsClean++
+					}
+				})
+				return st, nil
+			}
+		}
+
+		// Remote execution: named machines resolve on the daemon; ad-hoc
+		// sweep configurations (record=false) only exist locally.
+		if remote != nil && record {
+			rctx := ctx
+			if rctx == nil {
+				rctx = context.Background()
+			}
+			rec, _, err := remote.RunSync(rctx, simsvc.JobSpec{
+				Workload: w.Name, Toolchain: tc, Machine: string(m), MaxInsts: s.MaxInsts,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s/%s: remote: %w", w.Name, tc, m, err)
+			}
+			st := pipeline.StatsFromRecord(rec)
+			if disk != nil && diskKey != "" {
+				disk.Put(diskKey, rec) // share the fetch with future local passes
+			}
+			finish(st, rec, func(c *RunCounts) { c.Remote++ })
+			return st, nil
 		}
 
 		p, err := s.Program(w, tc)
@@ -301,7 +417,7 @@ func (s *Suite) timing(ctx context.Context, w workload.Workload, tc string, m Ma
 		if disk != nil && diskKey != "" {
 			disk.Put(diskKey, rec) // best effort; a write failure only costs a future re-run
 		}
-		s.memoize(key, res.Stats, rec, record)
+		finish(res.Stats, rec, func(c *RunCounts) { c.Simulated++ })
 		return res.Stats, nil
 	})
 	if err != nil {
@@ -313,6 +429,29 @@ func (s *Suite) timing(ctx context.Context, w workload.Workload, tc string, m Ma
 		return pipeline.Stats{}, err
 	}
 	return v.(pipeline.Stats), nil
+}
+
+// runInputs hashes every input a timing run consumes, for the deps log.
+// The set mirrors simsvc's cacheKeyDoc: if any hash here changes, the
+// run's cache key changes too, so clean verdicts and cache hits can
+// never disagree about what "unchanged" means.
+func runInputs(w workload.Workload, tc string, m Machine, cfg pipeline.Config, maxInsts uint64) map[string]string {
+	cfgJSON, _ := json.Marshal(cfg)
+	return map[string]string{
+		"source":    shaHex(w.Source),
+		"expected":  shaHex(w.Expected),
+		"toolchain": tc,
+		"machine":   string(m),
+		"config":    shaHex(string(cfgJSON)),
+		"max_insts": strconv.FormatUint(maxInsts, 10),
+		"simulator": simsvc.Version,
+		"schema":    obs.RunRecordSchema,
+	}
+}
+
+func shaHex(s string) string {
+	h := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(h[:])
 }
 
 // memoize records a finished timing run. The disk-sourced RunRecord is

@@ -1,0 +1,313 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/simsvc"
+	"repro/internal/workload"
+)
+
+// testLocal is a resolver-only runner: the dispatcher uses it for spec
+// validation and shard-key derivation, never to simulate.
+func testLocal() *simsvc.Runner {
+	return &simsvc.Runner{
+		Resolve: func(machine string) (pipeline.Config, error) { return pipeline.Config{}, nil },
+	}
+}
+
+func testSpec(maxInsts uint64) simsvc.JobSpec {
+	return simsvc.JobSpec{
+		Workload:  workload.All()[0].Name,
+		Toolchain: "base",
+		Machine:   "base32",
+		MaxInsts:  maxInsts,
+	}
+}
+
+// serveRecord writes a well-formed synchronous-run response.
+func serveRecord(w http.ResponseWriter, cycles uint64) {
+	rec := obs.RunRecord{
+		Schema:    obs.RunRecordSchema,
+		Benchmark: "stub",
+		Toolchain: "base",
+		Machine:   "base32",
+		Cycles:    cycles,
+	}
+	json.NewEncoder(w).Encode(map[string]any{"cache_hit": false, "record": rec})
+}
+
+// specOwnedBy searches MaxInsts values until the spec's shard key lands
+// on the wanted worker, so tests can steer jobs at a particular primary.
+func specOwnedBy(t *testing.T, d *Dispatcher, worker string) simsvc.JobSpec {
+	t.Helper()
+	for i := uint64(1); i < 10_000; i++ {
+		spec := testSpec(i)
+		key, err := d.cfg.Local.Key(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.ring.Owner(key) == worker {
+			return spec
+		}
+	}
+	t.Fatalf("no spec found with primary %s", worker)
+	return simsvc.JobSpec{}
+}
+
+// TestDispatcherShardAffinity: the same spec always lands on the same
+// worker (its cache stays warm), and distinct specs spread across the
+// fleet.
+func TestDispatcherShardAffinity(t *testing.T) {
+	var counts [3]atomic.Int64
+	var urls []string
+	for i := 0; i < 3; i++ {
+		i := i
+		s := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			counts[i].Add(1)
+			serveRecord(w, 1)
+		}))
+		defer s.Close()
+		urls = append(urls, s.URL)
+	}
+	d, err := New(Config{Workers: urls, Local: testLocal(), HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	spec := testSpec(7)
+	for i := 0; i < 5; i++ {
+		if _, _, err := d.Run(ctx, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hot := 0
+	for i := range counts {
+		if n := counts[i].Load(); n > 0 {
+			hot++
+			if n != 5 {
+				t.Fatalf("worker %d served %d of 5 identical runs", i, n)
+			}
+		}
+	}
+	if hot != 1 {
+		t.Fatalf("identical runs spread over %d workers, want 1", hot)
+	}
+
+	for i := uint64(1); i <= 30; i++ {
+		if _, _, err := d.Run(ctx, testSpec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spread := 0
+	for i := range counts {
+		if counts[i].Load() > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("30 distinct specs all landed on one worker")
+	}
+}
+
+// TestDispatcherFailover: a worker failing at the transport/5xx level is
+// routed around — the next ring owner serves the job, the failure is
+// counted, and the steal is attributed to the dead primary.
+func TestDispatcherFailover(t *testing.T) {
+	var badCalls, goodCalls atomic.Int64
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		badCalls.Add(1)
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		goodCalls.Add(1)
+		serveRecord(w, 42)
+	}))
+	defer good.Close()
+
+	d, err := New(Config{Workers: []string{bad.URL, good.URL}, Local: testLocal(), HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := specOwnedBy(t, d, bad.URL)
+
+	ctx, note := simsvc.WithWorkerNote(context.Background())
+	rec, _, err := d.Run(ctx, spec)
+	if err != nil {
+		t.Fatalf("failover run failed: %v", err)
+	}
+	if rec.Cycles != 42 {
+		t.Fatalf("record came from the wrong worker: %+v", rec)
+	}
+	if note.Get() != good.URL {
+		t.Fatalf("worker attribution = %q, want %q", note.Get(), good.URL)
+	}
+	if badCalls.Load() != 1 || goodCalls.Load() != 1 {
+		t.Fatalf("calls = bad:%d good:%d, want 1:1", badCalls.Load(), goodCalls.Load())
+	}
+	var badSt, goodSt simsvc.WorkerStatus
+	for _, st := range d.FleetStats() {
+		switch st.URL {
+		case bad.URL:
+			badSt = st
+		case good.URL:
+			goodSt = st
+		}
+	}
+	if badSt.Failed != 1 || badSt.Stolen != 1 || badSt.Healthy {
+		t.Fatalf("dead primary stats = %+v", badSt)
+	}
+	if goodSt.Completed != 1 {
+		t.Fatalf("serving worker stats = %+v", goodSt)
+	}
+
+	// The dead worker is now in cool-off: a second run of the same spec
+	// must go straight to the healthy worker without retrying it.
+	if _, _, err := d.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if badCalls.Load() != 1 {
+		t.Fatalf("cool-off ignored: dead worker called %d times", badCalls.Load())
+	}
+}
+
+// TestDispatcherSemanticErrorNoFailover: a deterministic 4xx refusal
+// returns immediately — every worker would reject the same way, so
+// re-dispatching would only duplicate the failure.
+func TestDispatcherSemanticErrorNoFailover(t *testing.T) {
+	var calls [2]atomic.Int64
+	var urls []string
+	for i := 0; i < 2; i++ {
+		i := i
+		s := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls[i].Add(1)
+			http.Error(w, `{"error":"no such machine"}`, http.StatusBadRequest)
+		}))
+		defer s.Close()
+		urls = append(urls, s.URL)
+	}
+	d, err := New(Config{Workers: urls, Local: testLocal(), HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = d.Run(context.Background(), testSpec(3))
+	if err == nil || !strings.Contains(err.Error(), "no such machine") {
+		t.Fatalf("err = %v, want the worker's 400", err)
+	}
+	if total := calls[0].Load() + calls[1].Load(); total != 1 {
+		t.Fatalf("semantic failure dispatched %d times, want 1", total)
+	}
+}
+
+// TestDispatcherHedging: when the primary straggles past HedgeAfter, a
+// backup dispatch on the next owner wins; the straggler's attempt is
+// cancelled and the steal is recorded.
+func TestDispatcherHedging(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(5 * time.Second):
+			serveRecord(w, 1)
+		}
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		serveRecord(w, 2)
+	}))
+	defer fast.Close()
+
+	d, err := New(Config{
+		Workers:    []string{slow.URL, fast.URL},
+		Local:      testLocal(),
+		HedgeAfter: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := specOwnedBy(t, d, slow.URL)
+
+	start := time.Now()
+	ctx, note := simsvc.WithWorkerNote(context.Background())
+	rec, _, err := d.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Cycles != 2 || note.Get() != fast.URL {
+		t.Fatalf("hedge did not win: cycles=%d worker=%q", rec.Cycles, note.Get())
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("run waited for the straggler")
+	}
+	var fastSt, slowSt simsvc.WorkerStatus
+	for _, st := range d.FleetStats() {
+		switch st.URL {
+		case fast.URL:
+			fastSt = st
+		case slow.URL:
+			slowSt = st
+		}
+	}
+	if fastSt.Hedges != 1 || fastSt.Completed != 1 {
+		t.Fatalf("hedged worker stats = %+v", fastSt)
+	}
+	if slowSt.Stolen != 1 {
+		t.Fatalf("straggler stats = %+v", slowSt)
+	}
+}
+
+// TestDispatcherAbsorbsBackpressure: a 429 with Retry-After is not a
+// failure — the dispatch waits and retries the same worker, preserving
+// shard affinity under quota pressure.
+func TestDispatcherAbsorbsBackpressure(t *testing.T) {
+	var calls atomic.Int64
+	s := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"over quota"}`, http.StatusTooManyRequests)
+			return
+		}
+		serveRecord(w, 9)
+	}))
+	defer s.Close()
+	d, err := New(Config{Workers: []string{s.URL}, Local: testLocal(), HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, err := d.Run(context.Background(), testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Cycles != 9 || calls.Load() != 2 {
+		t.Fatalf("cycles=%d calls=%d, want 9 after 2 calls", rec.Cycles, calls.Load())
+	}
+}
+
+// TestDispatcherAllWorkersFailed: when every owner fails at the
+// transport level the error says so and wraps the last cause.
+func TestDispatcherAllWorkersFailed(t *testing.T) {
+	s := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"disk on fire"}`, http.StatusServiceUnavailable)
+	}))
+	defer s.Close()
+	d, err := New(Config{Workers: []string{s.URL}, Local: testLocal(), HedgeAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = d.Run(context.Background(), testSpec(1))
+	if err == nil || !strings.Contains(err.Error(), "all 1 workers failed") {
+		t.Fatalf("err = %v, want all-workers-failed", err)
+	}
+	if !strings.Contains(err.Error(), "disk on fire") {
+		t.Fatalf("err = %v, want the underlying cause preserved", err)
+	}
+}

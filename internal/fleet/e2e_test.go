@@ -1,0 +1,318 @@
+package fleet_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/pipeline"
+	"repro/internal/simsvc"
+)
+
+// e2eMaxInsts keeps end-to-end simulations fast (shared convention with
+// the simsvc e2e tests).
+const e2eMaxInsts = 5_000_000
+
+func resolveMachine(m string) (pipeline.Config, error) {
+	return experiments.MachineConfig(experiments.Machine(m))
+}
+
+// newWorkerDaemon starts one real worker facd: a full simsvc server over
+// a simulating runner with its own persistent cache.
+func newWorkerDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	cache, err := simsvc.OpenDiskCache(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := &simsvc.Runner{Resolve: resolveMachine, MaxInsts: e2eMaxInsts, Cache: cache}
+	s, err := simsvc.NewServer(simsvc.ServerConfig{Workers: 2, QueueDepth: 64}, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return hs
+}
+
+// newCoordinator starts a coordinator facd whose JobRunner is a fleet
+// dispatcher over the given workers — the same server surface as a
+// single daemon, with execution sharded across the fleet.
+func newCoordinator(t *testing.T, workers []string, hedge, coolOff time.Duration) (string, *fleet.Dispatcher) {
+	t.Helper()
+	local := &simsvc.Runner{Resolve: resolveMachine, MaxInsts: e2eMaxInsts}
+	d, err := fleet.New(fleet.Config{
+		Workers:    workers,
+		Local:      local,
+		HedgeAfter: hedge,
+		CoolOff:    coolOff,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := simsvc.NewServer(simsvc.ServerConfig{Workers: 4, QueueDepth: 64}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return hs.URL, d
+}
+
+// newSingleDaemon is the fleet's reference: one daemon simulating
+// locally, no dispatcher in the path.
+func newSingleDaemon(t *testing.T) string {
+	t.Helper()
+	runner := &simsvc.Runner{Resolve: resolveMachine, MaxInsts: e2eMaxInsts}
+	s, err := simsvc.NewServer(simsvc.ServerConfig{Workers: 2, QueueDepth: 64}, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(hs.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return hs.URL
+}
+
+// e2eJobs builds a job set whose shard keys cover every worker on the
+// ring, extending a base grid with MaxInsts-perturbed runs until each
+// worker owns at least one job (the perturbed bound exceeds the
+// programs' natural instruction counts, so timing is unaffected).
+func e2eJobs(t *testing.T, workers []string) []simsvc.JobSpec {
+	t.Helper()
+	jobs := []simsvc.JobSpec{
+		{Workload: "queens", Toolchain: "base", Machine: "base32"},
+		{Workload: "queens", Toolchain: "base", Machine: "base16"},
+		{Workload: "queens", Toolchain: "fac", Machine: "fac16"},
+		{Workload: "queens", Toolchain: "fac", Machine: "fac32"},
+		{Workload: "queens", Toolchain: "fac", Machine: "fac32+rr"},
+	}
+	local := &simsvc.Runner{Resolve: resolveMachine, MaxInsts: e2eMaxInsts}
+	ring, err := fleet.NewRing(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := make(map[string]bool)
+	for _, j := range jobs {
+		key, err := local.Key(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered[ring.Owner(key)] = true
+	}
+	for i := uint64(1); len(covered) < len(workers); i++ {
+		if i > 10_000 {
+			t.Fatal("could not cover every worker's shard")
+		}
+		j := simsvc.JobSpec{Workload: "queens", Toolchain: "base", Machine: "base32", MaxInsts: e2eMaxInsts + i}
+		key, err := local.Key(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !covered[ring.Owner(key)] {
+			covered[ring.Owner(key)] = true
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs
+}
+
+func submitBatch(t *testing.T, base string, jobs []simsvc.JobSpec) (batch string, jobIDs []string) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"jobs": jobs})
+	resp, err := http.Post(base+"/v1/batches", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		Batch string   `json:"batch"`
+		Jobs  []string `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	return sub.Batch, sub.Jobs
+}
+
+// waitBatchDone polls to terminal and fails the test if any job failed
+// or was lost.
+func waitBatchDone(t *testing.T, base, batch string, total int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("batch never finished")
+		}
+		resp, err := http.Get(base + "/v1/batches/" + batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Terminal  bool `json:"terminal"`
+			Done      int  `json:"done"`
+			Failed    int  `json:"failed"`
+			Cancelled int  `json:"cancelled"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.Terminal {
+			if st.Done != total || st.Failed != 0 || st.Cancelled != 0 {
+				t.Fatalf("batch finished done=%d failed=%d cancelled=%d, want %d done",
+					st.Done, st.Failed, st.Cancelled, total)
+			}
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func fetchReport(t *testing.T, base, batch string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/batches/" + batch + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report status %d: %s", resp.StatusCode, data)
+	}
+	return data
+}
+
+// TestE2EFleetMatchesSingleDaemon: a batch run through a coordinator and
+// two sharded workers produces report bytes identical to the same batch
+// on a single stand-alone daemon — the determinism contract survives
+// distribution. Every worker serves part of the batch, and job views
+// attribute each run to the worker that executed it.
+func TestE2EFleetMatchesSingleDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulation in -short mode")
+	}
+	w0, w1 := newWorkerDaemon(t), newWorkerDaemon(t)
+	workers := []string{w0.URL, w1.URL}
+	coord, disp := newCoordinator(t, workers, -1, 0)
+	jobs := e2eJobs(t, workers)
+
+	batch, jobIDs := submitBatch(t, coord, jobs)
+	waitBatchDone(t, coord, batch, len(jobs))
+	fleetReport := fetchReport(t, coord, batch)
+
+	single := newSingleDaemon(t)
+	refBatch, _ := submitBatch(t, single, jobs)
+	waitBatchDone(t, single, refBatch, len(jobs))
+	refReport := fetchReport(t, single, refBatch)
+
+	if !bytes.Equal(fleetReport, refReport) {
+		t.Fatalf("fleet report differs from single daemon:\n--- fleet ---\n%s\n--- single ---\n%s",
+			fleetReport, refReport)
+	}
+
+	// Every worker served at least one job, and together they served all.
+	var total uint64
+	for _, st := range disp.FleetStats() {
+		if st.Completed == 0 {
+			t.Fatalf("worker %s completed nothing: %+v", st.URL, disp.FleetStats())
+		}
+		total += st.Completed
+	}
+	if total != uint64(len(jobs)) {
+		t.Fatalf("fleet completed %d jobs, want %d", total, len(jobs))
+	}
+
+	// Job views attribute the serving worker.
+	for _, id := range jobIDs {
+		resp, err := http.Get(coord + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jv struct {
+			Worker string `json:"worker"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&jv); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if jv.Worker != w0.URL && jv.Worker != w1.URL {
+			t.Fatalf("job %s attributed to %q, want one of the workers", id, jv.Worker)
+		}
+	}
+}
+
+// TestE2EFleetSurvivesWorkerKill: killing a worker mid-batch loses no
+// jobs — its shard fails over to the survivor — and the drained batch's
+// report is still byte-identical to a single daemon's.
+func TestE2EFleetSurvivesWorkerKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end simulation in -short mode")
+	}
+	victim, survivor := newWorkerDaemon(t), newWorkerDaemon(t)
+	workers := []string{victim.URL, survivor.URL}
+	// Tight hedge/cool-off so the kill is absorbed quickly: in-flight
+	// requests die with the connection and fail over; stragglers hedge.
+	coord, disp := newCoordinator(t, workers, 300*time.Millisecond, 100*time.Millisecond)
+	jobs := e2eJobs(t, workers)
+
+	batch, _ := submitBatch(t, coord, jobs)
+	// SIGKILL equivalent for an httptest worker: sever live connections
+	// (aborting its in-flight simulations) and stop accepting new ones,
+	// while the batch is still in flight.
+	victim.CloseClientConnections()
+	victim.Close()
+
+	waitBatchDone(t, coord, batch, len(jobs))
+	fleetReport := fetchReport(t, coord, batch)
+
+	single := newSingleDaemon(t)
+	refBatch, _ := submitBatch(t, single, jobs)
+	waitBatchDone(t, single, refBatch, len(jobs))
+	refReport := fetchReport(t, single, refBatch)
+
+	if !bytes.Equal(fleetReport, refReport) {
+		t.Fatalf("post-kill fleet report differs from single daemon:\n--- fleet ---\n%s\n--- single ---\n%s",
+			fleetReport, refReport)
+	}
+	// The survivor picked up the dead worker's shard.
+	for _, st := range disp.FleetStats() {
+		if st.URL == survivor.URL && st.Completed < uint64(len(jobs)) {
+			// Some jobs may have completed on the victim before the kill;
+			// the survivor must have served everything that remained.
+			if st.Completed == 0 {
+				t.Fatalf("survivor served nothing: %+v", disp.FleetStats())
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package fleet scales the simulation service from one daemon to a
+// sharded fleet: a coordinator facd accepts the same API as a worker
+// facd but executes nothing locally — its JobRunner dispatches each job
+// to the worker that owns the job's content-addressed cache key on a
+// consistent-hash ring, with failover and hedged re-dispatch when a
+// worker dies or straggles.
+//
+// Sharding by cache key (not by workload name or round-robin) is the
+// point: the key already captures every input that can change a result,
+// so the same run always lands on the same worker and that worker's
+// persistent DiskCache stays warm for it. Because results are
+// deterministic and content-addressed, re-dispatching a job to a second
+// worker is always safe — both compute (or fetch) the identical record,
+// so at-most-once *completion* holds even when execution is
+// at-least-once.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// defaultReplicas is the virtual-node count per worker. 64 keeps the
+// per-worker load spread within a few percent for small fleets while
+// the ring stays tiny (N×64 points).
+const defaultReplicas = 64
+
+// Ring is a consistent-hash ring over worker names. It is immutable
+// after construction: membership changes (a worker marked down) are
+// handled by walking successors at lookup time, not by rebuilding, so
+// shard ownership is stable across transient failures and caches stay
+// warm when the worker comes back.
+type Ring struct {
+	points  []ringPoint // sorted by hash
+	workers []string
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker string
+}
+
+// NewRing builds a ring with the default virtual-node count.
+func NewRing(workers []string) (*Ring, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("fleet: ring needs at least one worker")
+	}
+	seen := make(map[string]bool, len(workers))
+	r := &Ring{workers: append([]string(nil), workers...)}
+	for _, w := range workers {
+		if w == "" {
+			return nil, fmt.Errorf("fleet: empty worker name")
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("fleet: duplicate worker %q", w)
+		}
+		seen[w] = true
+		for i := 0; i < defaultReplicas; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:   ringHash(w + "#" + strconv.Itoa(i)),
+				worker: w,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by name so ownership is
+		// deterministic across processes.
+		return r.points[i].worker < r.points[j].worker
+	})
+	return r, nil
+}
+
+// Workers returns the ring membership in construction order.
+func (r *Ring) Workers() []string { return append([]string(nil), r.workers...) }
+
+// ringHash maps a string to a ring position. sha256 (not a fast
+// non-crypto hash) so the placement is stable across Go versions and
+// architectures — ownership must agree between coordinator restarts.
+func ringHash(s string) uint64 {
+	h := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// Owners returns the key's preference order: the owner first, then each
+// distinct successor around the ring. A dispatcher tries them in order,
+// so failover and hedging fall out of the same list that defines
+// primary ownership.
+func (r *Ring) Owners(key string) []string {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.workers))
+	seen := make(map[string]bool, len(r.workers))
+	for n := 0; n < len(r.points) && len(out) < len(r.workers); n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if !seen[p.worker] {
+			seen[p.worker] = true
+			out = append(out, p.worker)
+		}
+	}
+	return out
+}
+
+// Owner returns the key's primary owner.
+func (r *Ring) Owner(key string) string { return r.Owners(key)[0] }

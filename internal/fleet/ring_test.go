@@ -1,0 +1,99 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterminism: ownership is a pure function of (membership, key) —
+// independent of construction order and identical across ring instances,
+// because coordinator restarts must re-derive the same shard map.
+func TestRingDeterminism(t *testing.T) {
+	workers := []string{"http://w0", "http://w1", "http://w2"}
+	a, err := NewRing(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"http://w2", "http://w0", "http://w1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("owner of %q depends on construction order: %q vs %q",
+				key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// TestRingSpread: with 64 virtual nodes per worker, no worker ends up
+// owning nothing (or everything) over a modest key population.
+func TestRingSpread(t *testing.T) {
+	workers := []string{"http://w0", "http://w1", "http://w2"}
+	r, err := NewRing(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const n = 300
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, w := range workers {
+		if counts[w] == 0 {
+			t.Fatalf("worker %s owns no keys: %v", w, counts)
+		}
+		if counts[w] == n {
+			t.Fatalf("worker %s owns every key: %v", w, counts)
+		}
+	}
+}
+
+// TestRingOwners: the preference list starts with the primary, contains
+// every worker exactly once, and is stable call to call.
+func TestRingOwners(t *testing.T) {
+	workers := []string{"http://w0", "http://w1", "http://w2", "http://w3"}
+	r, err := NewRing(workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owners := r.Owners(key)
+		if len(owners) != len(workers) {
+			t.Fatalf("Owners(%q) = %v, want all %d workers", key, owners, len(workers))
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("Owners(%q)[0] = %q, Owner = %q", key, owners[0], r.Owner(key))
+		}
+		seen := make(map[string]bool)
+		for _, w := range owners {
+			if seen[w] {
+				t.Fatalf("Owners(%q) repeats %q: %v", key, w, owners)
+			}
+			seen[w] = true
+		}
+		again := r.Owners(key)
+		for j := range owners {
+			if owners[j] != again[j] {
+				t.Fatalf("Owners(%q) unstable: %v then %v", key, owners, again)
+			}
+		}
+	}
+}
+
+// TestNewRingRejects: invalid membership fails construction rather than
+// mis-sharding later.
+func TestNewRingRejects(t *testing.T) {
+	for _, workers := range [][]string{
+		nil,
+		{},
+		{"http://w0", "http://w0"},
+		{"http://w0", ""},
+	} {
+		if _, err := NewRing(workers); err == nil {
+			t.Fatalf("NewRing(%v) accepted invalid membership", workers)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package obs
+
+import "time"
+
+// ProgressEventSchema versions the batch progress-stream line format
+// served by the service's SSE endpoint (GET /v1/batches/{id}/events).
+// Bump it when a field changes meaning, so stream consumers can detect
+// drift. The schema is announced once, in the stream's opening "hello"
+// event, rather than repeated on every line.
+const ProgressEventSchema = "fac/progress/v1"
+
+// Progress event kinds. "queued", "running", "done", "failed", and
+// "cancelled" are per-job state transitions (mirroring the job states in
+// the batch API); "batch" is the stream's terminal summary, emitted
+// exactly once when the last job of the batch reaches a terminal state.
+const (
+	ProgressQueued    = "queued"
+	ProgressRunning   = "running"
+	ProgressDone      = "done"
+	ProgressFailed    = "failed"
+	ProgressCancelled = "cancelled"
+	ProgressBatch     = "batch"
+)
+
+// ProgressCounts is the batch's per-state job census. Every progress
+// event carries the counts as of the transition it describes, so a
+// consumer can render a progress bar statelessly from any single event.
+// Queued+Running+Done+Failed+Cancelled == Total always holds.
+type ProgressCounts struct {
+	Total     int `json:"total"`
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+}
+
+// Terminal reports whether every job of the batch has reached a terminal
+// state.
+func (c ProgressCounts) Terminal() bool { return c.Queued == 0 && c.Running == 0 }
+
+// ProgressEvent is one entry in a batch's progress stream. Like
+// AccessEvent — and unlike RunRecord — progress events are operational
+// telemetry: they carry wall-clock time and are not part of the
+// deterministic report surface. Seq numbers events densely from 0 within
+// one batch, so a consumer that reconnects can detect gaps (the service
+// replays the full log on subscribe, so gaps should never be observed).
+type ProgressEvent struct {
+	Seq    int       `json:"seq"`
+	Time   time.Time `json:"time"`
+	Event  string    `json:"event"`
+	Batch  string    `json:"batch"`
+	Job    string    `json:"job,omitempty"`
+	Client string    `json:"client,omitempty"`
+	// Worker names the fleet worker that served the job, when the serving
+	// runner dispatched it to one (empty for locally simulated jobs).
+	Worker string `json:"worker,omitempty"`
+	// CacheHit marks a completion served from the persistent result cache.
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// QueueWaitMS and RunMS mirror the job view's service latencies and
+	// are set on terminal job events.
+	QueueWaitMS float64        `json:"queue_wait_ms,omitempty"`
+	RunMS       float64        `json:"run_ms,omitempty"`
+	Counts      ProgressCounts `json:"counts"`
+}

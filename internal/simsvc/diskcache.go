@@ -30,6 +30,7 @@ type DiskCache struct {
 	maxBytes int64
 
 	mu        sync.Mutex
+	pinned    map[string]bool // entry paths exempt from eviction
 	hits      uint64
 	misses    uint64
 	evictions uint64
@@ -42,6 +43,7 @@ type DiskCacheStats struct {
 	Entries   int    `json:"entries"`
 	Bytes     int64  `json:"bytes"`
 	MaxBytes  int64  `json:"max_bytes,omitempty"`
+	Pinned    int    `json:"pinned,omitempty"`
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
@@ -80,6 +82,40 @@ func OpenDiskCache(dir string, maxBytes int64) (*DiskCache, error) {
 
 // Dir returns the cache directory.
 func (c *DiskCache) Dir() string { return c.dir }
+
+// Pin exempts the given keys from LRU eviction: evictLocked never
+// removes a pinned entry, however stale its mtime, so the standard-grid
+// results a warmed daemon depends on cannot be churned out by unrelated
+// traffic. Pinning is a property of this process's cache handle, not of
+// the directory: a fresh DiskCache over the same directory starts with
+// nothing pinned. Pinning a key does not require the entry to exist yet —
+// the exemption applies once it is written.
+func (c *DiskCache) Pin(keys ...string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, key := range keys {
+		p, err := c.path(key)
+		if err != nil {
+			return err
+		}
+		if c.pinned == nil {
+			c.pinned = make(map[string]bool)
+		}
+		c.pinned[p] = true
+	}
+	return nil
+}
+
+// Unpin removes keys from the pinned set (unknown keys are ignored).
+func (c *DiskCache) Unpin(keys ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, key := range keys {
+		if p, err := c.path(key); err == nil {
+			delete(c.pinned, p)
+		}
+	}
+}
 
 // path maps a key to its entry file, rejecting anything that is not a
 // plain lowercase-hex key (defense against path escapes from a corrupted
@@ -169,7 +205,15 @@ type entryInfo struct {
 
 // evictLocked removes the least-recently-used entries until the cache
 // fits its bound again. The just-written entry (keep) is never evicted,
-// so a single oversized result cannot churn itself out of the cache.
+// so a single oversized result cannot churn itself out of the cache, and
+// pinned entries (see Pin) are exempt entirely. If everything remaining
+// is pinned, the cache is allowed to exceed its bound.
+//
+// Recency is mtime order. On filesystems with coarse timestamp
+// granularity, entries touched within the same tick compare equal, so
+// ordering on mtime alone would leave the victim choice to ReadDir's
+// directory order; the path tiebreak below pins a deterministic total
+// order (regression-tested in TestDiskCacheEvictionTiebreak).
 func (c *DiskCache) evictLocked(keep string) {
 	if c.maxBytes <= 0 {
 		return
@@ -188,7 +232,7 @@ func (c *DiskCache) evictLocked(keep string) {
 		if total <= c.maxBytes {
 			break
 		}
-		if e.path == keep {
+		if e.path == keep || c.pinned[e.path] {
 			continue
 		}
 		if os.Remove(e.path) == nil {
@@ -234,6 +278,7 @@ func (c *DiskCache) Stats() DiskCacheStats {
 		Entries:   len(entries),
 		Bytes:     total,
 		MaxBytes:  c.maxBytes,
+		Pinned:    len(c.pinned),
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Evictions: c.evictions,

@@ -168,6 +168,112 @@ func TestDiskCacheLRUEviction(t *testing.T) {
 	}
 }
 
+// TestDiskCachePinnedSurvivesEviction: eviction under pressure never
+// removes a pinned entry, however stale — the standard-grid results a
+// warmed daemon depends on cannot be churned out by unrelated traffic.
+func TestDiskCachePinnedSurvivesEviction(t *testing.T) {
+	dir := t.TempDir()
+	probe, err := OpenDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.Put(testKey(0), testRec("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	entrySize := probe.Stats().Bytes
+	os.Remove(filepath.Join(dir, testKey(0)+".json"))
+
+	c, err := OpenDiskCache(dir, 2*entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := testKey(0)
+	if err := c.Pin(pinned); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Pin("../../etc/passwd"); err == nil {
+		t.Fatal("hostile pin key accepted")
+	}
+	// The pinned entry is written first, then made the stalest on disk, so
+	// pure LRU would evict it on every overflow below.
+	if err := c.Put(pinned, testRec("pinned", 1)); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-24 * time.Hour)
+	if err := os.Chtimes(filepath.Join(dir, pinned+".json"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if err := c.Put(testKey(byte(i)), testRec("churn", uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Get(pinned); !ok {
+		t.Fatal("pinned entry evicted under pressure")
+	}
+	if ev := c.Stats().Evictions; ev == 0 {
+		t.Fatal("no eviction happened; the test exerted no pressure")
+	}
+	if st := c.Stats(); st.Pinned != 1 {
+		t.Fatalf("stats report %d pinned entries, want 1", st.Pinned)
+	}
+
+	// Unpin re-exposes the entry to LRU pressure.
+	c.Unpin(pinned)
+	if err := c.Put(testKey(5), testRec("churn", 9)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, pinned+".json")); !os.IsNotExist(err) {
+		t.Fatal("unpinned stale entry survived eviction")
+	}
+}
+
+// TestDiskCacheEvictionTiebreak: entries with identical mtimes (coarse
+// filesystem timestamp granularity collapses distinct write times) are
+// evicted in deterministic path order, not ReadDir directory order.
+func TestDiskCacheEvictionTiebreak(t *testing.T) {
+	dir := t.TempDir()
+	probe, err := OpenDiskCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.Put(testKey(0), testRec("a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	entrySize := probe.Stats().Bytes
+	os.Remove(filepath.Join(dir, testKey(0)+".json"))
+
+	c, err := OpenDiskCache(dir, 4*entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four entries, all with the same mtime. testKey produces repeated
+	// 'a'..'f' runs, so lexical order == key-byte order.
+	keys := []string{testKey(3), testKey(1), testKey(2), testKey(0)}
+	same := time.Now().Add(-time.Hour).Truncate(time.Second)
+	for _, k := range keys {
+		if err := c.Put(k, testRec("a", 1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(filepath.Join(dir, k+".json"), same, same); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One more entry overflows the bound by one: with every candidate's
+	// mtime equal, exactly the lexically smallest path must be evicted.
+	if err := c.Put(testKey(4), testRec("a", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, testKey(0)+".json")); !os.IsNotExist(err) {
+		t.Fatal("tiebreak did not evict the lexically smallest same-mtime entry")
+	}
+	for _, k := range []string{testKey(1), testKey(2), testKey(3), testKey(4)} {
+		if _, err := os.Stat(filepath.Join(dir, k+".json")); err != nil {
+			t.Fatalf("entry %s... evicted out of tiebreak order: %v", k[:8], err)
+		}
+	}
+}
+
 // TestDiskCacheRejectsHostileKeys: keys that are not plain hex cannot
 // escape the cache directory.
 func TestDiskCacheRejectsHostileKeys(t *testing.T) {

@@ -89,16 +89,10 @@ func newScheduler(mu *sync.Mutex, maxTotal int, clients []TenantConfig, defQueue
 		byName:   make(map[string]*tenant),
 		maxTotal: maxTotal,
 	}
+	if err := validateClients(clients); err != nil {
+		return nil, err
+	}
 	for _, c := range clients {
-		if c.Name == "" {
-			return nil, fmt.Errorf("simsvc: client with empty name")
-		}
-		if c.Token == "" {
-			return nil, fmt.Errorf("simsvc: client %q has an empty token", c.Name)
-		}
-		if c.Weight < 0 || c.Weight > maxWeight {
-			return nil, fmt.Errorf("simsvc: client %q weight %d out of range [0,%d]", c.Name, c.Weight, maxWeight)
-		}
 		t := &tenant{
 			name:        c.Name,
 			token:       c.Token,
@@ -111,12 +105,6 @@ func newScheduler(mu *sync.Mutex, maxTotal int, clients []TenantConfig, defQueue
 		}
 		if t.maxInFlight <= 0 {
 			t.maxInFlight = defInFlight
-		}
-		if _, dup := sc.byName[t.name]; dup {
-			return nil, fmt.Errorf("simsvc: duplicate client name %q", t.name)
-		}
-		if _, dup := sc.byToken[t.token]; dup {
-			return nil, fmt.Errorf("simsvc: duplicate client token (client %q)", t.name)
 		}
 		sc.byName[t.name] = t
 		sc.byToken[t.token] = t
@@ -136,31 +124,41 @@ func (e *quotaError) Error() string { return e.msg }
 
 // admitLocked checks whether tenant t may enqueue n more jobs. It
 // reserves nothing; the caller pushes under the same critical section.
+//
+// Each rejection's Retry-After hint is derived from the queue depth of
+// the constraint that rejected: a tenant over its own quota waits for its
+// own backlog to drain, not the whole machine's. (It used to be computed
+// from the global backlog for both constraints, so a tenant blocked only
+// by its own small queue got a wildly pessimistic hint whenever another
+// tenant's backlog was deep.)
 func (sc *Scheduler) admitLocked(t *tenant, n int, workers int) error {
 	if free := t.maxQueued - len(t.queue); n > free {
 		return &quotaError{
 			msg: fmt.Sprintf("client %q queue quota exceeded (%d queued, %d free, batch of %d)",
 				t.name, len(t.queue), free, n),
-			retry: sc.retryAfterLocked(workers),
+			retry: retryEstimate(len(t.queue), min(workers, t.maxInFlight)),
 		}
 	}
 	if free := sc.maxTotal - sc.totalQueued; n > free {
 		return &quotaError{
 			msg: fmt.Sprintf("job queue full (%d queued, %d free, batch of %d)",
 				sc.totalQueued, free, n),
-			retry: sc.retryAfterLocked(workers),
+			retry: retryEstimate(sc.totalQueued, workers),
 		}
 	}
 	return nil
 }
 
-// retryAfterLocked estimates seconds until queue space is likely,
-// assuming roughly one job per worker per second.
-func (sc *Scheduler) retryAfterLocked(workers int) int {
-	if workers <= 0 {
-		workers = 1
+// retryEstimate estimates seconds until queued jobs ahead of the caller
+// drain, assuming roughly one job per second per drain slot. queued is
+// the rejecting constraint's own backlog; slots is its drain parallelism
+// (the worker pool for the global bound, the tenant's usable in-flight
+// share for a per-tenant bound).
+func retryEstimate(queued, slots int) int {
+	if slots <= 0 {
+		slots = 1
 	}
-	return sc.totalQueued/workers + 1
+	return queued/slots + 1
 }
 
 // pushLocked appends jobs to t's queue and wakes waiting workers. A
@@ -261,6 +259,91 @@ func (sc *Scheduler) purgeLocked() {
 func (sc *Scheduler) drainLocked() {
 	sc.draining = true
 	sc.cond.Broadcast()
+}
+
+// validateClients checks a tenant-configuration set for the errors
+// newScheduler reports: empty names or tokens, out-of-range weights,
+// duplicate names or tokens. Shared by construction and live reload.
+func validateClients(clients []TenantConfig) error {
+	names := make(map[string]bool, len(clients))
+	tokens := make(map[string]bool, len(clients))
+	for _, c := range clients {
+		if c.Name == "" {
+			return fmt.Errorf("simsvc: client with empty name")
+		}
+		if c.Token == "" {
+			return fmt.Errorf("simsvc: client %q has an empty token", c.Name)
+		}
+		if c.Weight < 0 || c.Weight > maxWeight {
+			return fmt.Errorf("simsvc: client %q weight %d out of range [0,%d]", c.Name, c.Weight, maxWeight)
+		}
+		if names[c.Name] {
+			return fmt.Errorf("simsvc: duplicate client name %q", c.Name)
+		}
+		if tokens[c.Token] {
+			return fmt.Errorf("simsvc: duplicate client token (client %q)", c.Name)
+		}
+		names[c.Name] = true
+		tokens[c.Token] = true
+	}
+	return nil
+}
+
+// reloadLocked atomically replaces the tenant table with a new client
+// set, without disturbing scheduling state: surviving tenants (matched by
+// name) keep their queues, in-flight counts, counters, and fairness pass
+// — only their token, weight, and quota caps change — and new tenants
+// join at the current virtual time, exactly as a freshly-submitting
+// tenant would. Tenants absent from the new set are removed only if they
+// are idle; a reload that would orphan a tenant with queued or in-flight
+// work is rejected wholesale, leaving the old table in place.
+func (sc *Scheduler) reloadLocked(clients []TenantConfig, defQueued, defInFlight int) error {
+	if len(clients) == 0 {
+		return fmt.Errorf("simsvc: reload with no clients would lock every caller out")
+	}
+	if err := validateClients(clients); err != nil {
+		return err
+	}
+	keep := make(map[string]bool, len(clients))
+	for _, c := range clients {
+		keep[c.Name] = true
+	}
+	for _, t := range sc.order {
+		if !keep[t.name] && (len(t.queue) > 0 || t.running > 0) {
+			return fmt.Errorf("simsvc: reload would orphan client %q (%d queued, %d in flight)",
+				t.name, len(t.queue), t.running)
+		}
+	}
+
+	byName := make(map[string]*tenant, len(clients))
+	byToken := make(map[string]*tenant, len(clients))
+	order := make([]*tenant, 0, len(clients))
+	for _, c := range clients {
+		t, ok := sc.byName[c.Name]
+		if !ok {
+			t = &tenant{name: c.Name, pass: sc.vtime}
+		}
+		t.token = c.Token
+		t.weight = max(c.Weight, 1)
+		t.maxQueued = c.MaxQueued
+		t.maxInFlight = c.MaxInFlight
+		if t.maxQueued <= 0 {
+			t.maxQueued = defQueued
+		}
+		if t.maxInFlight <= 0 {
+			t.maxInFlight = defInFlight
+		}
+		byName[t.name] = t
+		byToken[t.token] = t
+		order = append(order, t)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].name < order[j].name })
+	sc.byName = byName
+	sc.byToken = byToken
+	sc.order = order
+	// Quota caps may have loosened: wake workers to re-evaluate eligibility.
+	sc.cond.Broadcast()
+	return nil
 }
 
 // tenantViewLocked renders one tenant's metrics snapshot.

@@ -205,6 +205,128 @@ func TestSchedulerAdmitQuotas(t *testing.T) {
 	}
 }
 
+// TestSchedulerRetryAfterUsesRejectingConstraint: regression for the
+// Retry-After hint being computed from the global backlog for both
+// constraints. A tenant rejected only by its own (empty or small) queue
+// must get a hint sized to its own backlog, even while another tenant
+// holds hundreds of queued jobs; a global-bound rejection still scales
+// with the global backlog.
+func TestSchedulerRetryAfterUsesRejectingConstraint(t *testing.T) {
+	sc, mu := newTestSched(t, 1000, []TenantConfig{
+		{Name: "small", Token: "ts", MaxQueued: 2},
+		{Name: "deep", Token: "td", MaxQueued: 500},
+	}, 4, 4)
+	small, deep := sc.byName["small"], sc.byName["deep"]
+	mu.Lock()
+	defer mu.Unlock()
+	sc.pushLocked(deep, queuedJobs(deep, 400))
+
+	var qe *quotaError
+	err := sc.admitLocked(small, 3, 2) // over small's own quota; its queue is empty
+	if !errors.As(err, &qe) {
+		t.Fatalf("want quota error, got %v", err)
+	}
+	if qe.retry > 2 {
+		t.Fatalf("tenant-quota Retry-After %ds reflects the other tenant's backlog (want <=2s: own queue is empty)", qe.retry)
+	}
+
+	err = sc.admitLocked(deep, 700, 2) // over the global bound
+	if !errors.As(err, &qe) {
+		t.Fatalf("want quota error, got %v", err)
+	}
+	if qe.retry < 100 {
+		t.Fatalf("global-bound Retry-After %ds ignores the %d-deep global backlog", qe.retry, sc.totalQueued)
+	}
+}
+
+// TestSchedulerReload: a live reload rotates tokens and retunes weights
+// and quotas without touching scheduling state — surviving tenants keep
+// their queues, in-flight counts, counters, and fairness pass; removed
+// idle tenants disappear; new tenants join at the current virtual time.
+func TestSchedulerReload(t *testing.T) {
+	sc, mu := newTestSched(t, 100, []TenantConfig{
+		{Name: "a", Token: "tokA1"},
+		{Name: "b", Token: "tokB1"},
+	}, 10, 4)
+	a := sc.byName["a"]
+	mu.Lock()
+	defer mu.Unlock()
+	sc.pushLocked(a, queuedJobs(a, 3))
+	a.completed = 7
+	passBefore := a.pass
+
+	err := sc.reloadLocked([]TenantConfig{
+		{Name: "a", Token: "tokA2", Weight: 5, MaxQueued: 20},
+		{Name: "c", Token: "tokC1"},
+	}, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.byName["a"] != a {
+		t.Fatal("surviving tenant was rebuilt, losing accounting")
+	}
+	if sc.byToken["tokA1"] != nil || sc.byToken["tokA2"] != a {
+		t.Fatal("token rotation not applied")
+	}
+	if a.weight != 5 || a.maxQueued != 20 || a.maxInFlight != 4 {
+		t.Fatalf("reload config not applied: weight=%d maxQueued=%d maxInFlight=%d", a.weight, a.maxQueued, a.maxInFlight)
+	}
+	if len(a.queue) != 3 || a.completed != 7 || a.pass != passBefore {
+		t.Fatal("reload disturbed queue/counters/fairness pass")
+	}
+	if sc.byName["b"] != nil || sc.byToken["tokB1"] != nil {
+		t.Fatal("removed idle tenant still resolvable")
+	}
+	c := sc.byName["c"]
+	if c == nil || c.pass != sc.vtime {
+		t.Fatalf("new tenant missing or banked credit (pass=%d vtime=%d)", c.pass, sc.vtime)
+	}
+}
+
+// TestSchedulerReloadRejectsOrphans: a reload dropping a tenant with
+// queued or in-flight work is rejected wholesale, old table intact.
+func TestSchedulerReloadRejectsOrphans(t *testing.T) {
+	sc, mu := newTestSched(t, 100, []TenantConfig{
+		{Name: "a", Token: "tokA"},
+		{Name: "b", Token: "tokB"},
+	}, 10, 4)
+	a := sc.byName["a"]
+	mu.Lock()
+	defer mu.Unlock()
+	sc.pushLocked(a, queuedJobs(a, 1))
+
+	newSet := []TenantConfig{{Name: "b", Token: "tokB2"}}
+	if err := sc.reloadLocked(newSet, 10, 4); err == nil {
+		t.Fatal("reload orphaning a queued tenant accepted")
+	}
+	if sc.byName["a"] != a || sc.byToken["tokA"] != a || sc.byToken["tokB2"] != nil {
+		t.Fatal("rejected reload modified the tenant table")
+	}
+
+	// Same with only in-flight (no queued) work.
+	if j := sc.nextLocked(); j == nil || j.tenant != a {
+		t.Fatal("setup: could not start a's job")
+	}
+	if err := sc.reloadLocked(newSet, 10, 4); err == nil {
+		t.Fatal("reload orphaning an in-flight tenant accepted")
+	}
+	sc.doneLocked(a)
+	if err := sc.reloadLocked(newSet, 10, 4); err != nil {
+		t.Fatalf("reload after the tenant went idle still rejected: %v", err)
+	}
+
+	// Invalid sets are rejected too.
+	for _, bad := range [][]TenantConfig{
+		nil,
+		{{Name: "x", Token: ""}},
+		{{Name: "x", Token: "t"}, {Name: "y", Token: "t"}},
+	} {
+		if err := sc.reloadLocked(bad, 10, 4); err == nil {
+			t.Fatalf("invalid reload %+v accepted", bad)
+		}
+	}
+}
+
 // TestSchedulerSyncSlots: synchronous runs consume the same in-flight
 // slots as batch jobs.
 func TestSchedulerSyncSlots(t *testing.T) {

@@ -78,6 +78,7 @@ type jobEntry struct {
 	state    string
 	errMsg   string
 	cacheHit bool
+	worker   string // fleet worker that served the job ("" = local)
 	rec      *obs.RunRecord
 
 	enqueued time.Time
@@ -133,6 +134,7 @@ type Server struct {
 	started  bool
 	jobs     map[string]*jobEntry
 	batches  map[string][]*jobEntry
+	progress map[string]*progressLog
 	batchSeq int
 	jobSeq   int
 	busy     int
@@ -180,6 +182,7 @@ func NewServer(cfg ServerConfig, runner JobRunner) (*Server, error) {
 		baseCancel: cancel,
 		jobs:       make(map[string]*jobEntry),
 		batches:    make(map[string][]*jobEntry),
+		progress:   make(map[string]*progressLog),
 	}
 	clients := cfg.Clients
 	s.authRequired = len(clients) > 0
@@ -211,6 +214,85 @@ func (s *Server) Start() {
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+}
+
+// progressLog is one batch's append-only progress-event history
+// (schema fac/progress/v1). Events are immutable once appended, so a
+// streaming subscriber snapshots a slice under the server mutex and
+// writes it out without holding the lock. wake is closed and replaced
+// on every append; subscribers select on the channel they last saw.
+type progressLog struct {
+	events []obs.ProgressEvent
+	counts obs.ProgressCounts
+	wake   chan struct{}
+	done   bool // terminal batch summary has been emitted
+}
+
+// applyLocked folds one job transition into the batch census.
+func (pl *progressLog) applyLocked(kind string, j *jobEntry) {
+	c := &pl.counts
+	switch kind {
+	case obs.ProgressQueued:
+		c.Total++
+		c.Queued++
+	case obs.ProgressRunning:
+		c.Queued--
+		c.Running++
+	case obs.ProgressDone:
+		c.Running--
+		c.Done++
+	case obs.ProgressFailed:
+		c.Running--
+		c.Failed++
+	case obs.ProgressCancelled:
+		if j.started.IsZero() {
+			c.Queued--
+		} else {
+			c.Running--
+		}
+		c.Cancelled++
+	}
+}
+
+// appendProgressLocked stamps and stores one event, then wakes every
+// subscriber. Call with the server mutex held.
+func (pl *progressLog) appendProgressLocked(batch string, e obs.ProgressEvent) {
+	e.Seq = len(pl.events)
+	e.Time = time.Now()
+	e.Batch = batch
+	e.Counts = pl.counts
+	pl.events = append(pl.events, e)
+	close(pl.wake)
+	pl.wake = make(chan struct{})
+}
+
+// publishJobLocked records one job transition in the batch's progress
+// stream and, when it is the batch's last terminal transition, follows
+// it with the single "batch" summary event. Call with the mutex held.
+func (s *Server) publishJobLocked(j *jobEntry, kind string) {
+	pl := s.progress[j.batch]
+	if pl == nil {
+		return
+	}
+	pl.applyLocked(kind, j)
+	e := obs.ProgressEvent{
+		Event:    kind,
+		Job:      j.id,
+		Client:   j.tenant.name,
+		Worker:   j.worker,
+		CacheHit: j.cacheHit,
+		Error:    j.errMsg,
+	}
+	switch kind {
+	case obs.ProgressDone, obs.ProgressFailed, obs.ProgressCancelled:
+		e.QueueWaitMS = durMS(j.queueWait())
+		e.RunMS = durMS(j.runTime())
+	}
+	pl.appendProgressLocked(j.batch, e)
+	if !pl.done && pl.counts.Total > 0 && pl.counts.Terminal() {
+		pl.done = true
+		pl.appendProgressLocked(j.batch, obs.ProgressEvent{Event: obs.ProgressBatch, Client: j.tenant.name})
 	}
 }
 
@@ -246,6 +328,7 @@ func (s *Server) runJob(j *jobEntry) {
 		j.finished = time.Now()
 		s.cancelled++
 		j.tenant.completed++
+		s.publishJobLocked(j, obs.ProgressCancelled)
 		s.mu.Unlock()
 		s.completeEvent(j)
 		return
@@ -253,6 +336,7 @@ func (s *Server) runJob(j *jobEntry) {
 	j.state = StateRunning
 	j.started = time.Now()
 	s.busy++
+	s.publishJobLocked(j, obs.ProgressRunning)
 	s.mu.Unlock()
 
 	ctx := j.ctx
@@ -261,12 +345,17 @@ func (s *Server) runJob(j *jobEntry) {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
 		defer cancel()
 	}
+	// The worker note lets a dispatching runner (the fleet coordinator)
+	// attribute the run to the remote worker that served it.
+	ctx, note := WithWorkerNote(ctx)
 	rec, hit, err := s.runner.Run(ctx, j.spec)
 
 	s.mu.Lock()
 	s.busy--
 	j.finished = time.Now()
 	j.tenant.completed++
+	j.worker = note.Get()
+	kind := obs.ProgressDone
 	switch {
 	case err == nil:
 		j.state = StateDone
@@ -283,11 +372,14 @@ func (s *Server) runJob(j *jobEntry) {
 		j.state = StateCancelled
 		j.errMsg = err.Error()
 		s.cancelled++
+		kind = obs.ProgressCancelled
 	default:
 		j.state = StateFailed
 		j.errMsg = err.Error()
 		s.failed++
+		kind = obs.ProgressFailed
 	}
+	s.publishJobLocked(j, kind)
 	s.mu.Unlock()
 	s.completeEvent(j)
 }
@@ -376,7 +468,8 @@ func (s *Server) tenantFrom(r *http.Request) *tenant {
 // authenticate resolves the request's tenant. With no configured
 // clients every request maps to the anonymous tenant; otherwise the
 // Authorization header must carry a configured bearer token. The token
-// table is immutable after construction, so no lock is taken.
+// table is consulted under the server mutex because ReloadClients can
+// swap it at any time.
 func (s *Server) authenticate(r *http.Request) (*tenant, error) {
 	if !s.authRequired {
 		return s.anon, nil
@@ -389,11 +482,30 @@ func (s *Server) authenticate(r *http.Request) (*tenant, error) {
 	if !ok {
 		return nil, errors.New("malformed Authorization header (want \"Bearer <token>\")")
 	}
+	s.mu.Lock()
 	t, ok := s.sched.byToken[tok]
+	s.mu.Unlock()
 	if !ok {
 		return nil, errors.New("unknown token")
 	}
 	return t, nil
+}
+
+// ReloadClients atomically replaces the tenant table (token rotation,
+// weight or quota changes, tenant addition/removal) without a restart.
+// Queued and in-flight jobs are untouched: tenants surviving the reload
+// keep their queues, fairness passes, and counters, and a reload that
+// would remove a tenant with queued or running work is rejected wholesale
+// (drain or cancel that tenant's jobs first). Only servers started with
+// configured clients can reload — an open server has no tenant table to
+// swap.
+func (s *Server) ReloadClients(clients []TenantConfig) error {
+	if !s.authRequired {
+		return errors.New("simsvc: cannot reload clients on an open (unauthenticated) server")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sched.reloadLocked(clients, s.cfg.DefaultMaxQueued, s.cfg.DefaultMaxInFlight)
 }
 
 // statusWriter captures the response status for access logging.
@@ -416,6 +528,14 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying writer so the progress stream can
+// push events through the logging wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // Handler returns the HTTP API. Every endpoint except the operational
 // pair (/healthz, /metrics) authenticates the caller, bounds the request
 // body, and is access-logged.
@@ -424,6 +544,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batches", s.handleSubmit)
 	mux.HandleFunc("GET /v1/batches/{id}", s.handleBatch)
 	mux.HandleFunc("GET /v1/batches/{id}/report", s.handleBatchReport)
+	mux.HandleFunc("GET /v1/batches/{id}/events", s.handleBatchEvents)
 	mux.HandleFunc("DELETE /v1/batches/{id}", s.handleBatchCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("POST /v1/run", s.handleRunSync)
@@ -609,6 +730,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.submitted++
 	}
 	s.batches[batchID] = entries
+	s.progress[batchID] = &progressLog{wake: make(chan struct{})}
+	for _, j := range entries {
+		s.publishJobLocked(j, obs.ProgressQueued)
+	}
 	s.sched.pushLocked(t, entries)
 	s.mu.Unlock()
 
@@ -629,6 +754,7 @@ type jobView struct {
 	Machine   string `json:"machine"`
 	State     string `json:"state"`
 	CacheHit  bool   `json:"cache_hit,omitempty"`
+	Worker    string `json:"worker,omitempty"`
 	Error     string `json:"error,omitempty"`
 	// QueueWaitMS and RunMS are wall-clock service latencies, reported
 	// once the job has started (and finished, respectively).
@@ -649,6 +775,7 @@ func (j *jobEntry) viewLocked(includeRecord bool) jobView {
 		Machine:     j.spec.Machine,
 		State:       j.state,
 		CacheHit:    j.cacheHit,
+		Worker:      j.worker,
 		Error:       j.errMsg,
 		QueueWaitMS: durMS(j.queueWait()),
 		RunMS:       durMS(j.runTime()),
@@ -760,6 +887,7 @@ func (s *Server) handleBatchCancel(w http.ResponseWriter, r *http.Request) {
 			s.cancelled++
 			j.tenant.completed++
 			j.cancel()
+			s.publishJobLocked(j, obs.ProgressCancelled)
 			done = append(done, j)
 			n++
 		case StateRunning:
@@ -776,6 +904,77 @@ func (s *Server) handleBatchCancel(w http.ResponseWriter, r *http.Request) {
 		s.completeEvent(j)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"batch": id, "cancelling": n})
+}
+
+// handleBatchEvents streams the batch's progress log as server-sent
+// events (schema fac/progress/v1): the full history replays on
+// subscribe, then live events follow until the batch's terminal summary,
+// which ends the stream. The connection is held open by the subscriber,
+// not by any worker — publishers only append under the mutex and close a
+// wake channel, so a slow consumer can never stall a simulation.
+func (s *Server) handleBatchEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := parseID('b', id); !ok {
+		writeErr(w, http.StatusNotFound, "malformed batch id %q", id)
+		return
+	}
+	s.mu.Lock()
+	pl, ok := s.progress[id]
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown batch %q", id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	// The schema is announced once, in the opening hello event.
+	fmt.Fprintf(w, "event: hello\ndata: {\"schema\":%q,\"batch\":%q}\n\n", obs.ProgressEventSchema, id)
+	fl.Flush()
+
+	idx := 0
+	for {
+		s.mu.Lock()
+		pending := pl.events[idx:] // elements are immutable once appended
+		wake := pl.wake
+		finished := pl.done
+		s.mu.Unlock()
+		for _, e := range pending {
+			data, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: progress\ndata: %s\n\n", data); err != nil {
+				return
+			}
+		}
+		if len(pending) > 0 {
+			fl.Flush()
+			idx += len(pending)
+		}
+		if finished && len(pending) == 0 {
+			return
+		}
+		if finished {
+			continue // drain whatever raced in, then hit the branch above
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-wake:
+		case <-time.After(15 * time.Second):
+			// Keepalive comment so idle streams survive intermediaries.
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -869,6 +1068,25 @@ func (s *Server) handleRunSync(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// WorkerStatus is one fleet worker's health and dispatch census,
+// surfaced in /metrics when the server's runner is a fleet dispatcher.
+// It lives in this package (not internal/fleet) so the server can name
+// the interface without importing the fleet layer built on top of it.
+type WorkerStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Shard ownership: how many ring slots map to this worker is an
+	// implementation detail; Dispatched counts jobs actually sent here.
+	Dispatched uint64 `json:"dispatched"`
+	Completed  uint64 `json:"completed"`
+	Failed     uint64 `json:"failed"`
+	// Stolen counts jobs this worker owned that another worker finished
+	// (failover or hedged dispatch won elsewhere).
+	Stolen uint64 `json:"stolen"`
+	// Hedges counts backup dispatches launched here for straggling owners.
+	Hedges uint64 `json:"hedges"`
+}
+
 // runSummary is one finished job's stall/latency digest in /metrics.
 type runSummary struct {
 	Job             string             `json:"job"`
@@ -945,6 +1163,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if dc, ok := s.runner.(interface{ DedupCount() uint64 }); ok {
 		m["dedup_shared"] = dc.DedupCount()
+	}
+	if fs, ok := s.runner.(interface{ FleetStats() []WorkerStatus }); ok {
+		m["fleet"] = fs.FleetStats()
 	}
 	writeJSON(w, http.StatusOK, m)
 }

@@ -1,6 +1,7 @@
 package simsvc
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -961,5 +962,143 @@ func TestServerPerClientMetrics(t *testing.T) {
 	jv := decode[jobView](t, jresp)
 	if jv.Client != "alice" || jv.State != StateDone {
 		t.Fatalf("job view %+v", jv)
+	}
+}
+
+// sseEvent is one parsed server-sent event (name + data line).
+type sseEvent struct {
+	name string
+	data string
+}
+
+// readSSE subscribes to a batch's progress stream and reads events until
+// the server ends the stream (after the terminal batch event).
+func readSSE(t *testing.T, base, batch string) []sseEvent {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/batches/" + batch + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	var events []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.name != "" || cur.data != "" {
+				events = append(events, cur)
+				cur = sseEvent{}
+			}
+		}
+	}
+	return events
+}
+
+// TestServerProgressStream: the SSE endpoint announces the schema in a
+// hello event, streams every per-job transition live with densely
+// numbered Seq and coherent counts, and terminates the stream with the
+// batch summary exactly when the last job lands.
+func TestServerProgressStream(t *testing.T) {
+	runner := &stubRunner{block: make(chan struct{})}
+	_, base := newTestServer(t, ServerConfig{Workers: 1}, runner)
+	sub := decode[submitResponse](t, postJSON(t, base+"/v1/batches", submitRequest{Jobs: []JobSpec{
+		{Workload: "alpha", Toolchain: "base", Machine: "base32"},
+		{Workload: "fail-beta", Toolchain: "base", Machine: "base32"},
+	}}))
+
+	// Subscribe while the first job is still blocked, then release both:
+	// the subscriber sees queued history replayed and the rest live.
+	done := make(chan []sseEvent)
+	go func() { done <- readSSE(t, base, sub.Batch) }()
+	time.Sleep(50 * time.Millisecond)
+	close(runner.block)
+	var events []sseEvent
+	select {
+	case events = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("progress stream did not terminate after the batch finished")
+	}
+
+	if len(events) == 0 || events[0].name != "hello" {
+		t.Fatalf("stream did not open with hello: %+v", events)
+	}
+	if !strings.Contains(events[0].data, obs.ProgressEventSchema) {
+		t.Fatalf("hello does not announce the schema: %s", events[0].data)
+	}
+	var progress []obs.ProgressEvent
+	for _, e := range events[1:] {
+		if e.name != "progress" {
+			t.Fatalf("unexpected event %q", e.name)
+		}
+		var pe obs.ProgressEvent
+		if err := json.Unmarshal([]byte(e.data), &pe); err != nil {
+			t.Fatalf("bad progress payload %s: %v", e.data, err)
+		}
+		progress = append(progress, pe)
+	}
+	kinds := make(map[string]int)
+	for i, pe := range progress {
+		if pe.Seq != i {
+			t.Fatalf("event %d has seq %d (want dense numbering)", i, pe.Seq)
+		}
+		if pe.Batch != sub.Batch {
+			t.Fatalf("event %d batch %q", i, pe.Batch)
+		}
+		if got := pe.Counts.Queued + pe.Counts.Running + pe.Counts.Done + pe.Counts.Failed + pe.Counts.Cancelled; got != pe.Counts.Total {
+			t.Fatalf("event %d counts do not sum to total: %+v", i, pe.Counts)
+		}
+		kinds[pe.Event]++
+	}
+	want := map[string]int{
+		obs.ProgressQueued:  2,
+		obs.ProgressRunning: 2,
+		obs.ProgressDone:    1,
+		obs.ProgressFailed:  1,
+		obs.ProgressBatch:   1,
+	}
+	for k, n := range want {
+		if kinds[k] != n {
+			t.Fatalf("saw %d %q events, want %d (all: %v)", kinds[k], k, n, kinds)
+		}
+	}
+	last := progress[len(progress)-1]
+	if last.Event != obs.ProgressBatch || !last.Counts.Terminal() || last.Counts.Done != 1 || last.Counts.Failed != 1 {
+		t.Fatalf("stream did not end with the terminal batch summary: %+v", last)
+	}
+	for _, pe := range progress {
+		if pe.Event == obs.ProgressFailed && !strings.Contains(pe.Error, "simulated failure") {
+			t.Fatalf("failed event lost its error: %+v", pe)
+		}
+	}
+
+	// A late subscriber replays the identical history and the stream ends
+	// immediately — the log is append-only and complete after terminal.
+	replay := readSSE(t, base, sub.Batch)
+	if len(replay) != len(events) {
+		t.Fatalf("late replay has %d events, live stream had %d", len(replay), len(events))
+	}
+
+	// Unknown and malformed batch ids 404.
+	for _, id := range []string{"b999999", "nonsense"} {
+		resp, err := http.Get(base + "/v1/batches/" + id + "/events")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("events for %q returned %d, want 404", id, resp.StatusCode)
+		}
 	}
 }

@@ -156,6 +156,63 @@ func (r *Runner) CacheStats() (DiskCacheStats, bool) {
 	return r.Cache.Stats(), true
 }
 
+// Key derives the content-addressed cache key of a spec by resolving it
+// the same way Run does. This is the fleet's shard key and the deps
+// log's run-node hash: every consumer of "the identity of this run"
+// goes through here, so sharding, dedup, caching, and incremental
+// rebuilds all agree on what "the same run" means.
+func (r *Runner) Key(spec JobSpec) (string, error) {
+	w, err := workload.ByName(spec.Workload)
+	if err != nil {
+		return "", err
+	}
+	if r.Resolve == nil {
+		return "", errors.New("simsvc: runner has no machine resolver")
+	}
+	cfg, err := r.Resolve(spec.Machine)
+	if err != nil {
+		return "", err
+	}
+	maxInsts := spec.MaxInsts
+	if maxInsts == 0 {
+		maxInsts = r.MaxInsts
+	}
+	if maxInsts == 0 {
+		maxInsts = DefaultMaxInsts
+	}
+	return CacheKey(w, spec.Toolchain, spec.Machine, cfg, maxInsts)
+}
+
+// Warm pre-populates and pins the given specs in the persistent cache:
+// each spec is simulated (or served from cache) via the normal Run path,
+// then its key is pinned so LRU eviction under later cache pressure can
+// never churn out the entries every rerun depends on. It returns how
+// many runs were freshly simulated versus already cached.
+func (r *Runner) Warm(ctx context.Context, specs []JobSpec) (simulated, hits int, err error) {
+	if r.Cache == nil {
+		return 0, 0, errors.New("simsvc: warm requires a persistent cache")
+	}
+	for _, spec := range specs {
+		key, err := r.Key(spec)
+		if err != nil {
+			return simulated, hits, err
+		}
+		_, hit, err := r.Run(ctx, spec)
+		if err != nil {
+			return simulated, hits, fmt.Errorf("simsvc: warm %s: %w", spec, err)
+		}
+		if hit {
+			hits++
+		} else {
+			simulated++
+		}
+		if err := r.Cache.Pin(key); err != nil {
+			return simulated, hits, err
+		}
+	}
+	return simulated, hits, nil
+}
+
 // Run executes one job. cacheHit reports that the record came from the
 // persistent cache rather than a fresh simulation. ctx cancellation or
 // deadline aborts the simulation's cycle loop promptly; the error then

@@ -25,6 +25,12 @@
 #                                    a mid-soak SIGTERM; asserts weighted-fair
 #                                    scheduling, bounded p99 queue wait, and
 #                                    the drop-free drain accounting identity)
+#   fleet smoke               ~20s  (cmd/facload -fleet: coordinator + 2
+#                                    worker daemons, one SIGKILLed mid-batch;
+#                                    asserts zero lost jobs, work on every
+#                                    shard, report bytes identical to a
+#                                    stand-alone daemon, and the coordinator's
+#                                    own SIGTERM drain identity)
 #   bench smoke               ~20s  (one BenchmarkPipeline iteration with
 #                                    BENCH_OUT redirected to a scratch file;
 #                                    scripts/benchsmoke checks the report
@@ -80,6 +86,9 @@ go run ./scripts/facdsmoke
 
 echo "== facload smoke =="
 go run ./cmd/facload -tenants 3 -duration 5s
+
+echo "== fleet smoke =="
+go run ./cmd/facload -fleet
 
 echo "== bench smoke =="
 bench_out=$(mktemp)

@@ -1,11 +1,13 @@
 // Command facdsmoke is the CI smoke test for the facd daemon: it builds
 // facd, boots it on an ephemeral port with a fresh result cache and one
-// authenticated tenant with deliberately tight limits, submits a tiny
-// batch, verifies the returned RunRecord report, re-submits the batch to
-// prove it is served from the persistent cache, probes the multi-tenant
-// hardening surface (unauthenticated request, over-quota burst,
-// oversized body, malformed job id), then sends SIGTERM and asserts a
-// clean drain (exit 0). Run from the repo root:
+// authenticated tenant (via -clients-file) with deliberately tight
+// limits, submits a tiny batch, verifies the returned RunRecord report,
+// re-submits the batch to prove it is served from the persistent cache,
+// reads the batch's SSE progress stream (fac/progress/v1), probes the
+// multi-tenant hardening surface (unauthenticated request, over-quota
+// burst, oversized body, malformed job id), rotates the tenant's token
+// through a SIGHUP reload, then sends SIGTERM and asserts a clean drain
+// (exit 0). Run from the repo root:
 //
 //	go run ./scripts/facdsmoke
 package main
@@ -15,6 +17,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -49,12 +52,18 @@ func run() error {
 	}
 
 	// One authenticated tenant with a tight queue quota and body limit, so
-	// the hardening probes below have deterministic trip points.
+	// the hardening probes below have deterministic trip points. The
+	// tenant table comes from a file so the SIGHUP reload probe can rotate
+	// the token live.
+	clientsFile := filepath.Join(tmp, "clients.conf")
+	if err := os.WriteFile(clientsFile, []byte("# facdsmoke tenants\nsmoke:smoketoken:1\n"), 0o644); err != nil {
+		return err
+	}
 	daemon := exec.Command(bin,
 		"-addr", "127.0.0.1:0",
 		"-cache", filepath.Join(tmp, "cache"),
 		"-max-insts", "5000000",
-		"-clients", "smoke:smoketoken:1",
+		"-clients-file", clientsFile,
 		"-max-queued-per-client", "2",
 		"-max-body-bytes", "4096",
 	)
@@ -215,6 +224,35 @@ func run() error {
 		return fmt.Errorf("resubmitted batch was not served from cache")
 	}
 
+	// SSE progress stream: subscribing to the finished batch must replay
+	// its full fac/progress/v1 history — hello with the schema, the job's
+	// cache-served completion, and the terminal batch summary — then end
+	// the stream (so ReadAll returns).
+	sresp, err := do("GET", base+"/v1/batches/"+id2+"/events", "")
+	if err != nil {
+		return err
+	}
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		sresp.Body.Close()
+		return fmt.Errorf("events content type %q, want text/event-stream", ct)
+	}
+	stream, err := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		"event: hello",
+		obs.ProgressEventSchema,
+		`"event":"done"`,
+		`"cache_hit":true`,
+		`"event":"batch"`,
+	} {
+		if !strings.Contains(string(stream), want) {
+			return fmt.Errorf("progress stream missing %q:\n%s", want, stream)
+		}
+	}
+
 	// Hardening probes: each abuse pattern must be refused with the right
 	// status, and none of them may disturb the daemon (the clean drain
 	// below is the proof).
@@ -263,6 +301,57 @@ func run() error {
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusNotFound {
 		return fmt.Errorf("malformed job id got %d, want 404", resp2.StatusCode)
+	}
+
+	// SIGHUP reload: rotate the tenant's token in the clients file and
+	// reload live. The old token must stop working, the new one must
+	// work, and nothing restarts (the clean drain below is from the same
+	// process).
+	if err := os.WriteFile(clientsFile, []byte("smoke:rotatedtoken:1\n"), 0o644); err != nil {
+		return err
+	}
+	if err := daemon.Process.Signal(syscall.SIGHUP); err != nil {
+		return err
+	}
+	reloaded := false
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp2, err = do("POST", base+"/v1/batches", batch) // old token
+		if err != nil {
+			return err
+		}
+		resp2.Body.Close()
+		if resp2.StatusCode == http.StatusUnauthorized {
+			reloaded = true
+			break
+		}
+		// A 202 here just means the submit raced ahead of the reload; the
+		// accepted batch (queens, now cache-hot) drains cleanly below.
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !reloaded {
+		return fmt.Errorf("old token still accepted 10s after SIGHUP reload")
+	}
+	req, err := http.NewRequest("POST", base+"/v1/batches", strings.NewReader(batch))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Authorization", "Bearer rotatedtoken")
+	req.Header.Set("Content-Type", "application/json")
+	resp2, err = http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	var rotated struct {
+		Batch string `json:"batch"`
+	}
+	err = json.NewDecoder(resp2.Body).Decode(&rotated)
+	resp2.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp2.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("rotated token got %d, want 202", resp2.StatusCode)
 	}
 
 	// SIGTERM: the daemon must drain and exit 0.
