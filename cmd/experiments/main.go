@@ -7,7 +7,8 @@
 //
 //	experiments                      # run everything
 //	experiments -fig2                # one experiment (also -table1 -fig3
-//	                                 #   -table3 -table4 -fig6 -table6 -ablate)
+//	                                 #   -table3 -table4 -fig6 -table6 -ablate
+//	                                 #   -ltb -agi -predictors -sweep)
 //	experiments -fig6 -json out.json # also export every timing run as a
 //	                                 #   machine-readable obs.RunRecord report
 //	experiments -diff old.json new.json  # compare two exported reports and
@@ -44,6 +45,7 @@ func main() {
 		ablate   = flag.Bool("ablate", false, "ablations (tag adder, store buffer, MSHRs, block size)")
 		ltbCmp   = flag.Bool("ltb", false, "FAC vs load target buffer comparison (related work)")
 		agiCmp   = flag.Bool("agi", false, "FAC vs AGI pipeline organization (related work)")
+		predGrid = flag.Bool("predictors", false, "cross-predictor grid: FAC vs the predictor zoo (internal/predict)")
 		sweep    = flag.Bool("sweep", false, "cache-size sensitivity sweep")
 		jsonOut  = flag.String("json", "", "write every timing run as a RunRecord report to this file")
 		diffMode = flag.Bool("diff", false, "compare two RunRecord reports: -diff old.json new.json")
@@ -63,7 +65,7 @@ func main() {
 		}
 		return
 	}
-	all := !(*fig2 || *table1 || *fig3 || *table3 || *table4 || *fig6 || *table6 || *ablate || *ltbCmp || *agiCmp || *sweep)
+	all := !(*fig2 || *table1 || *fig3 || *table3 || *table4 || *fig6 || *table6 || *ablate || *ltbCmp || *agiCmp || *predGrid || *sweep)
 
 	s := experiments.NewSuite()
 	if *cacheDir != "" {
@@ -156,6 +158,13 @@ func main() {
 		}},
 		{*agiCmp || all, "AGI comparison", func() (string, error) {
 			r, err := s.CompareAGI()
+			if err != nil {
+				return "", err
+			}
+			return r.Table().String(), nil
+		}},
+		{*predGrid || all, "Predictor grid", func() (string, error) {
+			r, err := s.ComparePredictors()
 			if err != nil {
 				return "", err
 			}

@@ -98,12 +98,13 @@ func main() {
 	}
 
 	var report *staticfac.Report
-	var total, classified int
+	var total, classified, ivRefined int
 	for _, in := range inputs {
 		a := staticfac.Analyze(in.p, geom)
 		s := a.Summary()
 		total += s.Sites
 		classified += s.Sites - s.ByVerdict[staticfac.VerdictUnknown]
+		ivRefined += s.IvRefined
 		if *jsonOut {
 			if report == nil {
 				report = staticfac.NewReport(a)
@@ -132,7 +133,8 @@ func main() {
 		if total > 0 {
 			frac = float64(classified) / float64(total)
 		}
-		fmt.Printf("%-10s %-7s sites %4d classified %d  [%.1f%%]\n", "TOTAL", toolchain, total, classified, 100*frac)
+		fmt.Printf("%-10s %-7s sites %4d classified %d  [%.1f%%]  interval-refined %d\n",
+			"TOTAL", toolchain, total, classified, 100*frac, ivRefined)
 	}
 	if *minFrac > 0 {
 		frac := 0.0

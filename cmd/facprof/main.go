@@ -18,6 +18,8 @@
 //
 //	facprof [-falign] [-block 32] [-top 20] -benchmark compress
 //	facprof [-falign] input.c
+//	facprof -predictors -benchmark compress   # per-site comparison against
+//	                                          # the predictor zoo machines
 package main
 
 import (
@@ -45,6 +47,7 @@ func main() {
 		block  = flag.Int("block", 32, "cache block size for the predictor (16 or 32)")
 		top    = flag.Int("top", 15, "number of top mispredicting sites to show")
 		static = flag.Bool("static", false, "add the static FAC-predictability verdict column (internal/staticfac)")
+		preds  = flag.Bool("predictors", false, "add per-predictor columns: how each zoo machine (internal/predict) fares on the replaying sites")
 	)
 	flag.Parse()
 
@@ -85,6 +88,25 @@ func main() {
 		*block, 100*prof.LoadFailRate(0), 100*prof.StoreFailRate(0),
 		100*prof.LoadFailRateNoRR(0), 100*prof.StoreFailRateNoRR(0))
 
+	// Optional cross-predictor passes: each zoo machine replays the same
+	// program with its own site collector, so every FAC-replaying site can
+	// be compared against what the alternatives would have done there.
+	altNames := []string{"pcax", "stride", "selective"}
+	altSites := make(map[string]*obs.SiteCollector)
+	if *preds {
+		for _, name := range altNames {
+			acfg := pipeline.DefaultConfig()
+			acfg.Predictor = name
+			acfg.SpeculateRegReg = true
+			acfg.DCache.BlockSize = *block
+			sc := obs.NewSiteCollector()
+			if _, err := core.RunWithSink(p, acfg, 2_000_000_000, sc); err != nil {
+				fatal(err)
+			}
+			altSites[name] = sc
+		}
+	}
+
 	var analysis *staticfac.Analysis
 	if *static {
 		analysis = staticfac.Analyze(p, cfg.FACGeometry())
@@ -98,26 +120,70 @@ func main() {
 
 	list := sites.TopFailing(*top)
 	fmt.Printf("top mispredicting sites (speculated accesses on the FAC machine):\n")
+	header := []string{"pc", "fails", "rate", "signals"}
 	if *static {
-		fmt.Printf("%-10s %-10s %-8s %-24s %-15s %-28s %s\n", "pc", "fails", "rate", "signals", "static", "instruction", "function")
-	} else {
-		fmt.Printf("%-10s %-10s %-8s %-24s %-28s %s\n", "pc", "fails", "rate", "signals", "instruction", "function")
+		header = append(header, "static")
 	}
+	if *preds {
+		header = append(header, altNames...)
+		header = append(header, "best")
+	}
+	header = append(header, "instruction", "function")
+	widths := map[string]int{"pc": 10, "fails": 10, "rate": 8, "signals": 24,
+		"static": 15, "pcax": 9, "stride": 9, "selective": 9, "best": 10, "instruction": 28}
+	for _, h := range header {
+		if wd := widths[h]; wd > 0 {
+			fmt.Printf("%-*s ", wd, h)
+		} else {
+			fmt.Printf("%s", h)
+		}
+	}
+	fmt.Println()
 	for _, s := range list {
 		in, _ := p.InstAt(s.PC)
+		cells := []string{
+			fmt.Sprintf("%#08x", s.PC),
+			fmt.Sprintf("%d", s.Fails),
+			fmt.Sprintf("%5.1f%%", 100*s.FailRate()),
+			s.FailMask.String(),
+		}
 		if *static {
 			verdict := "-"
 			if site := analysis.SiteAt(s.PC); site != nil {
 				verdict = site.Verdict.String()
 			}
-			fmt.Printf("%#08x  %-10d %6.1f%%  %-24s %-15s %-28s %s\n",
-				s.PC, s.Fails, 100*s.FailRate(),
-				s.FailMask.String(), verdict, in.String(), p.FuncName(s.PC))
-			continue
+			cells = append(cells, verdict)
 		}
-		fmt.Printf("%#08x  %-10d %6.1f%%  %-24s %-28s %s\n",
-			s.PC, s.Fails, 100*s.FailRate(),
-			s.FailMask.String(), in.String(), p.FuncName(s.PC))
+		if *preds {
+			// Which predictor would have covered this replaying site: a
+			// machine covers it when it speculates there and mispredicts
+			// less often than the FAC machine did.
+			best, bestRate := "none", s.FailRate()
+			for _, name := range altNames {
+				alt := altSites[name].Sites[s.PC]
+				switch {
+				case alt == nil || alt.Speculated+alt.NoPredict == 0:
+					cells = append(cells, "-")
+				case alt.Speculated == 0:
+					cells = append(cells, "declined")
+				default:
+					cells = append(cells, fmt.Sprintf("%5.1f%%", 100*alt.FailRate()))
+					if alt.FailRate() < bestRate {
+						best, bestRate = name, alt.FailRate()
+					}
+				}
+			}
+			cells = append(cells, best)
+		}
+		cells = append(cells, in.String(), p.FuncName(s.PC))
+		for i, c := range cells {
+			if wd := widths[header[i]]; wd > 0 {
+				fmt.Printf("%-*s ", wd, c)
+			} else {
+				fmt.Printf("%s", c)
+			}
+		}
+		fmt.Println()
 	}
 	if len(list) == 0 {
 		fmt.Println("  (none — every access predicted)")

@@ -28,10 +28,12 @@ import (
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/emu"
+	"repro/internal/fac"
 	"repro/internal/isa"
 	"repro/internal/minic"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/predict"
 	"repro/internal/prog"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -40,6 +42,7 @@ import (
 func main() {
 	var (
 		facOn      = flag.Bool("fac", false, "enable fast address calculation")
+		predName   = flag.String("predictor", "", "address-prediction machine (fac, pcax, stride, selective); -fac is shorthand for -predictor fac")
 		rr         = flag.Bool("rr", false, "speculate register+register accesses")
 		falign     = flag.Bool("falign", false, "compile with software support (alignment optimizations)")
 		block      = flag.Int("block", 32, "data cache block size (16 or 32)")
@@ -60,8 +63,12 @@ func main() {
 
 	cfg := pipeline.DefaultConfig()
 	cfg.FAC = *facOn
+	cfg.Predictor = *predName
 	cfg.SpeculateRegReg = *rr
 	cfg.DCache.BlockSize = *block
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
 
 	if *traceN > 0 {
 		if err := printTrace(p, cfg, *traceN); err != nil {
@@ -115,14 +122,18 @@ mem footprint     %d KB
 	if *hist {
 		fmt.Printf("load latency (issue to use, cycles):\n%s", stats.FormatHist(st.LoadLatency, "cyc"))
 	}
-	if *facOn {
-		fmt.Printf(`fast address calculation:
+	if name := cfg.PredictorName(); name != "" {
+		fmt.Printf(`address prediction (%s):
   loads speculated   %d (%.1f%% failed)
   stores speculated  %d (%.1f%% failed)
   bandwidth overhead %.1f%% of references
-`, st.LoadsSpeculated, 100*st.LoadFailRate(),
+`, name, st.LoadsSpeculated, 100*st.LoadFailRate(),
 			st.StoresSpeculated, 100*st.StoreFailRate(),
 			100*st.BandwidthOverhead())
+		if n := st.LoadsNoPredict + st.StoresNoPredict; n > 0 {
+			fmt.Printf("  declined           %d (%d loads, %d stores)\n",
+				n, st.LoadsNoPredict, st.StoresNoPredict)
+		}
 	}
 
 	if *jsonOut != "" {
@@ -150,8 +161,8 @@ mem footprint     %d KB
 // machineName summarizes the CLI-configured machine for the RunRecord.
 func machineName(cfg pipeline.Config) string {
 	name := "base"
-	if cfg.FAC {
-		name = "fac"
+	if p := cfg.PredictorName(); p != "" {
+		name = p
 	}
 	name += fmt.Sprintf("%d", cfg.DCache.BlockSize)
 	if cfg.SpeculateRegReg {
@@ -170,6 +181,28 @@ type traceSink struct {
 	idx      int
 	havePred bool
 	pred     obs.Event
+	// predName and signals label speculation verdicts with the active
+	// machine's own name and failure-signal vocabulary.
+	predName string
+	signals  []string
+}
+
+// failName renders a failure mask with the machine's signal names (for
+// the fac machine this matches fac.Failure.String exactly).
+func (t *traceSink) failName(f fac.Failure) string {
+	s := ""
+	for i, name := range t.signals {
+		if f&(fac.Failure(1)<<i) != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += name
+		}
+	}
+	if s == "" {
+		s = f.String()
+	}
+	return s
 }
 
 func (t *traceSink) Event(e obs.Event) {
@@ -185,9 +218,11 @@ func (t *traceSink) Event(e obs.Event) {
 		if tr.Inst.Op.IsMem() {
 			line += fmt.Sprintf("  ea=%#08x", tr.EffAddr)
 			if t.havePred && t.pred.PC == e.PC {
-				verdict := "fac:ok"
-				if t.pred.Fail != 0 {
-					verdict = "fac:" + t.pred.Fail.String()
+				verdict := t.predName + ":ok"
+				if t.pred.Flags&obs.FlagNoPredict != 0 {
+					verdict = t.predName + ":nopredict"
+				} else if t.pred.Fail != 0 {
+					verdict = t.predName + ":" + t.failName(t.pred.Fail)
 				}
 				line += "  " + verdict
 			}
@@ -224,7 +259,11 @@ func (s *limitedSource) Next() (emu.Trace, bool, error) {
 // printTrace simulates the first n instructions on the configured
 // machine, printing each issue with its observability annotations.
 func printTrace(p *prog.Program, cfg pipeline.Config, n int) error {
-	sink := &traceSink{}
+	name := cfg.PredictorName()
+	sink := &traceSink{predName: name, signals: predict.SignalNamesFor(name)}
+	if name == "selective" && cfg.StaticTable == nil {
+		cfg.StaticTable = predict.BuildStaticTable(p, cfg.FACGeometry())
+	}
 	src := &limitedSource{e: emu.New(p), n: n, sink: sink}
 	_, err := pipeline.RunObserved(cfg, src, sink)
 	return err

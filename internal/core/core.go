@@ -13,6 +13,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/predict"
 	"repro/internal/prog"
 )
 
@@ -87,6 +88,12 @@ func RunWithSink(p *prog.Program, machine pipeline.Config, maxInsts uint64, sink
 // uses this for per-job deadlines and client-disconnect cancellation; a
 // nil ctx disables the checks at zero cost.
 func RunCtx(ctx context.Context, p *prog.Program, machine pipeline.Config, maxInsts uint64, sink obs.Sink) (Result, error) {
+	// The selective machine consults staticfac verdicts baked per linked
+	// program; this is the layer that has the program in hand, so the bake
+	// happens here unless the caller supplied a table already.
+	if machine.PredictorName() == "selective" && machine.StaticTable == nil {
+		machine.StaticTable = predict.BuildStaticTable(p, machine.FACGeometry())
+	}
 	e := emu.New(p)
 	e.MaxInsts = maxInsts
 	stats, err := pipeline.RunCtx(ctx, machine, &traceSource{e}, sink)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/fac"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/predict"
 )
 
 // checker is an obs.Sink that cross-validates the pipeline's event stream
@@ -28,6 +29,10 @@ import (
 type checker struct {
 	name string
 	cfg  pipeline.Config
+	// sigMask covers the failure-signal slots the active prediction
+	// machine may charge (per-machine accounting: an event raising a bit
+	// outside the machine's own signal set is a bug).
+	sigMask fac.Failure
 
 	err error
 
@@ -35,10 +40,11 @@ type checker struct {
 	stallCycles map[uint64]bool
 	stallCounts [obs.NumStallCauses]uint64
 
-	loadSpec, storeSpec   uint64
-	loadFail, storeFail   uint64
-	replays               uint64
-	loadKinds, storeKinds [fac.NumFailureSignals]uint64
+	loadSpec, storeSpec     uint64
+	loadFail, storeFail     uint64
+	loadNoPred, storeNoPred uint64
+	replays                 uint64
+	loadKinds, storeKinds   [fac.NumFailureSignals]uint64
 
 	// Pending predict → issue pairing (cleared by the access's own issue
 	// event, which always follows within the same issue scan).
@@ -52,12 +58,16 @@ type checker struct {
 }
 
 func newChecker(m Machine) *checker {
-	return &checker{
+	c := &checker{
 		name:        m.Name,
 		cfg:         m.Cfg,
 		issueCycles: make(map[uint64]bool),
 		stallCycles: make(map[uint64]bool),
 	}
+	if names := predict.SignalNamesFor(m.Cfg.PredictorName()); names != nil {
+		c.sigMask = fac.Failure(1)<<len(names) - 1
+	}
+	return c
 }
 
 func (c *checker) fail(format string, args ...interface{}) {
@@ -69,8 +79,26 @@ func (c *checker) fail(format string, args ...interface{}) {
 func (c *checker) Event(e obs.Event) {
 	switch e.Kind {
 	case obs.KindFACPredict:
+		if e.Flags&obs.FlagNoPredict != 0 {
+			// A declined prediction: the access proceeds down the ordinary
+			// non-speculative path, so it enters no predict→issue pairing.
+			if e.Fail != 0 || e.Addr != 0 {
+				c.fail("cycle %d pc %#x: no-predict event carries fail %v / addr %#x", e.Cycle, e.PC, e.Fail, e.Addr)
+				return
+			}
+			if e.Flags&obs.FlagStore != 0 {
+				c.storeNoPred++
+			} else {
+				c.loadNoPred++
+			}
+			return
+		}
 		if c.havePred {
 			c.fail("cycle %d pc %#x: FAC predict while predict at cycle %d pc unresolved", e.Cycle, e.PC, c.predCycle)
+			return
+		}
+		if e.Fail&^c.sigMask != 0 {
+			c.fail("cycle %d pc %#x: failure %v outside the machine's signal slots (mask %#x)", e.Cycle, e.PC, e.Fail, c.sigMask)
 			return
 		}
 		c.havePred = true
@@ -209,19 +237,27 @@ func (c *checker) verify(st pipeline.Stats, want streamCounts) error {
 		return fmt.Errorf("failure-kind breakdown diverged: events %v/%v, stats %v/%v",
 			c.loadKinds, c.storeKinds, st.LoadFailKinds, st.StoreFailKinds)
 	}
-	if !c.cfg.FAC && c.loadSpec+c.storeSpec+c.replays != 0 {
-		return fmt.Errorf("machine without FAC speculated (%d loads, %d stores, %d replays)",
-			c.loadSpec, c.storeSpec, c.replays)
+	if c.loadNoPred != st.LoadsNoPredict || c.storeNoPred != st.StoresNoPredict {
+		return fmt.Errorf("event stream saw %d/%d declined loads/stores, stats say %d/%d",
+			c.loadNoPred, c.storeNoPred, st.LoadsNoPredict, st.StoresNoPredict)
 	}
-	if c.cfg.FAC && !c.cfg.SpeculateStores && c.storeSpec != 0 {
-		return fmt.Errorf("store speculation disabled but %d stores speculated", c.storeSpec)
+	pred := c.cfg.PredictorName()
+	if pred == "" && c.loadSpec+c.storeSpec+c.replays+c.loadNoPred+c.storeNoPred != 0 {
+		return fmt.Errorf("machine without a predictor speculated (%d loads, %d stores, %d replays, %d/%d declined)",
+			c.loadSpec, c.storeSpec, c.replays, c.loadNoPred, c.storeNoPred)
 	}
-	if c.cfg.FAC && !c.cfg.SpeculateRegReg {
+	if pred != "" && !c.cfg.SpeculateStores && c.storeSpec+c.storeNoPred != 0 {
+		// Ineligible stores never reach the prediction machine, so they can
+		// neither speculate nor be declined.
+		return fmt.Errorf("store speculation disabled but %d stores speculated, %d declined", c.storeSpec, c.storeNoPred)
+	}
+	if pred != "" && !c.cfg.SpeculateRegReg {
 		// Without reg+reg speculation the conservative negative-index-
-		// register signal can never fire: constant offsets take the
-		// negative-constant path.
-		for i, sig := range fac.FailureSignals {
-			if sig != fac.FailNegIndexReg {
+		// register signal can never fire on operand-based machines:
+		// constant offsets take the negative-constant path. The slot only
+		// exists on machines whose signal set includes it.
+		for i, name := range predict.SignalNamesFor(pred) {
+			if name != "negindexreg" {
 				continue
 			}
 			if c.loadKinds[i] != 0 || c.storeKinds[i] != 0 {

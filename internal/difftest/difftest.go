@@ -35,6 +35,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/predict"
 	"repro/internal/prog"
 )
 
@@ -47,9 +48,12 @@ type Machine struct {
 // Machines returns the oracle's machine set: the paper's baseline plus the
 // speculative variants (FAC under 16- and 32-byte block geometries, with
 // and without register+register and store speculation, with the tag
-// adder) and the AGI alternative organization. Caches are shrunk from the
-// paper's 16KB so short generated programs still exercise misses,
-// evictions, MSHR merges, and store-buffer pressure.
+// adder), the AGI alternative organization, and the history-based
+// prediction machines from internal/predict (pcax, stride, selective).
+// Caches are shrunk from the paper's 16KB so short generated programs
+// still exercise misses, evictions, MSHR merges, and store-buffer
+// pressure; the history tables are shrunk likewise so generated programs
+// see tag conflicts and evictions.
 func Machines() []Machine {
 	shrink := func(c pipeline.Config) pipeline.Config {
 		c.ICache = cache.Config{Size: 1 << 10, BlockSize: 32, Assoc: 1, MissLatency: 6}
@@ -82,6 +86,17 @@ func Machines() []Machine {
 	ll1 := base
 	ll1.LoadLatency = 1
 
+	pcax := base
+	pcax.Predictor = "pcax"
+	pcax.PredictorEntries = 64
+
+	stride := base
+	stride.Predictor = "stride"
+	stride.PredictorEntries = 64
+
+	sel := base
+	sel.Predictor = "selective"
+
 	return []Machine{
 		{"base", base},
 		{"fac32", fac32},
@@ -91,6 +106,9 @@ func Machines() []Machine {
 		{"fac-tagadder", tagadder},
 		{"agi", agi},
 		{"loadlat1", ll1},
+		{"pcax", pcax},
+		{"stride", stride},
+		{"selective", sel},
 	}
 }
 
@@ -208,10 +226,16 @@ func RunMachines(p *prog.Program, maxInsts uint64, machines []Machine) error {
 	for _, m := range machines {
 		e := emu.New(p)
 		e.MaxInsts = maxInsts
+		if m.Cfg.PredictorName() == "selective" && m.Cfg.StaticTable == nil {
+			m.Cfg.StaticTable = predict.BuildStaticTable(p, m.Cfg.FACGeometry())
+		}
 		ck := newChecker(m)
 		sink := obs.Sink(ck)
 		var sites *obs.SiteCollector
-		if m.Cfg.FAC {
+		// The static oracle cross-checks per-site outcomes against the
+		// operand-based FAC algebra; history machines (pcax, stride) guess
+		// from past addresses, so only fac-shaped machines are checked.
+		if name := m.Cfg.PredictorName(); name == "fac" || name == "selective" {
 			sites = obs.NewSiteCollector()
 			sink = obs.Tee{ck, sites}
 		}
@@ -240,6 +264,8 @@ func RunMachines(p *prog.Program, maxInsts uint64, machines []Machine) error {
 func RunTrace(trs []emu.Trace, machines []Machine) error {
 	counts := refCounts(trs)
 	for _, m := range machines {
+		// A selective machine with no program behind the trace runs with an
+		// empty verdict table (pipeline defaults it): plain FAC behaviour.
 		ck := newChecker(m)
 		st, err := pipeline.RunObserved(m.Cfg, NewSliceSource(trs), ck)
 		if err != nil {

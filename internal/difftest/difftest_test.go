@@ -4,8 +4,11 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/asm"
+	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/minic"
+	"repro/internal/pipeline"
 	"repro/internal/prog"
 )
 
@@ -117,6 +120,107 @@ func TestMachinesValid(t *testing.T) {
 	for _, m := range Machines() {
 		if err := m.Cfg.Validate(); err != nil {
 			t.Errorf("machine %s: %v", m.Name, err)
+		}
+	}
+}
+
+// chaseSeedSrc walks an 8-cycle permutation: each load's address is the
+// value of the previous load, with no two consecutive equal deltas, so
+// neither a last-address nor a two-delta stride table can ever guess the
+// next address. This is the canonical stride-prediction-defeating shape.
+const chaseSeedSrc = `
+.data
+perm:	.word 5, 7, 6, 4, 0, 1, 3, 2
+
+.text
+main:
+	la $t0, perm
+	li $t1, 0
+	li $t2, 64
+chase:
+	sll $t3, $t1, 2
+	add $t3, $t3, $t0
+	lw $t1, 0($t3)
+	addi $t2, $t2, -1
+	bgtz $t2, chase
+	jr $ra
+`
+
+// alternateSeedSrc issues one static load whose base register toggles
+// between two arrays every iteration, so a PC-indexed last-address table
+// is wrong on every visit after the first — the canonical PC-indexed-
+// prediction-defeating shape. The paired store exercises the store-side
+// accounting under the same pattern.
+const alternateSeedSrc = `
+.data
+a:	.space 64
+b:	.space 64
+
+.text
+main:
+	la $t0, a
+	la $t1, b
+	xor $t5, $t0, $t1
+	li $t2, 64
+flip:
+	lw $t3, 0($t0)
+	sw $t3, 4($t0)
+	xor $t0, $t0, $t5
+	addi $t2, $t2, -1
+	bgtz $t2, flip
+	jr $ra
+`
+
+// buildAsm assembles and links a hand-written seed program.
+func buildAsm(t *testing.T, src string) *prog.Program {
+	t.Helper()
+	o, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("seed program does not assemble: %v", err)
+	}
+	p, err := prog.Link(o, prog.DefaultConfig())
+	if err != nil {
+		t.Fatalf("seed program does not link: %v", err)
+	}
+	return p
+}
+
+// TestAdversarialSeeds replays the committed predictor-defeating programs
+// through the full oracle (all machines, event-stream checker, static
+// oracle) and then pins that they really do defeat their target machine:
+// accounting must stay consistent even when nearly every guess is wrong.
+func TestAdversarialSeeds(t *testing.T) {
+	seeds := []struct {
+		name, src, victim string
+	}{
+		{"pointer-chase", chaseSeedSrc, "stride"},
+		{"alternating-base", alternateSeedSrc, "pcax"},
+	}
+	machineByName := make(map[string]Machine)
+	for _, m := range Machines() {
+		machineByName[m.Name] = m
+	}
+	for _, s := range seeds {
+		p := buildAsm(t, s.src)
+		if err := Run(p, 1_000_000); err != nil {
+			t.Fatalf("%s: oracle failed: %v", s.name, err)
+		}
+		m, ok := machineByName[s.victim]
+		if !ok {
+			t.Fatalf("machine %q missing from the oracle set", s.victim)
+		}
+		e := emu.New(p)
+		e.MaxInsts = 1_000_000
+		st, err := pipeline.RunObserved(m.Cfg, emuSource{e}, nil)
+		if err != nil {
+			t.Fatalf("%s on %s: %v", s.name, s.victim, err)
+		}
+		if st.LoadsSpeculated == 0 {
+			t.Fatalf("%s: %s machine never speculated a load", s.name, s.victim)
+		}
+		if 2*st.LoadSpecFailed < st.LoadsSpeculated {
+			t.Fatalf("%s should defeat %s: only %d/%d speculated loads failed",
+				s.name, s.victim, st.LoadSpecFailed, st.LoadsSpeculated)
 		}
 	}
 }

@@ -151,6 +151,11 @@ func FuzzAsmRoundtrip(f *testing.F) {
 	f.Add("loop:\n\taddi $t0, $t0, -1\n\tbgtz $t0, loop\n\tbeq $zero, $zero, 8\n\tnop\n\tsyscall\n")
 	f.Add("main:\n\tlfd $f2, 8($sp)\n\tfadd $f4, $f2, $f2\n\tsfd $f4, ($sp)+8\n\tmtc1 $f1, $t0\n\tmfc1 $t1, $f1\n")
 	f.Add(".sdata\ns: .asciiz \"hi\"\n.text\nmain:\n\tlui $at, %hi(s)\n\taddi $a0, $at, %lo(s)\n\tjal 0x400000\n")
+	// Predictor-adversarial seed programs (see TestAdversarialSeeds): a
+	// pointer chase that defeats stride prediction and an alternating-base
+	// loop that defeats PC-indexed last-address prediction.
+	f.Add(chaseSeedSrc)
+	f.Add(alternateSeedSrc)
 	f.Fuzz(func(t *testing.T, src string) {
 		if len(src) > 8<<10 {
 			return // bound assembly time, not coverage

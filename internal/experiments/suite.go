@@ -54,6 +54,11 @@ const (
 	MFAC32SB64  Machine = "fac32+sb64"  // ablation: 64-entry store buffer
 	MFAC32MSHR1 Machine = "fac32+mshr1" // ablation: single outstanding miss
 	MAGI        Machine = "agi"         // related work: AGI pipeline organization
+
+	// Predictor-zoo machines (internal/predict), all at 32-byte blocks.
+	MPCAX      Machine = "pcax"      // PC-indexed last-address table
+	MStride    Machine = "stride"    // PC-indexed two-delta stride table
+	MSelective Machine = "selective" // FAC gated by static proven-failing verdicts
 )
 
 // MachineConfig resolves a machine name to its simulator configuration.
@@ -97,6 +102,12 @@ func MachineConfig(m Machine) (pipeline.Config, error) {
 	case MAGI:
 		cfg.AGI = true
 		cfg.MispredictPenalty++ // branches resolve one stage later
+	case MPCAX:
+		cfg.Predictor = "pcax"
+	case MStride:
+		cfg.Predictor = "stride"
+	case MSelective:
+		cfg.Predictor = "selective"
 	default:
 		return cfg, fmt.Errorf("experiments: unknown machine %q", m)
 	}

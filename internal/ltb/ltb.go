@@ -19,12 +19,19 @@ type Config struct {
 	// Stride enables stride prediction: a 2-bit confidence counter guards
 	// last+stride; without it the entry predicts the last address.
 	Stride bool
+	// TagBits truncates the stored tag to its low TagBits bits, modeling a
+	// partial-tag table (a hardware-cost knob: fewer tag bits means false
+	// sharing between loads that alias). 0 keeps the full tag.
+	TagBits uint
 }
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if c.Entries <= 0 || c.Entries&(c.Entries-1) != 0 {
 		return fmt.Errorf("ltb: entry count %d not a positive power of two", c.Entries)
+	}
+	if c.TagBits > 30 {
+		return fmt.Errorf("ltb: tag bits %d exceed the 30 usable PC-word bits", c.TagBits)
 	}
 	return nil
 }
@@ -62,22 +69,34 @@ func New(cfg Config) *Predictor {
 
 func (p *Predictor) index(pc uint32) (uint32, uint32) {
 	word := pc >> 2
-	return word & uint32(p.cfg.Entries-1), word >> p.idxBits
+	tag := word >> p.idxBits
+	if p.cfg.TagBits > 0 {
+		tag &= 1<<p.cfg.TagBits - 1
+	}
+	return word & uint32(p.cfg.Entries-1), tag
 }
 
 // Predict returns the predicted effective address for the load at pc.
 // ok is false on a cold or conflicting entry (no prediction; the access
 // proceeds non-speculatively).
 func (p *Predictor) Predict(pc uint32) (addr uint32, ok bool) {
+	addr, _, ok = p.Lookup(pc)
+	return addr, ok
+}
+
+// Lookup is Predict plus the path taken: usedStride reports whether the
+// prediction came from the confirmed-stride path (last+stride) rather than
+// the last-address path. Pure — table state is unchanged.
+func (p *Predictor) Lookup(pc uint32) (addr uint32, usedStride, ok bool) {
 	idx, tag := p.index(pc)
 	e := &p.entries[idx]
 	if !e.valid || e.tag != tag {
-		return 0, false
+		return 0, false, false
 	}
 	if p.cfg.Stride && e.confidence >= 2 {
-		return e.lastAddr + e.stride, true
+		return e.lastAddr + e.stride, true, true
 	}
-	return e.lastAddr, true
+	return e.lastAddr, false, true
 }
 
 // Access performs a full predict-then-update step for the load at pc with
@@ -93,11 +112,15 @@ func (p *Predictor) Access(pc, actual uint32) (predicted, correct bool) {
 			correct = true
 		}
 	}
-	p.update(pc, actual)
+	p.Update(pc, actual)
 	return ok, correct
 }
 
-func (p *Predictor) update(pc, actual uint32) {
+// Update trains the entry for pc with the architectural address. Exposed so
+// callers that separate predict (issue stage) from train (EX stage) — the
+// internal/predict machines — can drive the table directly; Access composes
+// the two for trace-replay counting.
+func (p *Predictor) Update(pc, actual uint32) {
 	idx, tag := p.index(pc)
 	e := &p.entries[idx]
 	if !e.valid || e.tag != tag {

@@ -27,9 +27,11 @@ const (
 	// Val the cycle its result becomes available.
 	KindIssue
 	// KindFACPredict: a load or store accessed the cache speculatively
-	// under fast address calculation. Addr is the predicted address, Fail
-	// the verification circuit's failure signals (0 = prediction held),
-	// FlagStore distinguishes stores.
+	// under address prediction (fast address calculation or any
+	// internal/predict machine). Addr is the predicted address, Fail the
+	// resolved failure signals (0 = prediction held), FlagStore
+	// distinguishes stores. With FlagNoPredict the machine declined to
+	// predict and no speculative access was made (Addr 0, Fail 0).
 	KindFACPredict
 	// KindReplay: a mispredicted speculative access replayed in MEM with
 	// the architectural address (Addr). Cycle is the replay cycle.
@@ -68,6 +70,12 @@ const (
 	FlagHit                          // cache access hit a resident block
 	FlagDelayedHit                   // cache access merged into an in-flight fill
 	FlagMSHRFull                     // cache access bounced off a full MSHR file
+	// FlagNoPredict marks a KindFACPredict event for an eligible access
+	// the active prediction machine declined to predict (cold table entry,
+	// tag conflict, statically proven-failing site): the access proceeded
+	// non-speculatively. Addr is 0 and Fail empty — no cache access was
+	// made with a guessed address.
+	FlagNoPredict
 )
 
 // StallCause attributes a no-issue cycle to the hazard blocking the head

@@ -127,6 +127,19 @@ type FACRecord struct {
 	ExtraAccesses    uint64           `json:"extra_accesses"`
 	LoadFailKinds    FailureBreakdown `json:"load_fail_kinds"`
 	StoreFailKinds   FailureBreakdown `json:"store_fail_kinds"`
+
+	// Predictor-zoo extension (internal/predict): absent for the paper's
+	// FAC machine, whose records keep the original encoding above. For
+	// other machines Predictor names the machine, the NoPredict counters
+	// record eligible accesses the machine declined, and the fail-cause
+	// maps replace the FAC-specific breakdown structs, keyed by the
+	// machine's own signal names (map keys marshal sorted, so records
+	// remain byte-deterministic).
+	Predictor       string            `json:"predictor,omitempty"`
+	LoadsNoPredict  uint64            `json:"loads_nopredict,omitempty"`
+	StoresNoPredict uint64            `json:"stores_nopredict,omitempty"`
+	LoadFailCauses  map[string]uint64 `json:"load_fail_causes,omitempty"`
+	StoreFailCauses map[string]uint64 `json:"store_fail_causes,omitempty"`
 }
 
 // CacheRecord is one cache's section of a RunRecord.

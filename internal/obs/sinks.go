@@ -10,10 +10,13 @@ import (
 // instruction site (PC).
 type SiteStats struct {
 	PC         uint32
-	Speculated uint64      // speculative cache accesses issued from this site
-	Fails      uint64      // of which mispredicted
-	FailMask   fac.Failure // union of failure signals seen
-	Store      bool        // site is a store
+	Speculated uint64 // speculative cache accesses issued from this site
+	Fails      uint64 // of which mispredicted
+	// NoPredict counts eligible accesses the prediction machine declined
+	// (FlagNoPredict events); they are not speculations and never fail.
+	NoPredict uint64
+	FailMask  fac.Failure // union of failure signals seen
+	Store     bool        // site is a store
 }
 
 // FailRate returns the fraction of speculated accesses that mispredicted.
@@ -45,6 +48,10 @@ func (c *SiteCollector) Event(e Event) {
 	if s == nil {
 		s = &SiteStats{PC: e.PC, Store: e.Flags&FlagStore != 0}
 		c.Sites[e.PC] = s
+	}
+	if e.Flags&FlagNoPredict != 0 {
+		s.NoPredict++
+		return
 	}
 	s.Speculated++
 	if e.Fail != 0 {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/fac"
 	"repro/internal/obs"
+	"repro/internal/predict"
 )
 
 // Latency describes one operation class: Result is the number of cycles
@@ -61,10 +62,26 @@ type Config struct {
 	StoreBufferEntries int
 
 	// Fast address calculation.
-	FAC             bool       // enable speculative EX-stage cache access
+	FAC             bool       // deprecated alias for Predictor: "fac" (kept so existing configs stay byte-identical)
 	FACGeom         fac.Config // predictor geometry (derived from DCache if zero)
-	SpeculateRegReg bool       // speculate register+register-mode accesses
+	SpeculateRegReg bool       // speculate register+register-mode accesses (operand-based machines)
 	SpeculateStores bool       // speculate stores (enter buffer in EX)
+
+	// Predictor selects an address-prediction machine from internal/predict
+	// ("fac", "pcax", "stride", "selective"); empty disables speculation
+	// unless the deprecated FAC alias above is set. PredictorEntries and
+	// PredictorTagBits size the table machines (zero selects the package
+	// defaults; PredictorTagBits may be predict.FullTags). The new fields
+	// are omitempty so configs predating the zoo marshal — and therefore
+	// cache-key and deps-log hash — exactly as before.
+	Predictor        string `json:",omitempty"`
+	PredictorEntries int    `json:",omitempty"`
+	PredictorTagBits int    `json:",omitempty"`
+	// StaticTable supplies the selective machine's baked per-site verdicts
+	// (predict.BuildStaticTable over the linked program). Excluded from
+	// serialization: the verdicts are a pure function of the program and
+	// geometry, both of which already key the result cache.
+	StaticTable *predict.StaticTable `json:"-"`
 
 	// NoFastForward disables stall fast-forwarding (the cycle loop then
 	// visits every stall cycle individually). Timing, statistics, and the
@@ -113,6 +130,19 @@ func DefaultConfig() Config {
 
 		SpeculateStores: true,
 	}
+}
+
+// PredictorName resolves the configured address-prediction machine:
+// Predictor when set, "fac" under the deprecated FAC alias, "" when the
+// machine does not speculate.
+func (c Config) PredictorName() string {
+	if c.Predictor != "" {
+		return c.Predictor
+	}
+	if c.FAC {
+		return "fac"
+	}
+	return ""
 }
 
 // FACGeometry returns the predictor geometry the simulator will use:
@@ -164,13 +194,28 @@ func (c Config) Validate() error {
 	if c.StoreBufferEntries <= 0 {
 		return fmt.Errorf("pipeline: StoreBufferEntries must be positive")
 	}
-	if c.FAC {
-		if err := c.FACGeometry().Validate(); err != nil {
-			return err
-		}
+	if c.FAC && c.Predictor != "" && c.Predictor != "fac" {
+		return fmt.Errorf("pipeline: deprecated FAC alias conflicts with Predictor %q", c.Predictor)
 	}
-	if c.FAC && c.AGI {
-		return fmt.Errorf("pipeline: FAC and AGI are mutually exclusive")
+	if name := c.PredictorName(); name != "" {
+		known := false
+		for _, n := range predict.Names() {
+			if n == name {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("pipeline: unknown predictor %q (have %v)", name, predict.Names())
+		}
+		if name == "fac" || name == "selective" {
+			if err := c.FACGeometry().Validate(); err != nil {
+				return err
+			}
+		}
+		if c.AGI {
+			return fmt.Errorf("pipeline: address prediction and AGI are mutually exclusive")
+		}
 	}
 	return nil
 }
@@ -182,11 +227,19 @@ type Stats struct {
 	Loads  uint64
 	Stores uint64
 
-	// Fast address calculation outcome counts.
+	// Address-prediction outcome counts (FAC or any internal/predict
+	// machine; the Predictor field below names which).
 	LoadsSpeculated  uint64
 	StoresSpeculated uint64
 	LoadSpecFailed   uint64
 	StoreSpecFailed  uint64
+	// LoadsNoPredict / StoresNoPredict count eligible accesses for which
+	// the machine declined to predict (cold table entry, tag conflict,
+	// site statically proven failing); they proceed non-speculatively and
+	// are neither speculated nor failed. Always zero for the FAC machine,
+	// which predicts every eligible access.
+	LoadsNoPredict  uint64
+	StoresNoPredict uint64
 	// ExtraAccesses is the number of data-cache accesses wasted on
 	// mispredicted speculative attempts (Table 6's bandwidth overhead).
 	ExtraAccesses uint64
@@ -211,8 +264,11 @@ type Stats struct {
 	LoadFailKinds  [fac.NumFailureSignals]uint64
 	StoreFailKinds [fac.NumFailureSignals]uint64
 
-	// FACEnabled records whether the run speculated (machine had FAC on).
+	// FACEnabled records whether the run speculated (an address-prediction
+	// machine was active); Predictor names it ("fac" for the paper's
+	// machine, including runs configured through the deprecated alias).
 	FACEnabled bool
+	Predictor  string
 
 	ICache cache.Stats
 	DCache cache.Stats
@@ -262,8 +318,20 @@ func (s Stats) Record(benchmark, class, toolchain, machine string) obs.RunRecord
 			StoreFails:       s.StoreSpecFailed,
 			ExtraAccesses:    s.ExtraAccesses,
 		}
-		f.LoadFailKinds.FromCounts(s.LoadFailKinds)
-		f.StoreFailKinds.FromCounts(s.StoreFailKinds)
+		if s.Predictor == "" || s.Predictor == "fac" {
+			// The paper's machine keeps its original encoding — the four
+			// named failure-breakdown fields and nothing else — so records
+			// produced before the predictor zoo stay byte-identical.
+			f.LoadFailKinds.FromCounts(s.LoadFailKinds)
+			f.StoreFailKinds.FromCounts(s.StoreFailKinds)
+		} else {
+			names := predict.SignalNamesFor(s.Predictor)
+			f.Predictor = s.Predictor
+			f.LoadsNoPredict = s.LoadsNoPredict
+			f.StoresNoPredict = s.StoresNoPredict
+			f.LoadFailCauses = failCauses(names, s.LoadFailKinds)
+			f.StoreFailCauses = failCauses(names, s.StoreFailKinds)
+		}
 		r.FAC = f
 	}
 	cacheRec := func(cs cache.Stats) *obs.CacheRecord {
@@ -313,8 +381,20 @@ func StatsFromRecord(r obs.RunRecord) Stats {
 		s.StoresSpeculated = r.FAC.StoresSpeculated
 		s.StoreSpecFailed = r.FAC.StoreFails
 		s.ExtraAccesses = r.FAC.ExtraAccesses
-		r.FAC.LoadFailKinds.ToCounts(&s.LoadFailKinds)
-		r.FAC.StoreFailKinds.ToCounts(&s.StoreFailKinds)
+		if r.FAC.Predictor == "" || r.FAC.Predictor == "fac" {
+			s.Predictor = "fac"
+			r.FAC.LoadFailKinds.ToCounts(&s.LoadFailKinds)
+			r.FAC.StoreFailKinds.ToCounts(&s.StoreFailKinds)
+		} else {
+			s.Predictor = r.FAC.Predictor
+			s.LoadsNoPredict = r.FAC.LoadsNoPredict
+			s.StoresNoPredict = r.FAC.StoresNoPredict
+			names := predict.SignalNamesFor(r.FAC.Predictor)
+			for i, n := range names {
+				s.LoadFailKinds[i] = r.FAC.LoadFailCauses[n]
+				s.StoreFailKinds[i] = r.FAC.StoreFailCauses[n]
+			}
+		}
 	}
 	fromCacheRec := func(cr *obs.CacheRecord) cache.Stats {
 		if cr == nil {
@@ -351,6 +431,22 @@ func (s Stats) StoreFailRate() float64 { return ratio(s.StoreSpecFailed, s.Store
 // BandwidthOverhead returns extra cache accesses as a fraction of total
 // memory references (the paper's Table 6 metric).
 func (s Stats) BandwidthOverhead() float64 { return ratio(s.ExtraAccesses, s.Loads+s.Stores) }
+
+// failCauses renders a slot-indexed failure-count array as a name-keyed
+// map for serialization (nil when every slot is zero, so the field is
+// omitted; JSON object keys marshal sorted, keeping records deterministic).
+func failCauses(names []string, counts [fac.NumFailureSignals]uint64) map[string]uint64 {
+	var m map[string]uint64
+	for i, n := range names {
+		if counts[i] != 0 {
+			if m == nil {
+				m = make(map[string]uint64, len(names))
+			}
+			m[n] = counts[i]
+		}
+	}
+	return m
+}
 
 func ratio(num, den uint64) float64 {
 	if den == 0 {

@@ -115,6 +115,7 @@ func TestStatsRecordRoundtrip(t *testing.T) {
 		s.StoreFailKinds[i] = uint64(5 + i)
 	}
 	s.FACEnabled = true
+	s.Predictor = "fac" // the simulator's resolved name for FAC runs
 	s.ICache.Accesses, s.ICache.Misses = 500, 20
 	s.ICache.DelayedHits, s.ICache.Evictions, s.ICache.Writebacks = 4, 19, 6
 	s.DCache.Accesses, s.DCache.Misses = 300, 30
@@ -148,5 +149,45 @@ func TestStatsRecordRoundtrip(t *testing.T) {
 	// obs.Hist trims trailing buckets in its encoding.
 	if obs.RunRecordSchema == "" {
 		t.Fatal("schema constant empty")
+	}
+}
+
+// TestStatsRecordRoundtripPredictor: a run under a zoo machine (named
+// failure causes instead of the legacy fixed-slot breakdown, no-predict
+// counters) survives Record → StatsFromRecord → Record unchanged.
+func TestStatsRecordRoundtripPredictor(t *testing.T) {
+	var s Stats
+	s.Cycles, s.Insts, s.Loads, s.Stores = 500, 400, 100, 50
+	s.LoadsSpeculated, s.StoresSpeculated = 60, 20
+	s.LoadSpecFailed, s.StoreSpecFailed = 30, 4
+	s.LoadsNoPredict, s.StoresNoPredict = 12, 7
+	s.ExtraAccesses = 34
+	s.IssueActiveCycles = 300
+	s.FACEnabled = true
+	s.Predictor = "stride"
+	s.LoadFailKinds[0] = 25 // lastaddr
+	s.LoadFailKinds[1] = 5  // stridebreak
+	s.StoreFailKinds[0] = 4
+	for i := 0; i < 20; i++ {
+		s.LoadLatency.Add(uint64(i % 5))
+	}
+
+	rec := s.Record("bench", "int", "stride", "stride")
+	if rec.FAC == nil || rec.FAC.Predictor != "stride" {
+		t.Fatalf("zoo record lacks predictor name: %+v", rec.FAC)
+	}
+	if rec.FAC.LoadFailCauses["lastaddr"] != 25 || rec.FAC.LoadFailCauses["stridebreak"] != 5 {
+		t.Fatalf("named failure causes wrong: %+v", rec.FAC.LoadFailCauses)
+	}
+	if rec.FAC.LoadFailKinds != (obs.FailureBreakdown{}) || rec.FAC.StoreFailKinds != (obs.FailureBreakdown{}) {
+		t.Fatalf("zoo record must not use the legacy fixed-slot breakdown: %+v", rec.FAC)
+	}
+	back := StatsFromRecord(rec)
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", back, s)
+	}
+	rec2 := back.Record("bench", "int", "stride", "stride")
+	if !reflect.DeepEqual(rec, rec2) {
+		t.Fatalf("record re-encode mismatch:\n got %+v\nwant %+v", rec2, rec)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/fac"
 	"repro/internal/isa"
 	"repro/internal/obs"
+	"repro/internal/predict"
 )
 
 // Source supplies the dynamic instruction stream in program order. Next
@@ -37,11 +38,12 @@ const batchSize = 256
 const ringBits = 6
 
 type sim struct {
-	cfg  Config
-	geom fac.Config
-	src  Source
-	bsrc BatchSource     // non-nil when src implements BatchSource
-	ctx  context.Context // nil = cancellation disabled
+	cfg     Config
+	pred    predict.Predictor // nil = no address prediction
+	opBased bool              // pred.OperandBased() (hoisted off the hot path)
+	src     Source
+	bsrc    BatchSource     // non-nil when src implements BatchSource
+	ctx     context.Context // nil = cancellation disabled
 
 	icache *cache.Cache
 	dcache *cache.Cache
@@ -187,9 +189,27 @@ func RunCtx(ctx context.Context, cfg Config, src Source, sink obs.Sink) (Stats, 
 	} else {
 		s.batch = make([]emu.Trace, 1)
 	}
-	s.stats.FACEnabled = cfg.FAC
-	if cfg.FAC {
-		s.geom = cfg.FACGeometry()
+	if name := cfg.PredictorName(); name != "" {
+		static := cfg.StaticTable
+		if name == "selective" && static == nil {
+			// No verdicts supplied (a raw-trace replay with no program
+			// behind it): every site is unknown, so selective degrades to
+			// plain FAC. core.RunCtx bakes the real table from the program.
+			static = &predict.StaticTable{}
+		}
+		p, err := predict.New(name, predict.Options{
+			Geom:    cfg.FACGeometry(),
+			Entries: cfg.PredictorEntries,
+			TagBits: cfg.PredictorTagBits,
+			Static:  static,
+		})
+		if err != nil {
+			return Stats{}, fmt.Errorf("pipeline: %w", err)
+		}
+		s.pred = p
+		s.opBased = p.OperandBased()
+		s.stats.FACEnabled = true
+		s.stats.Predictor = name
 	}
 	if !cfg.PerfectICache {
 		s.icache = cache.New(cfg.ICache)
@@ -639,6 +659,9 @@ func (s *sim) issue(now uint64) (int, obs.StallCause, error) {
 			resultReady = rdy
 			s.stats.Loads++
 			s.stats.LoadLatency.Add(rdy - now)
+			if s.pred != nil {
+				s.pred.Train(q.pc, q.effAddr)
+			}
 		case isa.ClassStore:
 			if memIssued >= s.cfg.LoadStore {
 				cause = obs.StallMemPort
@@ -656,6 +679,9 @@ func (s *sim) issue(now uint64) (int, obs.StallCause, error) {
 			memIssued++
 			resultReady = now + 1 // post-increment base writeback
 			s.stats.Stores++
+			if s.pred != nil {
+				s.pred.Train(q.pc, q.effAddr)
+			}
 		}
 
 		// Update the scoreboard. Post-increment memory ops write their base
@@ -687,13 +713,15 @@ func (s *sim) issue(now uint64) (int, obs.StallCause, error) {
 	return issued, cause, nil
 }
 
-// facEligible reports whether the access may speculate under fast address
-// calculation at this cycle.
+// facEligible reports whether the access may consult the prediction
+// machine at this cycle. The register-offset gate models operand
+// availability in the prediction circuit, so it applies only to
+// operand-based machines; a PC-indexed table predicts from the PC alone.
 func (s *sim) facEligible(q *qent, now uint64, isLoad bool) bool {
-	if !s.cfg.FAC {
+	if s.pred == nil {
 		return false
 	}
-	if q.pre.Flags&isa.PreRegOffset != 0 && !s.cfg.SpeculateRegReg {
+	if s.opBased && q.pre.Flags&isa.PreRegOffset != 0 && !s.cfg.SpeculateRegReg {
 		return false
 	}
 	if !isLoad && !s.cfg.SpeculateStores {
@@ -719,42 +747,73 @@ func (s *sim) noteMispredict(now uint64, wasLoad bool) {
 // value becomes available. It returns ok=false when the load must stall
 // this cycle for a structural hazard.
 func (s *sim) scheduleLoad(q *qent, now uint64) (bool, uint64) {
+	noPred := false
 	if s.facEligible(q, now, true) {
-		if !s.readFree(now) {
-			return false, 0
+		// Predict is pure, so calling it before the port check is safe: a
+		// stalled load re-predicts identically next cycle (in-order issue
+		// keeps the stalled head blocking, so no training intervenes).
+		r := s.pred.Predict(q.pc, q.base, q.offset, q.isRegOff)
+		if r.Spec {
+			if !s.readFree(now) {
+				return false, 0
+			}
+			ok, fail := resolve(r, q.effAddr)
+			s.stats.LoadsSpeculated++
+			s.useRead(now)
+			if s.sink != nil {
+				s.sink.Event(obs.Event{Kind: obs.KindFACPredict, Fail: fail, Cycle: now, PC: q.pc, Addr: r.Addr})
+			}
+			if ok {
+				ready := s.dcacheAccess(q.effAddr, false, now)
+				return true, maxU64(ready+1, now+1)
+			}
+			// Misprediction: the EX-cycle access is wasted; the load replays in
+			// MEM with the architectural address (replays bypass the port
+			// limit but are counted).
+			s.stats.LoadSpecFailed++
+			s.stats.ExtraAccesses++
+			fail.CountInto(&s.stats.LoadFailKinds)
+			s.noteMispredict(now, true)
+			s.useRead(now + 1)
+			if s.sink != nil {
+				s.sink.Event(obs.Event{Kind: obs.KindReplay, Cycle: now + 1, PC: q.pc, Addr: q.effAddr})
+			}
+			ready := s.dcacheAccess(q.effAddr, false, now+1)
+			return true, maxU64(ready+1, now+2)
 		}
-		pred := s.geom.Predict(q.base, q.offset, q.isRegOff)
-		s.stats.LoadsSpeculated++
-		s.useRead(now)
-		if s.sink != nil {
-			s.sink.Event(obs.Event{Kind: obs.KindFACPredict, Fail: pred.Failure, Cycle: now, PC: q.pc, Addr: pred.Predicted})
-		}
-		if pred.OK {
-			ready := s.dcacheAccess(q.effAddr, false, now)
-			return true, maxU64(ready+1, now+1)
-		}
-		// Misprediction: the EX-cycle access is wasted; the load replays in
-		// MEM with the architectural address (replays bypass the port
-		// limit but are counted).
-		s.stats.LoadSpecFailed++
-		s.stats.ExtraAccesses++
-		pred.Failure.CountInto(&s.stats.LoadFailKinds)
-		s.noteMispredict(now, true)
-		s.useRead(now + 1)
-		if s.sink != nil {
-			s.sink.Event(obs.Event{Kind: obs.KindReplay, Cycle: now + 1, PC: q.pc, Addr: q.effAddr})
-		}
-		ready := s.dcacheAccess(q.effAddr, false, now+1)
-		return true, maxU64(ready+1, now+2)
+		// The machine declined to predict: the load proceeds down the
+		// ordinary non-speculative path, counted once it schedules.
+		noPred = true
 	}
 
 	accessCycle := now + uint64(s.cfg.LoadLatency-1)
 	if !s.readFree(accessCycle) {
 		return false, 0
 	}
+	if noPred {
+		s.stats.LoadsNoPredict++
+		if s.sink != nil {
+			s.sink.Event(obs.Event{Kind: obs.KindFACPredict, Flags: obs.FlagNoPredict, Cycle: now, PC: q.pc})
+		}
+	}
 	s.useRead(accessCycle)
 	ready := s.dcacheAccess(q.effAddr, false, accessCycle)
 	return true, maxU64(ready+1, accessCycle+1)
+}
+
+// resolve turns a prediction into its verification outcome: algebraic
+// machines carry exact failure signals (correct iff none), table machines
+// are checked against the architectural effective address and charge
+// their predict-time signal set only when wrong.
+func resolve(r predict.Result, effAddr uint32) (bool, fac.Failure) {
+	ok := r.Fail == 0
+	if !r.Algebraic {
+		ok = r.Addr == effAddr
+	}
+	if ok {
+		return true, 0
+	}
+	return false, r.Fail
 }
 
 // scheduleStore books the store's tag probe and a store-buffer entry.
@@ -765,37 +824,48 @@ func (s *sim) scheduleStore(q *qent, now uint64) bool {
 		s.stats.StoreBufferFullStalls++
 		return false
 	}
+	noPred := false
 	if s.facEligible(q, now, false) {
-		if !s.storeFree(now) {
-			return false
-		}
-		pred := s.geom.Predict(q.base, q.offset, q.isRegOff)
-		s.stats.StoresSpeculated++
-		s.useStore(now)
-		if s.sink != nil {
-			s.sink.Event(obs.Event{Kind: obs.KindFACPredict, Flags: obs.FlagStore, Fail: pred.Failure, Cycle: now, PC: q.pc, Addr: pred.Predicted})
-		}
-		if pred.OK {
-			s.sbPush(storeEnt{addr: q.effAddr, entered: now})
+		r := s.pred.Predict(q.pc, q.base, q.offset, q.isRegOff)
+		if r.Spec {
+			if !s.storeFree(now) {
+				return false
+			}
+			ok, fail := resolve(r, q.effAddr)
+			s.stats.StoresSpeculated++
+			s.useStore(now)
+			if s.sink != nil {
+				s.sink.Event(obs.Event{Kind: obs.KindFACPredict, Flags: obs.FlagStore, Fail: fail, Cycle: now, PC: q.pc, Addr: r.Addr})
+			}
+			if ok {
+				s.sbPush(storeEnt{addr: q.effAddr, entered: now})
+				return true
+			}
+			// Mispredicted store: re-probe next cycle with the architectural
+			// address and fix up the buffered entry.
+			s.stats.StoreSpecFailed++
+			s.stats.ExtraAccesses++
+			fail.CountInto(&s.stats.StoreFailKinds)
+			s.noteMispredict(now, false)
+			s.useStore(now + 1)
+			if s.sink != nil {
+				s.sink.Event(obs.Event{Kind: obs.KindReplay, Flags: obs.FlagStore, Cycle: now + 1, PC: q.pc, Addr: q.effAddr})
+			}
+			s.sbPush(storeEnt{addr: q.effAddr, entered: now + 1})
 			return true
 		}
-		// Mispredicted store: re-probe next cycle with the architectural
-		// address and fix up the buffered entry.
-		s.stats.StoreSpecFailed++
-		s.stats.ExtraAccesses++
-		pred.Failure.CountInto(&s.stats.StoreFailKinds)
-		s.noteMispredict(now, false)
-		s.useStore(now + 1)
-		if s.sink != nil {
-			s.sink.Event(obs.Event{Kind: obs.KindReplay, Flags: obs.FlagStore, Cycle: now + 1, PC: q.pc, Addr: q.effAddr})
-		}
-		s.sbPush(storeEnt{addr: q.effAddr, entered: now + 1})
-		return true
+		noPred = true
 	}
 
 	probeCycle := now + 1 // MEM stage
 	if !s.storeFree(probeCycle) {
 		return false
+	}
+	if noPred {
+		s.stats.StoresNoPredict++
+		if s.sink != nil {
+			s.sink.Event(obs.Event{Kind: obs.KindFACPredict, Flags: obs.FlagStore | obs.FlagNoPredict, Cycle: now, PC: q.pc})
+		}
 	}
 	s.useStore(probeCycle)
 	s.sbPush(storeEnt{addr: q.effAddr, entered: probeCycle})

@@ -1,0 +1,24 @@
+//lint:hotpath Predict runs once per issued memory access.
+
+package predict
+
+import "repro/internal/fac"
+
+// facMachine wraps internal/fac's carry-free adder as a Predictor. It is
+// bit-exact with the pre-zoo pipeline: Predict defers entirely to
+// fac.Config.Predict, every access speculates (Spec is always true), and
+// the failure signals are the algebraic four the paper defines.
+type facMachine struct {
+	geom fac.Config
+}
+
+func (m *facMachine) Name() string          { return "fac" }
+func (m *facMachine) SignalNames() []string { return fac.FailureSignalNames[:] }
+func (m *facMachine) OperandBased() bool    { return true }
+
+func (m *facMachine) Predict(pc, base, ofs uint32, isRegOffset bool) Result {
+	r := m.geom.Predict(base, ofs, isRegOffset)
+	return Result{Addr: r.Predicted, Spec: true, Fail: r.Failure, Algebraic: true}
+}
+
+func (m *facMachine) Train(pc, actual uint32) {}

@@ -1,0 +1,75 @@
+//lint:hotpath VerdictAt and Predict run once per issued memory access.
+
+package predict
+
+import (
+	"repro/internal/fac"
+	"repro/internal/prog"
+	"repro/internal/staticfac"
+)
+
+// StaticTable is the per-program bake the selective machine consults: one
+// staticfac verdict per text word, dense-indexed by PC so the hot-path
+// lookup is a shift and a bounds check rather than a map probe. It models
+// the paper's software side of the hybrid — the compiler (here: the
+// linker-time analysis) marks each site, and the hardware reads the mark
+// out of the instruction stream for free.
+type StaticTable struct {
+	textBase uint32
+	verdicts []staticfac.Verdict
+}
+
+// BuildStaticTable runs the static FAC-predictability analysis over the
+// linked program under geometry g and bakes the verdicts into a dense
+// table. Non-memory instructions hold VerdictUnknown (the selective
+// machine never consults them).
+func BuildStaticTable(p *prog.Program, g fac.Config) *StaticTable {
+	an := staticfac.Analyze(p, g)
+	t := &StaticTable{
+		textBase: p.TextBase,
+		verdicts: make([]staticfac.Verdict, len(p.Insts)),
+	}
+	for i := range an.Sites {
+		s := &an.Sites[i]
+		if w := (s.PC - p.TextBase) / 4; int(w) < len(t.verdicts) {
+			t.verdicts[w] = s.Verdict
+		}
+	}
+	return t
+}
+
+// VerdictAt returns the baked verdict for the instruction at pc
+// (VerdictUnknown for PCs outside the text segment).
+func (t *StaticTable) VerdictAt(pc uint32) staticfac.Verdict {
+	w := (pc - t.textBase) / 4
+	if pc < t.textBase || int(w) >= len(t.verdicts) {
+		return staticfac.VerdictUnknown
+	}
+	return t.verdicts[w]
+}
+
+// selectiveMachine is the software/hardware hybrid the paper gestures at:
+// carry-free FAC hardware, gated per-site by static analysis. Sites proven
+// failing never speculate (their replay cost is avoided entirely, charged
+// as a no-predict); every other site speculates exactly as plain FAC —
+// proven-predictable sites can never raise a failure signal (that is what
+// the proof says), so they contribute no replay accounting, and unknown
+// sites keep FAC's ordinary verify-and-replay behaviour.
+type selectiveMachine struct {
+	geom   fac.Config
+	static *StaticTable
+}
+
+func (m *selectiveMachine) Name() string          { return "selective" }
+func (m *selectiveMachine) SignalNames() []string { return fac.FailureSignalNames[:] }
+func (m *selectiveMachine) OperandBased() bool    { return true }
+
+func (m *selectiveMachine) Predict(pc, base, ofs uint32, isRegOffset bool) Result {
+	if m.static.VerdictAt(pc) == staticfac.VerdictFailing {
+		return Result{}
+	}
+	r := m.geom.Predict(base, ofs, isRegOffset)
+	return Result{Addr: r.Predicted, Spec: true, Fail: r.Failure, Algebraic: true}
+}
+
+func (m *selectiveMachine) Train(pc, actual uint32) {}

@@ -14,8 +14,11 @@ import (
 // verdicts dynamically on every fuzzed program.
 const AssumptionsNote = `the analysis assumes the toolchain's linkage conventions:
 (1) callees preserve $sp across jal/jalr (caller-sp survives to the return point);
-(2) indirect jumps target function symbols (jalr) or post-call return points (jr);
-(3) direct jumps and branches may target anything, and are followed exactly.`
+(2) callees preserve $s0-$s7 (the compiler saves and restores every s-register
+    it allocates, and the runtime never touches them), so loop variables held
+    in s-registers keep their abstract values across calls in the loop body;
+(3) indirect jumps target function symbols (jalr) or post-call return points (jr);
+(4) direct jumps and branches may target anything, and are followed exactly.`
 
 // Site is the analysis result for one static memory-access instruction.
 type Site struct {
@@ -39,6 +42,12 @@ type Site struct {
 	// or code reachable only outside the linkage assumptions); such sites
 	// are classified from the flow-insensitive register invariant alone.
 	Reached bool
+	// IvRefined reports that the interval domain proved operand bits the
+	// known-bits domain alone could not (KB.Refine tightened Base or
+	// Offset). The verdict may still be unknown — on the stock layout many
+	// bounded strided walks genuinely fail on some iterations and not
+	// others — but the tightened CanFail mask is visible in -sites output.
+	IvRefined bool
 }
 
 // Analysis holds per-site verdicts for one program under one predictor
@@ -61,6 +70,9 @@ func (a *Analysis) SiteAt(pc uint32) *Site {
 type Summary struct {
 	Sites, Loads, Stores int
 	ByVerdict            [3]int // indexed by Verdict
+	// IvRefined counts sites whose operand facts the interval domain
+	// tightened beyond plain known-bits (see Site.IvRefined).
+	IvRefined int
 }
 
 // Classified returns the fraction of sites with a non-Unknown verdict.
@@ -83,6 +95,9 @@ func (a *Analysis) Summary() Summary {
 			s.Loads++
 		}
 		s.ByVerdict[st.Verdict]++
+		if st.IvRefined {
+			s.IvRefined++
+		}
 	}
 	return s
 }
@@ -103,21 +118,26 @@ func Analyze(p *prog.Program, g fac.Config) *Analysis {
 		if !reached {
 			st = az.inv // sound at every program point
 		}
+		// The interval domain folds into known bits here: a register whose
+		// range a loop guard bounded contributes its common-prefix bits
+		// (KB.Refine), which is what lets strided array walks classify.
 		site := Site{
 			PC:      pc,
 			Inst:    in,
 			Func:    p.FuncName(pc),
 			Store:   in.Op.IsStore(),
 			Mode:    in.Op.Mode(),
-			Base:    st[in.BaseReg()],
+			Base:    st.R[in.BaseReg()].Refine(st.IV[in.BaseReg()]),
 			Reached: reached,
 		}
+		site.IvRefined = site.Base != st.R[in.BaseReg()]
 		isReg := false
 		switch site.Mode {
 		case isa.AMConst:
 			site.Offset = Exact(uint32(in.Imm))
 		case isa.AMReg:
-			site.Offset = st[in.IndexReg()]
+			site.Offset = st.R[in.IndexReg()].Refine(st.IV[in.IndexReg()])
+			site.IvRefined = site.IvRefined || site.Offset != st.R[in.IndexReg()]
 			isReg = true
 		case isa.AMPost:
 			site.Offset = Exact(0)
@@ -134,17 +154,21 @@ func Analyze(p *prog.Program, g fac.Config) *Analysis {
 // control edges leaving it.
 type block struct {
 	first, last int
-	succs       []int // direct edges (branch target, jump target, fallthrough)
-	callFall    int   // block entered on return from a jal/jalr, -1 if none
-	callTarget  uint32
-	hasTarget   bool // callTarget valid (jal); jalr targets are indirect
-	isCall      bool
-	spEscapes   bool // jr to a non-$ra register: a computed tail call
+	succs       []int // unconditional edges (jump target, fallthrough)
+	// Conditional-branch edges are kept apart from succs so the dataflow
+	// can narrow the tested registers per edge (see refineEdges).
+	brTaken, brFall int
+	callFall        int // block entered on return from a jal/jalr, -1 if none
+	callTarget      uint32
+	hasTarget       bool // callTarget valid (jal); jalr targets are indirect
+	isCall          bool
+	spEscapes       bool // jr to a non-$ra register: a computed tail call
 }
 
 type analyzer struct {
 	p       *prog.Program
-	inv     State // flow-insensitive register invariant, sound everywhere
+	inv     State    // flow-insensitive register invariant, sound everywhere
+	ts      []uint32 // interval widening thresholds: the program's comparison constants
 	blocks  []block
 	blockAt map[uint32]int
 	entries []uint32 // candidate indirect-call targets: non-local text symbols + the entry point
@@ -154,7 +178,8 @@ func (az *analyzer) pcOf(i int) uint32 { return az.p.TextBase + uint32(i)*isa.In
 
 func newAnalyzer(p *prog.Program) *analyzer {
 	az := &analyzer{p: p, blockAt: make(map[uint32]int)}
-	az.inv = invariant(p)
+	az.ts = collectThresholds(p)
+	az.inv = invariant(p, az.ts)
 
 	seen := map[uint32]bool{p.Entry: true}
 	az.entries = append(az.entries, p.Entry)
@@ -206,7 +231,7 @@ func newAnalyzer(p *prog.Program) *analyzer {
 			last++
 		}
 		az.blockAt[az.pcOf(i)] = len(az.blocks)
-		az.blocks = append(az.blocks, block{first: i, last: last, callFall: -1})
+		az.blocks = append(az.blocks, block{first: i, last: last, callFall: -1, brTaken: -1, brFall: -1})
 	}
 
 	for bi := range az.blocks {
@@ -241,12 +266,7 @@ func newAnalyzer(p *prog.Program) *analyzer {
 				b.succs = append(b.succs, target)
 			}
 		case in.Op.IsBranch():
-			if target >= 0 {
-				b.succs = append(b.succs, target)
-			}
-			if next >= 0 {
-				b.succs = append(b.succs, next)
-			}
+			b.brTaken, b.brFall = target, next
 		default:
 			if next >= 0 {
 				b.succs = append(b.succs, next)
@@ -261,17 +281,17 @@ func newAnalyzer(p *prog.Program) *analyzer {
 // registers; $ra holds the emulator's halt address, tracked as Unknown so
 // the analysis does not depend on it) and is closed under every
 // instruction's transfer function. It is sound at every reachable point.
-func invariant(p *prog.Program) State {
+func invariant(p *prog.Program, ts []uint32) State {
 	var inv State
-	for r := range inv {
-		inv[r] = Exact(0)
+	for r := range inv.R {
+		inv.SetReg(isa.Reg(r), Exact(0))
 	}
-	inv[isa.GP] = Exact(p.GP)
-	inv[isa.SP] = Exact(p.SP)
-	inv[isa.RA] = Unknown
+	inv.SetReg(isa.GP, Exact(p.GP))
+	inv.SetReg(isa.SP, Exact(p.SP))
+	inv.SetReg(isa.RA, Unknown)
 	var defs []uint8
-	for changed := true; changed; {
-		changed = false
+	for round := 0; ; round++ {
+		changed := false
 		for i, in := range p.Insts {
 			tmp := inv
 			Step(&tmp, in, p.TextBase+uint32(i)*isa.InstBytes)
@@ -280,52 +300,177 @@ func invariant(p *prog.Program) State {
 				if d >= isa.NumRegs {
 					continue // FP registers and the condition flag
 				}
-				j := inv[d].Join(tmp[d])
-				if j != inv[d] {
-					inv[d] = j
+				jk := inv.R[d].Join(tmp.R[d])
+				ji := inv.IV[d].Join(tmp.IV[d])
+				if round >= ivWidenRounds {
+					// The KB half converges on its own (joins only clear
+					// bits); the interval half needs widening to terminate.
+					ji = inv.IV[d].WidenTo(ji, ts)
+				}
+				if jk != inv.R[d] || ji != inv.IV[d] {
+					inv.R[d], inv.IV[d] = jk, ji
 					changed = true
 				}
 			}
+		}
+		if !changed {
+			break
 		}
 	}
 	return inv
 }
 
+// ivWidenRounds bounds how many ascending interval joins the fixpoint
+// loops tolerate before widening moved bounds to their extremes. Small
+// loop bodies converge well under the threshold; the widened precision is
+// recovered below loop guards by branch narrowing.
+const ivWidenRounds = 16
+
+// collectThresholds gathers the positive constants the program compares
+// against — slti/sltiu immediates and constants materialized by
+// addi rd, $zero, imm (the assembler's li, which feeds register-register
+// slt guards) — as interval widening thresholds, each with its
+// predecessor so both the inclusive and exclusive forms of a bound have a
+// landing spot. Snapping a widened bound to one of these is what lets a
+// loop-counter fixpoint settle at the guard's limit (see WidenTo).
+func collectThresholds(p *prog.Program) []uint32 {
+	seen := make(map[uint32]bool)
+	add := func(imm int32) {
+		// Only positive int32 constants: the sign boundary and zero are
+		// WidenTo's built-in fallbacks.
+		if v := uint32(imm); imm > 0 && v < 1<<31 {
+			seen[v] = true
+			seen[v-1] = true
+		}
+	}
+	for _, in := range p.Insts {
+		switch in.Op {
+		case isa.SLTI, isa.SLTIU:
+			add(in.Imm)
+		case isa.ADDI:
+			if in.Rs == isa.Zero {
+				add(in.Imm)
+			}
+		}
+	}
+	ts := make([]uint32, 0, len(seen))
+	for v := range seen {
+		ts = append(ts, v)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	return ts
+}
+
+// entryFacts abstracts the machine state a function can be entered with,
+// joined over every call the program performs: the stack pointer and the
+// four argument registers, each in both domains. Carrying arguments
+// through the interprocedural fixpoint is what classifies argument-indexed
+// array walks (a recursive place(k) whose k every call site bounds) and
+// library routines called with exact global pointers.
+type entryFacts struct {
+	sp  KB
+	a   [4]KB // $a0-$a3
+	aIV [4]Interval
+}
+
+func (f entryFacts) join(o entryFacts) entryFacts {
+	f.sp = f.sp.Join(o.sp)
+	for i := range f.a {
+		f.a[i] = f.a[i].Join(o.a[i])
+		f.aIV[i] = f.aIV[i].Join(o.aIV[i])
+	}
+	return f
+}
+
+// widen accelerates the entry-facts iteration the same way WidenState
+// accelerates block joins: only the interval halves need it.
+func (f entryFacts) widen(next entryFacts, ts []uint32) entryFacts {
+	for i := range next.aIV {
+		next.aIV[i] = f.aIV[i].WidenTo(next.aIV[i], ts)
+	}
+	return next
+}
+
+// factsAt reads the entry facts a call site transfers to its callee.
+func factsAt(st State) entryFacts {
+	var f entryFacts
+	f.sp = st.R[isa.SP]
+	for i := range f.a {
+		r := isa.A0 + isa.Reg(i)
+		f.a[i] = st.R[r]
+		f.aIV[i] = st.IV[r]
+	}
+	return f
+}
+
+// startFacts is the architectural startup state: every register zero
+// except $sp (the program's initial stack pointer).
+func startFacts(p *prog.Program) entryFacts {
+	var f entryFacts
+	f.sp = Exact(p.SP)
+	for i := range f.a {
+		f.a[i] = Exact(0)
+		f.aIV[i] = IvExact(0)
+	}
+	return f
+}
+
+// unknownFacts is the degenerate hypothesis: nothing known at entry.
+func unknownFacts() entryFacts {
+	var f entryFacts
+	f.sp = Unknown
+	for i := range f.a {
+		f.a[i] = Unknown
+		f.aIV[i] = IvTop
+	}
+	return f
+}
+
 // flowOut is the result of one whole-program dataflow pass under a fixed
-// per-function entry-sp hypothesis.
+// per-function entry hypothesis.
 type flowOut struct {
-	sites     map[int]State // state before each reached memory instruction
-	espNext   map[uint32]KB // sp observed at direct calls, per target
-	espAll    KB            // sp observed at indirect calls / computed tail jumps
+	sites     map[int]State         // state before each reached memory instruction
+	espNext   map[uint32]entryFacts // entry facts observed at direct calls, per target
+	espAll    entryFacts            // entry facts at indirect calls / computed tail jumps
 	espAllSet bool
 }
 
-// run iterates the per-function entry-sp map to a fixpoint, then performs a
-// final recording pass. espMap[f] abstracts $sp on entry to function f over
-// all calls the program can perform; keeping it per-function (rather than
-// one global join) preserves exact stack pointers through non-recursive
-// call chains, which is what proves constant-offset stack accesses.
+// run iterates the per-function entry-facts map to a fixpoint, then
+// performs a final recording pass. espMap[f] abstracts $sp and $a0-$a3 on
+// entry to function f over all calls the program can perform; keeping it
+// per-function (rather than one global join) preserves exact stack
+// pointers through non-recursive call chains, which is what proves
+// constant-offset stack accesses.
 func (az *analyzer) run() map[int]State {
-	esp := map[uint32]KB{az.p.Entry: Exact(az.p.SP)}
+	esp := map[uint32]entryFacts{az.p.Entry: startFacts(az.p)}
 	for iter := 0; ; iter++ {
 		out := az.flow(esp, false)
-		next := map[uint32]KB{az.p.Entry: Exact(az.p.SP)}
-		joinInto := func(pc uint32, kb KB) {
+		next := map[uint32]entryFacts{az.p.Entry: startFacts(az.p)}
+		joinInto := func(pc uint32, f entryFacts) {
 			if _, ok := az.blockAt[pc]; !ok {
 				return
 			}
 			if cur, ok := next[pc]; ok {
-				next[pc] = cur.Join(kb)
+				next[pc] = cur.join(f)
 			} else {
-				next[pc] = kb
+				next[pc] = f
 			}
 		}
-		for t, kb := range out.espNext {
-			joinInto(t, kb)
+		for t, f := range out.espNext {
+			joinInto(t, f)
 		}
 		if out.espAllSet {
 			for _, e := range az.entries {
 				joinInto(e, out.espAll)
+			}
+		}
+		if iter >= ivWidenRounds {
+			// Recursive argument chains (place(k+1)) ascend in the interval
+			// half; widen them against the previous hypothesis.
+			for pc, f := range next {
+				if cur, ok := esp[pc]; ok {
+					next[pc] = cur.widen(f, az.ts)
+				}
 			}
 		}
 		if espEqual(esp, next) {
@@ -336,10 +481,10 @@ func (az *analyzer) run() map[int]State {
 			// Safety valve: the chain is monotone and finite so this should
 			// never trigger, but degrade soundly rather than loop.
 			for k := range esp {
-				esp[k] = Unknown
+				esp[k] = unknownFacts()
 			}
 			for _, e := range az.entries {
-				esp[e] = Unknown
+				esp[e] = unknownFacts()
 			}
 			break
 		}
@@ -347,7 +492,7 @@ func (az *analyzer) run() map[int]State {
 	return az.flow(esp, true).sites
 }
 
-func espEqual(a, b map[uint32]KB) bool {
+func espEqual(a, b map[uint32]entryFacts) bool {
 	if len(a) != len(b) {
 		return false
 	}
@@ -360,27 +505,40 @@ func espEqual(a, b map[uint32]KB) bool {
 }
 
 // entryState is the abstract state on entry to a function: the global
-// invariant with $sp narrowed to the entry hypothesis.
-func (az *analyzer) entryState(sp KB) State {
+// invariant with $sp and the argument registers narrowed to the entry
+// hypothesis.
+func (az *analyzer) entryState(f entryFacts) State {
 	st := az.inv
-	st[isa.SP] = sp
+	st.SetReg(isa.SP, f.sp)
+	for i := range f.a {
+		r := isa.A0 + isa.Reg(i)
+		st.R[r] = f.a[i]
+		st.IV[r] = f.aIV[i].ReduceKB(f.a[i])
+	}
 	return st
 }
 
 // returnState is the abstract state at a post-call return point: callers
 // may assume nothing about scratch registers (the invariant), and the ABI
-// guarantees $sp survived the call.
-func (az *analyzer) returnState(sp KB) State {
+// guarantees $sp and the callee-saved $s0-$s7 survived the call — every
+// callee restores them to their at-call values, so the caller's abstract
+// values flow through (AssumptionsNote 1 and 2; the difftest static
+// oracle cross-validates the resulting verdicts dynamically).
+func (az *analyzer) returnState(caller State) State {
 	st := az.inv
-	st[isa.SP] = sp
+	st.R[isa.SP], st.IV[isa.SP] = caller.R[isa.SP], caller.IV[isa.SP]
+	for r := isa.S0; r <= isa.S7; r++ {
+		st.R[r], st.IV[r] = caller.R[r], caller.IV[r]
+	}
 	return st
 }
 
-// flow runs the block-level dataflow to a fixpoint under the entry-sp
-// hypothesis, then sweeps the final states to collect call-site sp values
-// and (when record is set) the state before every memory instruction.
-func (az *analyzer) flow(esp map[uint32]KB, record bool) flowOut {
-	out := flowOut{espNext: make(map[uint32]KB)}
+// flow runs the block-level dataflow to a fixpoint under the entry
+// hypothesis, then sweeps the final states to collect call-site entry
+// facts and (when record is set) the state before every memory
+// instruction.
+func (az *analyzer) flow(esp map[uint32]entryFacts, record bool) flowOut {
+	out := flowOut{espNext: make(map[uint32]entryFacts)}
 	if record {
 		out.sites = make(map[int]State)
 	}
@@ -391,6 +549,7 @@ func (az *analyzer) flow(esp map[uint32]KB, record bool) flowOut {
 	in := make([]State, nb)
 	have := make([]bool, nb)
 	queued := make([]bool, nb)
+	joins := make([]int, nb)
 	var queue []int
 	push := func(b int) {
 		if !queued[b] {
@@ -405,7 +564,11 @@ func (az *analyzer) flow(esp map[uint32]KB, record bool) flowOut {
 			return
 		}
 		j := JoinState(in[b], st)
+		if joins[b] >= ivWidenRounds {
+			j = WidenState(in[b], j, az.ts)
+		}
 		if j != in[b] {
+			joins[b]++
 			in[b] = j
 			push(b)
 		}
@@ -444,21 +607,30 @@ func (az *analyzer) flow(esp map[uint32]KB, record bool) flowOut {
 		queued[bi] = false
 		st := step(bi, nil)
 		b := &az.blocks[bi]
+		if b.brTaken >= 0 || b.brFall >= 0 {
+			taken, fall := az.refineEdges(b, st)
+			if b.brTaken >= 0 {
+				propagate(b.brTaken, taken)
+			}
+			if b.brFall >= 0 {
+				propagate(b.brFall, fall)
+			}
+		}
 		for _, s := range b.succs {
 			propagate(s, st)
 		}
 		if b.isCall && b.callFall >= 0 {
-			propagate(b.callFall, az.returnState(st[isa.SP]))
+			propagate(b.callFall, az.returnState(st))
 		}
 	}
 
-	// Final sweep over the converged states: record site states and the sp
-	// values observed at call sites (the next entry-sp hypothesis).
-	joinEsp := func(t uint32, kb KB) {
+	// Final sweep over the converged states: record site states and the
+	// entry facts observed at call sites (the next entry hypothesis).
+	joinEsp := func(t uint32, f entryFacts) {
 		if cur, ok := out.espNext[t]; ok {
-			out.espNext[t] = cur.Join(kb)
+			out.espNext[t] = cur.join(f)
 		} else {
-			out.espNext[t] = kb
+			out.espNext[t] = f
 		}
 	}
 	for bi := range az.blocks {
@@ -473,12 +645,12 @@ func (az *analyzer) flow(esp map[uint32]KB, record bool) flowOut {
 		})
 		switch {
 		case b.isCall && b.hasTarget:
-			joinEsp(b.callTarget, st[isa.SP])
+			joinEsp(b.callTarget, factsAt(st))
 		case b.isCall || b.spEscapes:
 			if out.espAllSet {
-				out.espAll = out.espAll.Join(st[isa.SP])
+				out.espAll = out.espAll.join(factsAt(st))
 			} else {
-				out.espAll, out.espAllSet = st[isa.SP], true
+				out.espAll, out.espAllSet = factsAt(st), true
 			}
 		}
 	}

@@ -1,0 +1,300 @@
+package staticfac
+
+import (
+	"math"
+
+	"repro/internal/isa"
+)
+
+// Branch narrowing: a conditional branch proves a fact about the tested
+// registers on each outgoing edge, and the interval domain can represent
+// many of those facts (sign tests directly; equality tests by meeting;
+// magnitude tests through the slt/sltu comparison that feeds them). This
+// is what bounds loop induction variables — the assembler expands every
+// blt/ble/bgt/bge pseudo-branch into an slt + beq/bne $zero pair, so a
+// loop guard like `i < n` becomes a comparison result tested against
+// zero, and the array walk below the guard sees an index interval capped
+// at the loop limit.
+//
+// Narrowed bounds also propagate backward through affine def chains
+// inside the block (addi results and register moves): a guard that tests
+// i+k bounds the temporary holding i+k, and the back-propagation carries
+// the bound onto i itself, which is the register the loop body actually
+// indexes with.
+
+// refineEdges computes the taken and fallthrough states of a block ending
+// in a conditional branch. Narrowing never exploits an infeasible edge:
+// an empty meet leaves the interval unchanged, so a mis-narrowed edge can
+// only cost precision, never soundness.
+func (az *analyzer) refineEdges(b *block, st State) (taken, fall State) {
+	taken, fall = st, st
+	nr := edgeNarrower{az: az, b: b}
+	in := az.p.Insts[b.last]
+	switch in.Op {
+	case isa.BGEZ:
+		nr.meetSigned(&taken, in.Rs, 0, math.MaxInt32)
+		nr.meetSigned(&fall, in.Rs, math.MinInt32, -1)
+	case isa.BLTZ:
+		nr.meetSigned(&taken, in.Rs, math.MinInt32, -1)
+		nr.meetSigned(&fall, in.Rs, 0, math.MaxInt32)
+	case isa.BGTZ:
+		nr.meetSigned(&taken, in.Rs, 1, math.MaxInt32)
+		nr.meetSigned(&fall, in.Rs, math.MinInt32, 0)
+	case isa.BLEZ:
+		nr.meetSigned(&taken, in.Rs, math.MinInt32, 0)
+		nr.meetSigned(&fall, in.Rs, 1, math.MaxInt32)
+	case isa.BEQ, isa.BNE:
+		eq, ne := &taken, &fall
+		if in.Op == isa.BNE {
+			eq, ne = &fall, &taken
+		}
+		nr.narrowEqual(eq, in.Rs, in.Rt)
+		nr.narrowNotEqual(ne, in.Rs, in.Rt)
+		var cond isa.Reg
+		switch {
+		case in.Rt == isa.Zero && in.Rs != isa.Zero:
+			cond = in.Rs
+		case in.Rs == isa.Zero && in.Rt != isa.Zero:
+			cond = in.Rt
+		default:
+			return
+		}
+		if cmp, ok := az.comparisonAt(b, cond); ok {
+			// slt-family results are exactly 0 or 1: the comparison holds
+			// on the cond != 0 edge and its negation holds on cond == 0.
+			nr.narrowCompare(ne, cmp, true)
+			nr.narrowCompare(eq, cmp, false)
+		}
+	}
+	return
+}
+
+// edgeNarrower applies branch facts to a state, with access to the block
+// so refined bounds can chase def chains backward.
+type edgeNarrower struct {
+	az *analyzer
+	b  *block
+}
+
+// backpropDepth caps the affine def chains backprop follows; minic's
+// compare-then-move chains are two or three deep.
+const backpropDepth = 8
+
+// meetIv narrows r to the meet of its interval with iv and back-propagates.
+func (n edgeNarrower) meetIv(st *State, r isa.Reg, iv Interval, depth int) {
+	if r == isa.Zero {
+		return
+	}
+	m, ok := st.IV[r].Meet(iv)
+	if !ok {
+		return
+	}
+	st.IV[r] = m
+	n.backprop(st, r, m, depth)
+}
+
+// meetSigned narrows r to the members of its interval whose int32 reading
+// lies in [a, b], then back-propagates the result.
+func (n edgeNarrower) meetSigned(st *State, r isa.Reg, a, b int64) {
+	if r == isa.Zero {
+		return
+	}
+	m := st.IV[r].MeetSigned(a, b)
+	st.IV[r] = m
+	n.backprop(st, r, m, 0)
+}
+
+// backprop pushes a just-established bound on r backward through r's
+// in-block definition when it is an affine step (addi or a register
+// move) whose source register survives unmodified to the branch: r's
+// value at the branch is then exactly src+delta, so src lies in
+// bound-delta. The chase repeats through the chain (compare temporaries,
+// copy propagation) up to backpropDepth.
+func (n edgeNarrower) backprop(st *State, r isa.Reg, bound Interval, depth int) {
+	if depth >= backpropDepth {
+		return
+	}
+	src, delta, ok := n.affineDef(r)
+	if !ok {
+		return
+	}
+	n.meetIv(st, src, bound.Sub(IvExact(delta)), depth+1)
+}
+
+// affineDef locates the last in-block definition of r before the branch
+// and, when it is `addi r, src, imm` or a register move (`add r, src,
+// $zero` / `add r, $zero, src`) with src distinct from r and unmodified
+// through the rest of the block, returns the (src, delta) such that
+// r = src + delta still holds at the branch.
+func (n edgeNarrower) affineDef(r isa.Reg) (src isa.Reg, delta uint32, ok bool) {
+	var defs []uint8
+	definesReg := func(in isa.Inst, rr isa.Reg) bool {
+		defs = in.Defs(defs[:0])
+		for _, d := range defs {
+			if d < isa.NumRegs && isa.Reg(d) == rr {
+				return true
+			}
+		}
+		return false
+	}
+	for i := n.b.last - 1; i >= n.b.first; i-- {
+		in := n.az.p.Insts[i]
+		if !definesReg(in, r) {
+			continue
+		}
+		switch {
+		case in.Op == isa.ADDI && in.Rd == r && in.Rs != isa.Zero:
+			src, delta = in.Rs, uint32(in.Imm)
+		case in.Op == isa.ADD && in.Rd == r && in.Rt == isa.Zero && in.Rs != isa.Zero:
+			src, delta = in.Rs, 0
+		case in.Op == isa.ADD && in.Rd == r && in.Rs == isa.Zero && in.Rt != isa.Zero:
+			src, delta = in.Rt, 0
+		default:
+			return 0, 0, false
+		}
+		if src == r {
+			// Self-increment: the source value is gone at the branch.
+			return 0, 0, false
+		}
+		for j := i + 1; j < n.b.last; j++ {
+			if definesReg(n.az.p.Insts[j], src) {
+				return 0, 0, false
+			}
+		}
+		return src, delta, true
+	}
+	return 0, 0, false
+}
+
+// narrowEqual records that two registers hold the same value: each meets
+// the other's interval.
+func (n edgeNarrower) narrowEqual(st *State, rs, rt isa.Reg) {
+	m, ok := st.IV[rs].Meet(st.IV[rt])
+	if !ok {
+		return
+	}
+	n.meetIv(st, rs, m, 0)
+	n.meetIv(st, rt, m, 0)
+}
+
+// narrowNotEqual trims an exactly-known operand off the other operand's
+// interval when it sits on a bound (the only inequality an interval can
+// express).
+func (n edgeNarrower) narrowNotEqual(st *State, rs, rt isa.Reg) {
+	trim := func(r isa.Reg, v uint32) {
+		if r == isa.Zero {
+			return
+		}
+		iv := st.IV[r]
+		switch {
+		case iv.IsExact():
+		case iv.Lo() == v:
+			n.meetIv(st, r, IvRange(v+1, iv.Hi()), 0)
+		case iv.Hi() == v:
+			n.meetIv(st, r, IvRange(iv.Lo(), v-1), 0)
+		}
+	}
+	if st.IV[rt].IsExact() {
+		trim(rs, st.IV[rt].Lo())
+	}
+	if st.IV[rs].IsExact() {
+		trim(rt, st.IV[rs].Lo())
+	}
+}
+
+// comparison is an slt-family instruction whose 0/1 result feeds a branch:
+// x < y, signed or unsigned, with y a register or an immediate.
+type comparison struct {
+	op     isa.Op // SLT, SLTU, SLTI, or SLTIU
+	x      isa.Reg
+	yReg   isa.Reg
+	yImm   uint32
+	yIsImm bool
+}
+
+// comparisonAt finds the in-block definition of the branch's tested
+// register and returns the comparison it encodes, provided the compared
+// operands survive unmodified to the branch (so their abstract values at
+// the branch are the values the comparison saw).
+func (az *analyzer) comparisonAt(b *block, cond isa.Reg) (comparison, bool) {
+	var defs []uint8
+	definesReg := func(in isa.Inst, r isa.Reg) bool {
+		defs = in.Defs(defs[:0])
+		for _, d := range defs {
+			if d < isa.NumRegs && isa.Reg(d) == r {
+				return true
+			}
+		}
+		return false
+	}
+	for i := b.last - 1; i >= b.first; i-- {
+		in := az.p.Insts[i]
+		if !definesReg(in, cond) {
+			continue
+		}
+		var cmp comparison
+		switch in.Op {
+		case isa.SLT, isa.SLTU:
+			cmp = comparison{op: in.Op, x: in.Rs, yReg: in.Rt}
+		case isa.SLTI, isa.SLTIU:
+			cmp = comparison{op: in.Op, x: in.Rs, yImm: uint32(in.Imm), yIsImm: true}
+		default:
+			return comparison{}, false
+		}
+		if cmp.x == cond || (!cmp.yIsImm && cmp.yReg == cond) {
+			return comparison{}, false
+		}
+		for j := i + 1; j < b.last; j++ {
+			if definesReg(az.p.Insts[j], cmp.x) || (!cmp.yIsImm && definesReg(az.p.Insts[j], cmp.yReg)) {
+				return comparison{}, false
+			}
+		}
+		return cmp, true
+	}
+	return comparison{}, false
+}
+
+// narrowCompare applies the comparison (when holds) or its negation (when
+// not) to the state's intervals for both operands, back-propagating each
+// refined bound through its def chain.
+func (n edgeNarrower) narrowCompare(st *State, c comparison, holds bool) {
+	xIv := st.IV[c.x]
+	yIv := IvExact(c.yImm)
+	if !c.yIsImm {
+		yIv = st.IV[c.yReg]
+	}
+	yReg := isa.Zero
+	if !c.yIsImm {
+		yReg = c.yReg
+	}
+	if c.op == isa.SLT || c.op == isa.SLTI {
+		ax, _ := xIv.signedRange()
+		_, by := yIv.signedRange()
+		if holds { // x < y (signed)
+			n.meetSigned(st, c.x, math.MinInt32, by-1)
+			n.meetSigned(st, yReg, ax+1, math.MaxInt32)
+		} else { // x >= y
+			ay, _ := yIv.signedRange()
+			_, bx := xIv.signedRange()
+			n.meetSigned(st, c.x, ay, math.MaxInt32)
+			n.meetSigned(st, yReg, math.MinInt32, bx)
+		}
+		return
+	}
+	// SLTU / SLTIU: unsigned, directly on the interval bounds.
+	meetU := func(r isa.Reg, lo, hi uint64) {
+		if lo > hi || lo > math.MaxUint32 {
+			return
+		}
+		n.meetIv(st, r, IvRange(uint32(lo), uint32(min(hi, math.MaxUint32))), 0)
+	}
+	if holds { // x < y (unsigned)
+		if yIv.Hi() > 0 {
+			meetU(c.x, 0, uint64(yIv.Hi())-1)
+		}
+		meetU(yReg, uint64(xIv.Lo())+1, math.MaxUint32)
+	} else { // x >= y
+		meetU(c.x, uint64(yIv.Lo()), math.MaxUint32)
+		meetU(yReg, 0, uint64(xIv.Hi()))
+	}
+}

@@ -2,18 +2,44 @@ package staticfac
 
 import "repro/internal/isa"
 
-// State abstracts the integer register file: one known-bits value per
-// architectural register. FP registers and the FP condition flag never feed
-// address computation and are not tracked.
-type State [isa.NumRegs]KB
+// State abstracts the integer register file as a reduced product of two
+// domains per register: known bits (R) and an unsigned value range (IV).
+// FP registers and the FP condition flag never feed address computation
+// and are not tracked. Every write goes through both domains and clamps
+// the interval to the KB-consistent range, so the product never drifts
+// apart; the reverse reduction (intervals sharpening KB) happens once per
+// site at classification time (KB.Refine).
+type State struct {
+	R  [isa.NumRegs]KB
+	IV [isa.NumRegs]Interval
+}
 
-// JoinState merges two register states pointwise.
+// SetReg writes one register in both domains, deriving the interval from
+// the known bits. Use it wherever only a KB fact is available (entry
+// hypotheses, tests).
+func (st *State) SetReg(r isa.Reg, k KB) {
+	st.R[r] = k
+	st.IV[r] = k.Range()
+}
+
+// JoinState merges two register states pointwise in both domains.
 func JoinState(a, b State) State {
 	var out State
-	for i := range out {
-		out[i] = a[i].Join(b[i])
+	for i := range out.R {
+		out.R[i] = a.R[i].Join(b.R[i])
+		out.IV[i] = a.IV[i].Join(b.IV[i])
 	}
 	return out
+}
+
+// WidenState accelerates an ascending join chain: the KB half converges on
+// its own (each join only clears bits), so only the intervals widen,
+// snapping to the program's comparison constants (ts, ascending).
+func WidenState(prev, next State, ts []uint32) State {
+	for i := range next.IV {
+		next.IV[i] = prev.IV[i].WidenTo(next.IV[i], ts)
+	}
+	return next
 }
 
 // Step applies the abstract transfer function of one instruction to the
@@ -23,82 +49,86 @@ func JoinState(a, b State) State {
 // shift amounts are masked to 5 bits. Operations whose results the lattice
 // cannot track (multiplies, divides, loads, FP moves, syscall results)
 // clobber their destination to Unknown. Control transfers only write their
-// link register; the CFG layer handles the PC.
+// link register; the CFG layer handles the PC. Interval arithmetic runs
+// beside the known-bits transfer where it can beat the KB-derived range
+// (add/sub chains, shifts, masked upper bounds); everywhere else the
+// destination interval falls back to the range the KB result implies.
 func Step(st *State, in isa.Inst, pc uint32) {
-	set := func(r isa.Reg, v KB) {
+	set := func(r isa.Reg, v KB, iv Interval) {
 		if r != isa.Zero {
-			st[r] = v
+			st.R[r] = v
+			st.IV[r] = iv.ReduceKB(v)
 		}
 	}
 	imm := uint32(in.Imm) // sign-extended for ADDI, raw low 16 reinterpreted for logicals
 	switch in.Op {
 	case isa.ADD:
-		set(in.Rd, st[in.Rs].Add(st[in.Rt]))
+		set(in.Rd, st.R[in.Rs].Add(st.R[in.Rt]), st.IV[in.Rs].Add(st.IV[in.Rt]))
 	case isa.SUB:
-		set(in.Rd, st[in.Rs].Sub(st[in.Rt]))
+		set(in.Rd, st.R[in.Rs].Sub(st.R[in.Rt]), st.IV[in.Rs].Sub(st.IV[in.Rt]))
 	case isa.MUL, isa.DIV, isa.DIVU, isa.REM, isa.REMU:
-		set(in.Rd, Unknown)
+		set(in.Rd, Unknown, IvTop)
 	case isa.AND:
-		set(in.Rd, st[in.Rs].And(st[in.Rt]))
+		set(in.Rd, st.R[in.Rs].And(st.R[in.Rt]), st.IV[in.Rs].AndUpper(st.IV[in.Rt]))
 	case isa.OR:
-		set(in.Rd, st[in.Rs].Or(st[in.Rt]))
+		set(in.Rd, st.R[in.Rs].Or(st.R[in.Rt]), IvTop)
 	case isa.XOR:
-		set(in.Rd, st[in.Rs].Xor(st[in.Rt]))
+		set(in.Rd, st.R[in.Rs].Xor(st.R[in.Rt]), IvTop)
 	case isa.NOR:
-		set(in.Rd, st[in.Rs].Nor(st[in.Rt]))
+		set(in.Rd, st.R[in.Rs].Nor(st.R[in.Rt]), IvTop)
 	case isa.SLT, isa.SLTU, isa.SLTI, isa.SLTIU:
-		set(in.Rd, Bool01())
+		set(in.Rd, Bool01(), IvTop)
 	case isa.SLLV:
-		if n, ok := st[in.Rt].LowKnown(5); ok {
-			set(in.Rd, st[in.Rs].Shl(uint(n)))
+		if n, ok := st.R[in.Rt].LowKnown(5); ok {
+			set(in.Rd, st.R[in.Rs].Shl(uint(n)), st.IV[in.Rs].Shl(uint(n)))
 		} else {
-			set(in.Rd, Unknown)
+			set(in.Rd, Unknown, IvTop)
 		}
 	case isa.SRLV:
-		if n, ok := st[in.Rt].LowKnown(5); ok {
-			set(in.Rd, st[in.Rs].Shr(uint(n)))
+		if n, ok := st.R[in.Rt].LowKnown(5); ok {
+			set(in.Rd, st.R[in.Rs].Shr(uint(n)), st.IV[in.Rs].Shr(uint(n)))
 		} else {
-			set(in.Rd, Unknown)
+			set(in.Rd, Unknown, IvTop)
 		}
 	case isa.SRAV:
-		if n, ok := st[in.Rt].LowKnown(5); ok {
-			set(in.Rd, st[in.Rs].Sar(uint(n)))
+		if n, ok := st.R[in.Rt].LowKnown(5); ok {
+			set(in.Rd, st.R[in.Rs].Sar(uint(n)), st.IV[in.Rs].Sar(uint(n)))
 		} else {
-			set(in.Rd, Unknown)
+			set(in.Rd, Unknown, IvTop)
 		}
 	case isa.ADDI:
-		set(in.Rd, st[in.Rs].Add(Exact(imm)))
+		set(in.Rd, st.R[in.Rs].Add(Exact(imm)), st.IV[in.Rs].Add(IvExact(imm)))
 	case isa.ANDI:
-		set(in.Rd, st[in.Rs].And(Exact(imm)))
+		set(in.Rd, st.R[in.Rs].And(Exact(imm)), st.IV[in.Rs].AndUpper(IvExact(imm)))
 	case isa.ORI:
-		set(in.Rd, st[in.Rs].Or(Exact(imm)))
+		set(in.Rd, st.R[in.Rs].Or(Exact(imm)), IvTop)
 	case isa.XORI:
-		set(in.Rd, st[in.Rs].Xor(Exact(imm)))
+		set(in.Rd, st.R[in.Rs].Xor(Exact(imm)), IvTop)
 	case isa.SLL:
-		set(in.Rd, st[in.Rs].Shl(uint(in.Imm&31)))
+		set(in.Rd, st.R[in.Rs].Shl(uint(in.Imm&31)), st.IV[in.Rs].Shl(uint(in.Imm&31)))
 	case isa.SRL:
-		set(in.Rd, st[in.Rs].Shr(uint(in.Imm&31)))
+		set(in.Rd, st.R[in.Rs].Shr(uint(in.Imm&31)), st.IV[in.Rs].Shr(uint(in.Imm&31)))
 	case isa.SRA:
-		set(in.Rd, st[in.Rs].Sar(uint(in.Imm&31)))
+		set(in.Rd, st.R[in.Rs].Sar(uint(in.Imm&31)), st.IV[in.Rs].Sar(uint(in.Imm&31)))
 	case isa.LUI:
-		set(in.Rd, Exact(imm<<16))
+		set(in.Rd, Exact(imm<<16), IvTop)
 	case isa.JAL:
-		set(isa.RA, Exact(pc+isa.InstBytes))
+		set(isa.RA, Exact(pc+isa.InstBytes), IvTop)
 	case isa.JALR:
-		set(in.Rd, Exact(pc+isa.InstBytes))
+		set(in.Rd, Exact(pc+isa.InstBytes), IvTop)
 	case isa.SYSCALL:
-		set(isa.V0, Unknown) // sbrk result; exit never returns
+		set(isa.V0, Unknown, IvTop) // sbrk result; exit never returns
 	case isa.MFC1:
-		set(in.Rd, Unknown)
+		set(in.Rd, Unknown, IvTop)
 	default:
 		if in.Op.IsMem() {
 			if in.Op.IsLoad() && !in.Op.FPDest() {
-				set(in.Rd, Unknown)
+				set(in.Rd, Unknown, IvTop)
 			}
 			if in.Op.Mode() == isa.AMPost {
-				set(in.Rs, st[in.Rs].Add(Exact(imm)))
+				set(in.Rs, st.R[in.Rs].Add(Exact(imm)), st.IV[in.Rs].Add(IvExact(imm)))
 			}
 		}
 	}
-	st[isa.Zero] = Exact(0)
+	st.SetReg(isa.Zero, Exact(0))
 }

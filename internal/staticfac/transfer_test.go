@@ -19,80 +19,83 @@ func TestStepPerOpcode(t *testing.T) {
 		want func(t *testing.T, st *State)
 	}{
 		{"lui-exact", isa.Inst{Op: isa.LUI, Rd: isa.T0, Imm: 0x1234}, nil,
-			func(t *testing.T, st *State) { expectExact(t, st[isa.T0], 0x12340000) }},
+			func(t *testing.T, st *State) { expectExact(t, st.R[isa.T0], 0x12340000) }},
 		{"addi-exact", isa.Inst{Op: isa.ADDI, Rd: isa.T1, Rs: isa.T0, Imm: -8},
-			func(st *State) { st[isa.T0] = Exact(0x1000) },
-			func(t *testing.T, st *State) { expectExact(t, st[isa.T1], 0xFF8) }},
+			func(st *State) { st.SetReg(isa.T0, Exact(0x1000)) },
+			func(t *testing.T, st *State) { expectExact(t, st.R[isa.T1], 0xFF8) }},
 		{"addi-keeps-alignment", isa.Inst{Op: isa.ADDI, Rd: isa.T1, Rs: isa.T0, Imm: 24},
-			func(st *State) { st[isa.T0] = aligned },
-			func(t *testing.T, st *State) { expectLow(t, st[isa.T1], 6, 24) }},
+			func(st *State) { st.SetReg(isa.T0, aligned) },
+			func(t *testing.T, st *State) { expectLow(t, st.R[isa.T1], 6, 24) }},
 		{"add-aligned-plus-unknown", isa.Inst{Op: isa.ADD, Rd: isa.T2, Rs: isa.T0, Rt: isa.T1},
-			func(st *State) { st[isa.T0] = aligned; st[isa.T1] = Unknown },
-			func(t *testing.T, st *State) { expectUnknown(t, st[isa.T2]) }},
+			func(st *State) { st.SetReg(isa.T0, aligned); st.SetReg(isa.T1, Unknown) },
+			func(t *testing.T, st *State) { expectUnknown(t, st.R[isa.T2]) }},
 		{"add-aligned-pair", isa.Inst{Op: isa.ADD, Rd: isa.T2, Rs: isa.T0, Rt: isa.T1},
-			func(st *State) { st[isa.T0] = aligned; st[isa.T1] = KB{Zeros: 0x7} },
-			func(t *testing.T, st *State) { expectLow(t, st[isa.T2], 3, 0) }},
+			func(st *State) { st.SetReg(isa.T0, aligned); st.SetReg(isa.T1, KB{Zeros: 0x7}) },
+			func(t *testing.T, st *State) { expectLow(t, st.R[isa.T2], 3, 0) }},
 		{"sub-exact", isa.Inst{Op: isa.SUB, Rd: isa.T2, Rs: isa.T0, Rt: isa.T1},
-			func(st *State) { st[isa.T0] = Exact(0x40); st[isa.T1] = Exact(0x18) },
-			func(t *testing.T, st *State) { expectExact(t, st[isa.T2], 0x28) }},
+			func(st *State) { st.SetReg(isa.T0, Exact(0x40)); st.SetReg(isa.T1, Exact(0x18)) },
+			func(t *testing.T, st *State) { expectExact(t, st.R[isa.T2], 0x28) }},
 		{"andi-refines", isa.Inst{Op: isa.ANDI, Rd: isa.T1, Rs: isa.T0, Imm: 0xFFC0},
-			func(st *State) { st[isa.T0] = Unknown },
-			func(t *testing.T, st *State) { expectLow(t, st[isa.T1], 6, 0) }}, // low 6 and top 16 proven zero
+			func(st *State) { st.SetReg(isa.T0, Unknown) },
+			func(t *testing.T, st *State) { expectLow(t, st.R[isa.T1], 6, 0) }}, // low 6 and top 16 proven zero
 		{"and-alignment-mask", isa.Inst{Op: isa.AND, Rd: isa.SP, Rs: isa.SP, Rt: isa.T9},
-			func(st *State) { st[isa.SP] = Unknown; st[isa.T9] = Exact(^uint32(63)) },
-			func(t *testing.T, st *State) { expectLow(t, st[isa.SP], 6, 0) }}, // the explicit-align prologue
+			func(st *State) { st.SetReg(isa.SP, Unknown); st.SetReg(isa.T9, Exact(^uint32(63))) },
+			func(t *testing.T, st *State) { expectLow(t, st.R[isa.SP], 6, 0) }}, // the explicit-align prologue
 		{"ori-sets", isa.Inst{Op: isa.ORI, Rd: isa.T1, Rs: isa.T0, Imm: 0x21},
-			func(st *State) { st[isa.T0] = aligned },
-			func(t *testing.T, st *State) { expectLow(t, st[isa.T1], 6, 0x21) }},
+			func(st *State) { st.SetReg(isa.T0, aligned) },
+			func(t *testing.T, st *State) { expectLow(t, st.R[isa.T1], 6, 0x21) }},
 		{"xori-flips-known", isa.Inst{Op: isa.XORI, Rd: isa.T1, Rs: isa.T0, Imm: 0x3},
-			func(st *State) { st[isa.T0] = Exact(0x41) },
-			func(t *testing.T, st *State) { expectExact(t, st[isa.T1], 0x42) }},
+			func(st *State) { st.SetReg(isa.T0, Exact(0x41)) },
+			func(t *testing.T, st *State) { expectExact(t, st.R[isa.T1], 0x42) }},
 		{"sll-shifts-in-zeros", isa.Inst{Op: isa.SLL, Rd: isa.T1, Rs: isa.T0, Imm: 3},
-			func(st *State) { st[isa.T0] = Unknown },
-			func(t *testing.T, st *State) { expectLow(t, st[isa.T1], 3, 0) }},
+			func(st *State) { st.SetReg(isa.T0, Unknown) },
+			func(t *testing.T, st *State) { expectLow(t, st.R[isa.T1], 3, 0) }},
 		{"srl-destroys-alignment", isa.Inst{Op: isa.SRL, Rd: isa.T1, Rs: isa.T0, Imm: 2},
-			func(st *State) { st[isa.T0] = aligned },
-			func(t *testing.T, st *State) { expectLow(t, st[isa.T1], 4, 0) }}, // 64-aligned >> 2 is 16-aligned
+			func(st *State) { st.SetReg(isa.T0, aligned) },
+			func(t *testing.T, st *State) { expectLow(t, st.R[isa.T1], 4, 0) }}, // 64-aligned >> 2 is 16-aligned
 		{"sra-sign-unknown", isa.Inst{Op: isa.SRA, Rd: isa.T1, Rs: isa.T0, Imm: 4},
-			func(st *State) { st[isa.T0] = KB{Zeros: 0xFF} },
-			func(t *testing.T, st *State) { expectLow(t, st[isa.T1], 4, 0) }},
+			func(st *State) { st.SetReg(isa.T0, KB{Zeros: 0xFF}) },
+			func(t *testing.T, st *State) { expectLow(t, st.R[isa.T1], 4, 0) }},
 		{"sllv-known-amount", isa.Inst{Op: isa.SLLV, Rd: isa.T2, Rs: isa.T0, Rt: isa.T1},
-			func(st *State) { st[isa.T0] = Unknown; st[isa.T1] = Exact(2) },
-			func(t *testing.T, st *State) { expectLow(t, st[isa.T2], 2, 0) }},
+			func(st *State) { st.SetReg(isa.T0, Unknown); st.SetReg(isa.T1, Exact(2)) },
+			func(t *testing.T, st *State) { expectLow(t, st.R[isa.T2], 2, 0) }},
 		{"sllv-unknown-amount", isa.Inst{Op: isa.SLLV, Rd: isa.T2, Rs: isa.T0, Rt: isa.T1},
-			func(st *State) { st[isa.T0] = Exact(64); st[isa.T1] = Unknown },
-			func(t *testing.T, st *State) { expectUnknown(t, st[isa.T2]) }},
+			func(st *State) { st.SetReg(isa.T0, Exact(64)); st.SetReg(isa.T1, Unknown) },
+			func(t *testing.T, st *State) { expectUnknown(t, st.R[isa.T2]) }},
 		{"slt-bool", isa.Inst{Op: isa.SLT, Rd: isa.T2, Rs: isa.T0, Rt: isa.T1}, nil,
 			func(t *testing.T, st *State) {
-				if st[isa.T2].Zeros != ^uint32(1) {
-					t.Fatalf("slt result %v, want bits 1..31 zero", st[isa.T2])
+				if st.R[isa.T2].Zeros != ^uint32(1) {
+					t.Fatalf("slt result %v, want bits 1..31 zero", st.R[isa.T2])
+				}
+				if iv := st.IV[isa.T2]; iv.Lo() != 0 || iv.Hi() != 1 {
+					t.Fatalf("slt interval %v, want [0, 1]", iv)
 				}
 			}},
 		{"mul-clobbers", isa.Inst{Op: isa.MUL, Rd: isa.T2, Rs: isa.T0, Rt: isa.T1},
-			func(st *State) { st[isa.T2] = Exact(4) },
-			func(t *testing.T, st *State) { expectUnknown(t, st[isa.T2]) }},
+			func(st *State) { st.SetReg(isa.T2, Exact(4)) },
+			func(t *testing.T, st *State) { expectUnknown(t, st.R[isa.T2]) }},
 		{"lw-clobbers-dest", isa.Inst{Op: isa.LW, Rd: isa.T0, Rs: isa.SP, Imm: 0},
-			func(st *State) { st[isa.T0] = Exact(4) },
-			func(t *testing.T, st *State) { expectUnknown(t, st[isa.T0]) }},
+			func(st *State) { st.SetReg(isa.T0, Exact(4)) },
+			func(t *testing.T, st *State) { expectUnknown(t, st.R[isa.T0]) }},
 		{"lwpi-advances-base", isa.Inst{Op: isa.LWPI, Rd: isa.T0, Rs: isa.T1, Imm: 4},
-			func(st *State) { st[isa.T1] = Exact(0x10000000) },
-			func(t *testing.T, st *State) { expectExact(t, st[isa.T1], 0x10000004) }},
+			func(st *State) { st.SetReg(isa.T1, Exact(0x10000000)) },
+			func(t *testing.T, st *State) { expectExact(t, st.R[isa.T1], 0x10000004) }},
 		{"syscall-clobbers-v0", isa.Inst{Op: isa.SYSCALL},
-			func(st *State) { st[isa.V0] = Exact(9) },
-			func(t *testing.T, st *State) { expectUnknown(t, st[isa.V0]) }},
+			func(st *State) { st.SetReg(isa.V0, Exact(9)) },
+			func(t *testing.T, st *State) { expectUnknown(t, st.R[isa.V0]) }},
 		{"jal-links", isa.Inst{Op: isa.JAL, Imm: 0x400100}, nil,
-			func(t *testing.T, st *State) { expectExact(t, st[isa.RA], 0x400204) }},
+			func(t *testing.T, st *State) { expectExact(t, st.R[isa.RA], 0x400204) }},
 		{"zero-stays-zero", isa.Inst{Op: isa.ADDI, Rd: isa.Zero, Rs: isa.T0, Imm: 5},
-			func(st *State) { st[isa.T0] = Exact(1) },
-			func(t *testing.T, st *State) { expectExact(t, st[isa.Zero], 0) }},
+			func(st *State) { st.SetReg(isa.T0, Exact(1)) },
+			func(t *testing.T, st *State) { expectExact(t, st.R[isa.Zero], 0) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var st State
-			for r := range st {
-				st[r] = Unknown
+			for r := range st.R {
+				st.SetReg(isa.Reg(r), Unknown)
 			}
-			st[isa.Zero] = Exact(0)
+			st.SetReg(isa.Zero, Exact(0))
 			if tc.pre != nil {
 				tc.pre(&st)
 			}
@@ -187,8 +190,9 @@ func aluConcrete(op isa.Op, a, b uint32, imm int32) (uint32, bool) {
 }
 
 // TestStepMatchesConcrete drives random ALU instructions through the
-// abstract transfer function from exact operand states: the abstract result
-// must contain the concrete result of the same instruction.
+// abstract transfer function from exact operand states: both the
+// known-bits and the interval abstraction of the result must contain the
+// concrete result of the same instruction.
 func TestStepMatchesConcrete(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	ops := []isa.Op{
@@ -212,11 +216,16 @@ func TestStepMatchesConcrete(t *testing.T) {
 		}
 
 		var st State
-		st[isa.T0], st[isa.T1] = Exact(a), Exact(b)
+		st.SetReg(isa.T0, Exact(a))
+		st.SetReg(isa.T1, Exact(b))
 		Step(&st, in, 0x400000)
-		if !st[isa.T2].Contains(want) {
+		if !st.R[isa.T2].Contains(want) {
 			t.Fatalf("%v a=%#x b=%#x: abstract %v does not contain concrete %#x",
-				in, a, b, st[isa.T2], want)
+				in, a, b, st.R[isa.T2], want)
+		}
+		if !st.IV[isa.T2].Contains(want) {
+			t.Fatalf("%v a=%#x b=%#x: interval %v does not contain concrete %#x",
+				in, a, b, st.IV[isa.T2], want)
 		}
 	}
 }

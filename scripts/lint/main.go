@@ -48,6 +48,7 @@ var defaultTargets = []string{
 	"internal/prog",
 	"internal/experiments",
 	"internal/pipeline",
+	"internal/predict",
 }
 
 func main() {

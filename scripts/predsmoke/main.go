@@ -1,0 +1,79 @@
+// Command predsmoke is the CI gate for the predictor zoo: it runs two
+// small workloads under the baseline and every machine of the cross-
+// predictor grid (internal/experiments.PredictorMachines), exports the
+// timing runs as a canonical RunRecord report, and requires the bytes to
+// match the committed golden. Any unintended change to a prediction
+// machine's timing, accounting, or record encoding trips this stage.
+//
+// Usage:
+//
+//	go run ./scripts/predsmoke            # compare against the golden
+//	go run ./scripts/predsmoke -update    # regenerate the golden
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		ref    = flag.String("ref", filepath.Join("scripts", "predsmoke", "golden.json"), "committed golden report")
+		update = flag.Bool("update", false, "rewrite the golden instead of comparing")
+	)
+	flag.Parse()
+
+	data, err := report()
+	if err != nil {
+		fatal(err)
+	}
+	if *update {
+		if err := os.WriteFile(*ref, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("predsmoke: golden rewritten (%d bytes)\n", len(data))
+		return
+	}
+	want, err := os.ReadFile(*ref)
+	if err != nil {
+		fatal(fmt.Errorf("%w (run with -update to create the golden)", err))
+	}
+	if !bytes.Equal(data, want) {
+		fatal(fmt.Errorf("report differs from %s (%d vs %d bytes); if the change is intended, regenerate with -update and commit", *ref, len(data), len(want)))
+	}
+	fmt.Printf("predsmoke: report matches golden (%d bytes)\n", len(data))
+}
+
+// report simulates the smoke grid and encodes the canonical report. The
+// Go toolchain version is cleared so the golden survives toolchain bumps;
+// everything else in the report is already deterministic (see
+// internal/experiments TestReportDeterminism).
+func report() ([]byte, error) {
+	s := experiments.NewSuite()
+	machines := append([]experiments.Machine{experiments.MBase32}, experiments.PredictorMachines()...)
+	for _, name := range []string{"queens", "fir"} {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range machines {
+			if _, err := s.Timing(w, "fac", m); err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", name, m, err)
+			}
+		}
+	}
+	rep := s.Report("scripts/predsmoke")
+	rep.Go = ""
+	return rep.Encode()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "predsmoke:", err)
+	os.Exit(1)
+}
