@@ -10,19 +10,36 @@
 //	faclint [-falign] [-block 32] [-sites] -benchmark compress
 //	faclint [-falign] -suite [-min-classified 0.5]
 //	faclint [-falign] [-json] input.c | input.s
+//	faclint -benchmark queens -explain 0x400344
+//	faclint -benchmark queens -explain-first
+//
+// With -explain PC (or -explain-first) the output is a blame chain: the
+// reaching-definition walk from the site's imprecise operands down to the
+// root causes the analysis can name — a poisoned global cell and the
+// store that poisoned it, an escaped stack slot and the address-taking
+// instruction, an untracked syscall or call-clobbered register, or a
+// function-entry join.
 //
 // With -json, output follows the deterministic "fac/static/v1" schema
 // (docs/ANALYSIS.md). With -min-classified F the exit status is non-zero
 // unless at least fraction F of all sites received a non-unknown verdict —
 // the CI smoke gate.
+//
+// Multiple inputs (-suite, or several files) build and analyze in
+// parallel; results print in input order, so the output is byte-identical
+// to a sequential run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/asm"
 	"repro/internal/core"
@@ -34,17 +51,34 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so tests can drive the full
+// CLI in-process and byte-compare output across runs.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("faclint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		bench   = flag.String("benchmark", "", "analyze a built-in benchmark")
-		suite   = flag.Bool("suite", false, "analyze the full benchmark suite")
-		falign  = flag.Bool("falign", false, "compile with software alignment support")
-		block   = flag.Int("block", 32, "cache block size for the predictor (16 or 32)")
-		setBits = flag.Uint("setbits", 14, "log2 of the direct-mapped cache span in bytes")
-		sites   = flag.Bool("sites", false, "print the per-site verdict table")
-		jsonOut = flag.Bool("json", false, "emit the fac/static/v1 JSON report")
-		minFrac = flag.Float64("min-classified", 0, "exit non-zero unless this fraction of sites is classified")
+		bench    = fs.String("benchmark", "", "analyze a built-in benchmark")
+		suite    = fs.Bool("suite", false, "analyze the full benchmark suite")
+		falign   = fs.Bool("falign", false, "compile with software alignment support")
+		block    = fs.Int("block", 32, "cache block size for the predictor (16 or 32)")
+		setBits  = fs.Uint("setbits", 14, "log2 of the direct-mapped cache span in bytes")
+		sites    = fs.Bool("sites", false, "print the per-site verdict table")
+		jsonOut  = fs.Bool("json", false, "emit the fac/static/v1 JSON report")
+		minFrac  = fs.Float64("min-classified", 0, "exit non-zero unless this fraction of sites is classified")
+		explain  = fs.String("explain", "", "print the blame chain for the site at this pc (hex)")
+		explain1 = fs.Bool("explain-first", false, "print the blame chain for the first unknown site of each program")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "faclint:", err)
+		return 1
+	}
 
 	blockBits := uint(5)
 	if *block == 16 {
@@ -52,18 +86,20 @@ func main() {
 	}
 	geom := fac.Config{BlockBits: blockBits, SetBits: *setBits}
 	if err := geom.Validate(); err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	toolchain := "base"
 	if *falign {
 		toolchain = "falign"
 	}
 
-	type input struct {
-		name string
-		p    *prog.Program
+	// A job names one input and knows how to build it; build and analysis
+	// both run inside the worker so the expensive work parallelizes.
+	type job struct {
+		name  string
+		build func() (*prog.Program, error)
 	}
-	var inputs []input
+	var jobs []job
 	switch {
 	case *suite:
 		tc := workload.BaseToolchain()
@@ -71,36 +107,104 @@ func main() {
 			tc = workload.FACToolchain()
 		}
 		for _, w := range workload.All() {
-			p, err := workload.Build(w, tc)
-			if err != nil {
-				fatal(fmt.Errorf("build %s: %w", w.Name, err))
-			}
-			inputs = append(inputs, input{w.Name, p})
+			w := w
+			jobs = append(jobs, job{w.Name, func() (*prog.Program, error) {
+				p, err := workload.Build(w, tc)
+				if err != nil {
+					return nil, fmt.Errorf("build %s: %w", w.Name, err)
+				}
+				return p, nil
+			}})
 		}
 	case *bench != "":
-		p, err := buildBench(*bench, *falign)
-		if err != nil {
-			fatal(err)
-		}
-		inputs = append(inputs, input{*bench, p})
+		jobs = append(jobs, job{*bench, func() (*prog.Program, error) {
+			return buildBench(*bench, *falign)
+		}})
 	default:
-		if flag.NArg() == 0 {
-			fatal(fmt.Errorf("need -benchmark NAME, -suite, or input files"))
+		if fs.NArg() == 0 {
+			return fatal(fmt.Errorf("need -benchmark NAME, -suite, or input files"))
 		}
-		for _, arg := range flag.Args() {
-			p, err := buildFile(arg, *falign)
-			if err != nil {
-				fatal(err)
-			}
+		for _, arg := range fs.Args() {
+			arg := arg
 			name := strings.TrimSuffix(filepath.Base(arg), filepath.Ext(arg))
-			inputs = append(inputs, input{name, p})
+			jobs = append(jobs, job{name, func() (*prog.Program, error) {
+				return buildFile(arg, *falign)
+			}})
 		}
 	}
 
+	var explainPC uint64
+	if *explain != "" {
+		var err error
+		explainPC, err = strconv.ParseUint(*explain, 0, 32)
+		if err != nil {
+			return fatal(fmt.Errorf("bad -explain pc %q: %w", *explain, err))
+		}
+	}
+
+	// Fan the jobs out over a bounded worker pool. Results land in a
+	// per-job slot, so the reporting loop below walks them in input order
+	// and the output is identical to a sequential run.
+	type result struct {
+		p   *prog.Program
+		a   *staticfac.Analysis
+		err error
+	}
+	results := make([]result, len(jobs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				p, err := jobs[i].build()
+				if err != nil {
+					results[i].err = err
+					continue
+				}
+				results[i] = result{p: p, a: staticfac.Analyze(p, geom)}
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
 	var report *staticfac.Report
 	var total, classified, ivRefined int
-	for _, in := range inputs {
-		a := staticfac.Analyze(in.p, geom)
+	for i, jb := range jobs {
+		res := results[i]
+		if res.err != nil {
+			return fatal(res.err)
+		}
+		a := res.a
+		if *explain != "" || *explain1 {
+			pc := uint32(explainPC)
+			if *explain1 {
+				first, ok := a.FirstUnknown()
+				if !ok {
+					fmt.Fprintf(stdout, "%s: no unknown sites\n", jb.name)
+					continue
+				}
+				pc = first
+			}
+			text, ok := a.Explain(pc)
+			if !ok {
+				return fatal(fmt.Errorf("%s: %#08x is not a memory-access site", jb.name, pc))
+			}
+			if len(jobs) > 1 {
+				fmt.Fprintf(stdout, "%s:\n", jb.name)
+			}
+			fmt.Fprint(stdout, text)
+			continue
+		}
 		s := a.Summary()
 		total += s.Sites
 		classified += s.Sites - s.ByVerdict[staticfac.VerdictUnknown]
@@ -109,31 +213,34 @@ func main() {
 			if report == nil {
 				report = staticfac.NewReport(a)
 			}
-			report.Add(in.name, toolchain, a)
+			report.Add(jb.name, toolchain, a)
 			continue
 		}
-		fmt.Printf("%-10s %-7s sites %4d: proven_predictable %4d, proven_failing %3d, unknown %4d  [classified %5.1f%%]\n",
-			in.name, toolchain, s.Sites,
+		fmt.Fprintf(stdout, "%-10s %-7s sites %4d: proven_predictable %4d, proven_failing %3d, unknown %4d  [classified %5.1f%%]\n",
+			jb.name, toolchain, s.Sites,
 			s.ByVerdict[staticfac.VerdictPredictable],
 			s.ByVerdict[staticfac.VerdictFailing],
 			s.ByVerdict[staticfac.VerdictUnknown],
 			100*s.Classified())
 		if *sites {
-			printSites(in.p, a)
+			printSites(stdout, a)
 		}
+	}
+	if *explain != "" || *explain1 {
+		return 0
 	}
 	if *jsonOut && report != nil {
 		b, err := report.Encode()
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
-		os.Stdout.Write(b)
-	} else if len(inputs) > 1 {
+		stdout.Write(b)
+	} else if len(jobs) > 1 {
 		frac := 0.0
 		if total > 0 {
 			frac = float64(classified) / float64(total)
 		}
-		fmt.Printf("%-10s %-7s sites %4d classified %d  [%.1f%%]  interval-refined %d\n",
+		fmt.Fprintf(stdout, "%-10s %-7s sites %4d classified %d  [%.1f%%]  interval-refined %d\n",
 			"TOTAL", toolchain, total, classified, 100*frac, ivRefined)
 	}
 	if *minFrac > 0 {
@@ -142,18 +249,19 @@ func main() {
 			frac = float64(classified) / float64(total)
 		}
 		if total == 0 || frac < *minFrac {
-			fmt.Fprintf(os.Stderr, "faclint: classified fraction %.3f below required %.3f (%d/%d sites)\n",
+			fmt.Fprintf(stderr, "faclint: classified fraction %.3f below required %.3f (%d/%d sites)\n",
 				frac, *minFrac, classified, total)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return 0
 }
 
-func printSites(p *prog.Program, a *staticfac.Analysis) {
-	fmt.Printf("  %-10s %-19s %-22s %-28s %-13s %-13s %s\n",
+func printSites(w io.Writer, p *staticfac.Analysis) {
+	fmt.Fprintf(w, "  %-10s %-19s %-22s %-28s %-13s %-13s %s\n",
 		"pc", "verdict", "can-fail", "instruction", "base", "offset", "function")
-	for i := range a.Sites {
-		s := &a.Sites[i]
+	for i := range p.Sites {
+		s := &p.Sites[i]
 		canFail := "-"
 		if s.CanFail != 0 {
 			canFail = s.CanFail.String()
@@ -162,7 +270,7 @@ func printSites(p *prog.Program, a *staticfac.Analysis) {
 		if !s.Reached {
 			fn += " (dead)"
 		}
-		fmt.Printf("  %#08x  %-19s %-22s %-28s %-13s %-13s %s\n",
+		fmt.Fprintf(w, "  %#08x  %-19s %-22s %-28s %-13s %-13s %s\n",
 			s.PC, s.Verdict, canFail, s.Inst.String(), s.Base, s.Offset, fn)
 	}
 }
@@ -202,9 +310,4 @@ func buildFile(path string, falign bool) (*prog.Program, error) {
 		return nil, err
 	}
 	return core.Build(asmText, link)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "faclint:", err)
-	os.Exit(1)
 }

@@ -111,11 +111,17 @@ func main() {
 	if *static {
 		analysis = staticfac.Analyze(p, cfg.FACGeometry())
 		s := analysis.Summary()
-		fmt.Printf("static verdicts: proven_predictable %d, proven_failing %d, unknown %d of %d sites [classified %.1f%%]\n\n",
+		claims := 0
+		for i := range analysis.Sites {
+			if analysis.Sites[i].CellKind != staticfac.CellNone {
+				claims++
+			}
+		}
+		fmt.Printf("static verdicts: proven_predictable %d, proven_failing %d, unknown %d of %d sites [classified %.1f%%], %d memory-cell value claims\n\n",
 			s.ByVerdict[staticfac.VerdictPredictable],
 			s.ByVerdict[staticfac.VerdictFailing],
 			s.ByVerdict[staticfac.VerdictUnknown],
-			s.Sites, 100*s.Classified())
+			s.Sites, 100*s.Classified(), claims)
 	}
 
 	list := sites.TopFailing(*top)

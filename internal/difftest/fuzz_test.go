@@ -2,6 +2,8 @@ package difftest
 
 import (
 	"math/rand"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/asm"
@@ -156,6 +158,15 @@ func FuzzAsmRoundtrip(f *testing.F) {
 	// loop that defeats PC-indexed last-address prediction.
 	f.Add(chaseSeedSrc)
 	f.Add(alternateSeedSrc)
+	// Memory-domain seed programs (see TestMemoryDomainCorpus): a
+	// memory-resident global loop limit, a spilled-local limit, and an
+	// address-taken escape — mutations explore the store/load/escape
+	// shapes the staticfac memory domain reasons about.
+	for _, name := range []string{"memglobal.s", "memstack.s", "memescape.s"} {
+		if b, err := os.ReadFile(filepath.Join("testdata", "staticfac", name)); err == nil {
+			f.Add(string(b))
+		}
+	}
 	f.Fuzz(func(t *testing.T, src string) {
 		if len(src) > 8<<10 {
 			return // bound assembly time, not coverage

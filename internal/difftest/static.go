@@ -64,6 +64,36 @@ func (o *staticOracle) check(g fac.Config, sites *obs.SiteCollector) error {
 			return fmt.Errorf("static soundness: proven_failing site %#x (%v) verified %d of %d speculations",
 				d.PC, s.Inst, d.Speculated-d.Fails, d.Speculated)
 		}
+		if err := checkSiteValue(s, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkSiteValue verifies the memory domain's per-site value claim against
+// the observed-value aggregates: the static analysis asserts that EVERY
+// value the site transfers lies inside Val (known-bits and interval), so
+// the OR of observed values may not set a proven-zero bit, the AND may not
+// clear a proven-one bit, and the unsigned min/max must stay inside the
+// interval. One observed violation is a soundness bug in the memory
+// domain (a missed store effect, a wrong escape or clobber rule).
+func checkSiteValue(s *staticfac.Site, d *obs.SiteStats) error {
+	if s.CellKind == staticfac.CellNone || d.ValCount == 0 {
+		return nil
+	}
+	v := s.Val
+	if bad := d.ValOr & v.K.Zeros; bad != 0 {
+		return fmt.Errorf("static value soundness: site %#x (%v) %s cell %#x observed one-bits %#08x where static claims zeros (val %v)",
+			d.PC, s.Inst, s.CellKind, s.CellAddr, bad, v)
+	}
+	if bad := ^d.ValAnd & v.K.Ones; bad != 0 {
+		return fmt.Errorf("static value soundness: site %#x (%v) %s cell %#x observed zero-bits %#08x where static claims ones (val %v)",
+			d.PC, s.Inst, s.CellKind, s.CellAddr, bad, v)
+	}
+	if d.ValMin < v.IV.Lo() || d.ValMax > v.IV.Hi() {
+		return fmt.Errorf("static value soundness: site %#x (%v) %s cell %#x observed values [%#x, %#x] outside static interval %v",
+			d.PC, s.Inst, s.CellKind, s.CellAddr, d.ValMin, d.ValMax, v.IV)
 	}
 	return nil
 }

@@ -1,0 +1,31 @@
+# Address-taken escape, the negative case: main spills 5 to a stack slot,
+# passes the slot's address to a callee that increments it through the
+# pointer, then re-loads the slot.  Taking the address escapes the slot
+# (AssumptionsNote 6), so the call-clobber rule must drop the slot fact
+# across the jal and the re-load must NOT claim the stale value 5 -- the
+# difftest value-soundness oracle would refute that claim dynamically
+# (the loaded value is 6).  The re-load is classified from its address
+# alone; its value is honestly unknown.
+.data
+	.balign 32
+buf:	.space 64
+.text
+main:
+	addi $sp, $sp, -16
+	li $t0, 5
+	sw $t0, 8($sp)
+	addi $a0, $sp, 8
+	jal bump
+	lw $t1, 8($sp)
+	la $t2, buf
+	sll $t3, $t1, 2
+	swx $t1, ($t2+$t3)
+	addi $sp, $sp, 16
+	li $v0, 10
+	li $a0, 0
+	syscall
+bump:
+	lw $t5, 0($a0)
+	addi $t5, $t5, 1
+	sw $t5, 0($a0)
+	jr $ra

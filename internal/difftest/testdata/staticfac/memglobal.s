@@ -1,0 +1,29 @@
+# Memory-resident global loop limit: the bound n lives in a data-section
+# word, written once before the loop and re-loaded from memory on every
+# iteration.  The register domains alone see an unknown loaded value and
+# an unbounded index; the global-scalar memory domain joins the cell's
+# image value (0) with the single exact store (8), so the re-load yields
+# [0, 8], the guard bounds i to [0, 7], and the strided store stays inside
+# buf's aligned block -- proven_predictable end to end from a memory fact.
+.data
+	.balign 32
+n:	.word 0
+	.balign 32
+buf:	.space 64
+.text
+main:
+	li $t0, 8
+	la $t1, n
+	sw $t0, 0($t1)
+	li $t2, 0
+	la $t3, buf
+loop:
+	sll $t4, $t2, 2
+	swx $t2, ($t3+$t4)
+	addi $t2, $t2, 1
+	la $t5, n
+	lw $t6, 0($t5)
+	blt $t2, $t6, loop
+	li $v0, 10
+	li $a0, 0
+	syscall

@@ -1,0 +1,26 @@
+# Spilled-local loop limit: the bound is stored to a fixed $sp-relative
+# slot before the loop and re-loaded from the stack every iteration (a
+# register-pressure spill).  The flow-sensitive stack-slot domain gives
+# the re-load the exact stored value (8), which bounds the index and
+# proves the strided store predictable; without slot tracking the loaded
+# bound is unknown and so is every access the loop performs.
+.data
+	.balign 32
+buf:	.space 64
+.text
+main:
+	addi $sp, $sp, -16
+	li $t0, 8
+	sw $t0, 8($sp)
+	li $t1, 0
+	la $t2, buf
+loop:
+	sll $t3, $t1, 2
+	swx $t1, ($t2+$t3)
+	addi $t1, $t1, 1
+	lw $t4, 8($sp)
+	blt $t1, $t4, loop
+	addi $sp, $sp, 16
+	li $v0, 10
+	li $a0, 0
+	syscall

@@ -41,6 +41,13 @@ type Trace struct {
 	Base        uint32 // base register value at execute time
 	Offset      uint32 // offset value (sign-extended constant or index register)
 	IsRegOffset bool   // offset came from the register file
+	// MemVal is the register-visible transferred value of an integer
+	// access (the loaded value as written to the destination, or the
+	// stored register value); HasMemVal gates it. FP and 64-bit accesses
+	// leave it unset. The static value-soundness oracle compares these
+	// against staticfac's per-site cell claims.
+	MemVal    uint32
+	HasMemVal bool
 	// Branch outcome (valid when Inst.Op.IsBranch()):
 	Taken bool
 }
@@ -330,6 +337,9 @@ func (e *Emulator) memOp(in isa.Inst, tr *Trace) error {
 		case isa.LFD, isa.LFDX, isa.LFDPI:
 			e.F[in.Rd] = math.Float64frombits(e.Mem.Read64(addr))
 		}
+		if !in.Op.FPDest() {
+			tr.MemVal, tr.HasMemVal = e.R[in.Rd], true
+		}
 	} else {
 		data := in.StoreDataReg()
 		switch in.Op {
@@ -341,6 +351,9 @@ func (e *Emulator) memOp(in isa.Inst, tr *Trace) error {
 			e.Mem.Write32(addr, e.R[data])
 		case isa.SFD, isa.SFDX, isa.SFDPI:
 			e.Mem.Write64(addr, math.Float64bits(e.F[data]))
+		}
+		if !in.Op.FPSrc() {
+			tr.MemVal, tr.HasMemVal = e.R[data], true
 		}
 	}
 	if pre.Flags&isa.PrePostInc != 0 {

@@ -76,6 +76,12 @@ const (
 	// non-speculatively. Addr is 0 and Fail empty — no cache access was
 	// made with a guessed address.
 	FlagNoPredict
+	// FlagHasVal marks a KindFACPredict event whose Val field carries the
+	// architectural register-visible value the access transferred (loads:
+	// the value written to the destination; stores: the stored register).
+	// Set for integer accesses only; the difftest value-soundness oracle
+	// aggregates these against the static analysis' per-site cell claims.
+	FlagHasVal
 )
 
 // StallCause attributes a no-issue cycle to the hazard blocking the head

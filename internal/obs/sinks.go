@@ -17,6 +17,16 @@ type SiteStats struct {
 	NoPredict uint64
 	FailMask  fac.Failure // union of failure signals seen
 	Store     bool        // site is a store
+	// Observed-value aggregates over FlagHasVal events (integer accesses):
+	// the OR and AND of every transferred value plus the unsigned min and
+	// max. Together they summarize the dynamic value set tightly enough to
+	// refute a wrong static cell claim in both the known-bits and interval
+	// domains (difftest's value-soundness oracle).
+	ValCount uint64
+	ValOr    uint32
+	ValAnd   uint32
+	ValMin   uint32
+	ValMax   uint32
 }
 
 // FailRate returns the fraction of speculated accesses that mispredicted.
@@ -49,6 +59,18 @@ func (c *SiteCollector) Event(e Event) {
 		s = &SiteStats{PC: e.PC, Store: e.Flags&FlagStore != 0}
 		c.Sites[e.PC] = s
 	}
+	if e.Flags&FlagHasVal != 0 {
+		v := uint32(e.Val)
+		if s.ValCount == 0 {
+			s.ValOr, s.ValAnd, s.ValMin, s.ValMax = v, v, v, v
+		} else {
+			s.ValOr |= v
+			s.ValAnd &= v
+			s.ValMin = min(s.ValMin, v)
+			s.ValMax = max(s.ValMax, v)
+		}
+		s.ValCount++
+	}
 	if e.Flags&FlagNoPredict != 0 {
 		s.NoPredict++
 		return
@@ -65,6 +87,7 @@ func (c *SiteCollector) Event(e Event) {
 // tiebreak.
 func (c *SiteCollector) TopFailing(n int) []*SiteStats {
 	var list []*SiteStats
+	//lint:sorted
 	for _, s := range c.Sites {
 		if s.Fails > 0 {
 			list = append(list, s)
@@ -87,6 +110,7 @@ func (c *SiteCollector) TopFailing(n int) []*SiteStats {
 // static verdicts (internal/difftest, cmd/facprof -static).
 func (c *SiteCollector) All() []*SiteStats {
 	list := make([]*SiteStats, 0, len(c.Sites))
+	//lint:sorted
 	for _, s := range c.Sites {
 		list = append(list, s)
 	}

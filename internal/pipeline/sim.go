@@ -100,7 +100,9 @@ type qent struct {
 	effAddr  uint32 // architectural effective address (memory ops)
 	base     uint32 // base register value at execute time
 	offset   uint32 // offset value (constant or index register)
+	memVal   uint32 // transferred value of an integer access (hasVal)
 	isRegOff bool   // offset came from the register file
+	hasVal   bool   // memVal valid
 	pre      isa.Pre
 	earliest uint64 // fetchCycle + 2 (IF, ID, then EX)
 }
@@ -481,6 +483,7 @@ func (s *sim) fetch(now uint64) error {
 		q.base = tr.Base
 		q.offset = tr.Offset
 		q.isRegOff = tr.IsRegOffset
+		q.memVal, q.hasVal = tr.MemVal, tr.HasMemVal
 		q.earliest = groupReady + 2
 		if tr.Pre != nil {
 			q.pre = *tr.Pre // the producer's pre-decode table (the common case)
@@ -761,7 +764,7 @@ func (s *sim) scheduleLoad(q *qent, now uint64) (bool, uint64) {
 			s.stats.LoadsSpeculated++
 			s.useRead(now)
 			if s.sink != nil {
-				s.sink.Event(obs.Event{Kind: obs.KindFACPredict, Fail: fail, Cycle: now, PC: q.pc, Addr: r.Addr})
+				s.sink.Event(obs.Event{Kind: obs.KindFACPredict, Flags: valFlags(q), Fail: fail, Cycle: now, PC: q.pc, Addr: r.Addr, Val: uint64(q.memVal)})
 			}
 			if ok {
 				ready := s.dcacheAccess(q.effAddr, false, now)
@@ -793,12 +796,21 @@ func (s *sim) scheduleLoad(q *qent, now uint64) (bool, uint64) {
 	if noPred {
 		s.stats.LoadsNoPredict++
 		if s.sink != nil {
-			s.sink.Event(obs.Event{Kind: obs.KindFACPredict, Flags: obs.FlagNoPredict, Cycle: now, PC: q.pc})
+			s.sink.Event(obs.Event{Kind: obs.KindFACPredict, Flags: obs.FlagNoPredict | valFlags(q), Cycle: now, PC: q.pc, Val: uint64(q.memVal)})
 		}
 	}
 	s.useRead(accessCycle)
 	ready := s.dcacheAccess(q.effAddr, false, accessCycle)
 	return true, maxU64(ready+1, accessCycle+1)
+}
+
+// valFlags marks KindFACPredict events whose Val field carries the
+// architectural transferred value (integer accesses; see emu.Trace).
+func valFlags(q *qent) obs.Flags {
+	if q.hasVal {
+		return obs.FlagHasVal
+	}
+	return 0
 }
 
 // resolve turns a prediction into its verification outcome: algebraic
@@ -835,7 +847,7 @@ func (s *sim) scheduleStore(q *qent, now uint64) bool {
 			s.stats.StoresSpeculated++
 			s.useStore(now)
 			if s.sink != nil {
-				s.sink.Event(obs.Event{Kind: obs.KindFACPredict, Flags: obs.FlagStore, Fail: fail, Cycle: now, PC: q.pc, Addr: r.Addr})
+				s.sink.Event(obs.Event{Kind: obs.KindFACPredict, Flags: obs.FlagStore | valFlags(q), Fail: fail, Cycle: now, PC: q.pc, Addr: r.Addr, Val: uint64(q.memVal)})
 			}
 			if ok {
 				s.sbPush(storeEnt{addr: q.effAddr, entered: now})
@@ -864,7 +876,7 @@ func (s *sim) scheduleStore(q *qent, now uint64) bool {
 	if noPred {
 		s.stats.StoresNoPredict++
 		if s.sink != nil {
-			s.sink.Event(obs.Event{Kind: obs.KindFACPredict, Flags: obs.FlagStore | obs.FlagNoPredict, Cycle: now, PC: q.pc})
+			s.sink.Event(obs.Event{Kind: obs.KindFACPredict, Flags: obs.FlagStore | obs.FlagNoPredict | valFlags(q), Cycle: now, PC: q.pc, Val: uint64(q.memVal)})
 		}
 	}
 	s.useStore(probeCycle)

@@ -107,6 +107,7 @@ type Program struct {
 	Insts    []isa.Inst // decoded text, indexed by (pc-TextBase)/4
 	Words    []uint32   // encoded text (the image is validated encodable)
 	TextBase uint32
+	DataBase uint32 // start of the statically allocated data region
 	Entry    uint32 // address of the entry symbol
 	GP       uint32 // initial global pointer
 	SP       uint32 // initial stack pointer
@@ -304,6 +305,7 @@ func Link(o *Object, cfg Config) (*Program, error) {
 		Insts:    insts,
 		Words:    words,
 		TextBase: cfg.TextBase,
+		DataBase: cfg.DataBase,
 		Entry:    entry,
 		GP:       gp,
 		SP:       cfg.StackTop,
@@ -329,6 +331,24 @@ func (p *Program) NewMemory() *mem.Memory {
 		m.WriteBytes(s.base, s.bytes)
 	}
 	return m
+}
+
+// InitialWord returns the little-endian word at addr in the program's
+// initial data image. Addresses outside the initialized segments (BSS,
+// inter-section padding, the heap) read as zero, matching the fresh
+// memory image NewMemory materializes.
+func (p *Program) InitialWord(addr uint32) uint32 {
+	var v uint32
+	for b := uint32(0); b < 4; b++ {
+		a := addr + b
+		for _, s := range p.dataSegs {
+			if a >= s.base && uint64(a) < uint64(s.base)+uint64(len(s.bytes)) {
+				v |= uint32(s.bytes[a-s.base]) << (8 * b)
+				break
+			}
+		}
+	}
+	return v
 }
 
 // InstAt returns the decoded instruction at pc, or false if pc is outside

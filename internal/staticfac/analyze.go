@@ -18,7 +18,13 @@ const AssumptionsNote = `the analysis assumes the toolchain's linkage convention
     it allocates, and the runtime never touches them), so loop variables held
     in s-registers keep their abstract values across calls in the loop body;
 (3) indirect jumps target function symbols (jalr) or post-call return points (jr);
-(4) direct jumps and branches may target anything, and are followed exactly.`
+(4) direct jumps and branches may target anything, and are followed exactly;
+(5) the data/heap and stack regions stay disjoint: the program break only grows
+    upward from HeapBase (sbrk never wraps) and stays below the live stack, and
+    $sp stays within the stack region;
+(6) stack pointers are never forged: code reaches a stack slot only through that
+    frame's own $sp, or upward from an address it was handed (taking &x exposes
+    x and everything above it in the frame, never below — the C object model).`
 
 // Site is the analysis result for one static memory-access instruction.
 type Site struct {
@@ -48,6 +54,40 @@ type Site struct {
 	// bounded strided walks genuinely fail on some iterations and not
 	// others — but the tightened CanFail mask is visible in -sites output.
 	IvRefined bool
+	// CellKind/CellAddr/Val are the memory domain's claim about the site:
+	// when CellKind is not CellNone the access provably targets the named
+	// tracked cell and every value it transfers (loaded for loads, stored
+	// for stores) lies inside Val — a claim the difftest value-soundness
+	// oracle checks against the dynamically observed values.
+	CellKind CellKind
+	CellAddr uint32
+	Val      MemVal
+}
+
+// CellKind classifies the tracked memory cell behind a site's value claim.
+type CellKind uint8
+
+const (
+	CellNone CellKind = iota
+	CellGlobal
+	CellStack
+)
+
+// Exported cell-kind names; reports must use these, not literals.
+const (
+	CellKindGlobalName = "global"
+	CellKindStackName  = "stack"
+)
+
+func (k CellKind) String() string {
+	switch k {
+	case CellGlobal:
+		return CellKindGlobalName
+	case CellStack:
+		return CellKindStackName
+	default:
+		return ""
+	}
 }
 
 // Analysis holds per-site verdicts for one program under one predictor
@@ -56,6 +96,10 @@ type Analysis struct {
 	Geom  fac.Config
 	Sites []Site // sorted by PC
 	byPC  map[uint32]int
+	// az is retained for -explain blame chains (see explain.go); the
+	// pre-state recording it needs is rebuilt lazily on first use.
+	az        *analyzer
+	preStates map[int]State
 }
 
 // SiteAt returns the site at pc, or nil if pc is not a memory instruction.
@@ -106,9 +150,9 @@ func (a *Analysis) Summary() Summary {
 // access site of p under geometry g.
 func Analyze(p *prog.Program, g fac.Config) *Analysis {
 	az := newAnalyzer(p)
-	siteStates := az.run()
+	siteStates := az.converge()
 
-	a := &Analysis{Geom: g, byPC: make(map[uint32]int)}
+	a := &Analysis{Geom: g, byPC: make(map[uint32]int), az: az}
 	for i, in := range p.Insts {
 		if !in.Op.IsMem() {
 			continue
@@ -144,10 +188,115 @@ func Analyze(p *prog.Program, g fac.Config) *Analysis {
 		}
 		site.CanFail, site.MustFail = Classify(g, site.Base, site.Offset, isReg)
 		site.Verdict = verdictOf(site.CanFail, site.MustFail)
+		if reached {
+			// The memory domain's value claim is only made for reached
+			// sites: an unreached site's state is the invariant, whose
+			// address may be exact while the flow never proved anything
+			// about the cell there.
+			site.CellKind, site.CellAddr, site.Val = az.siteValue(&st, in)
+		}
 		a.byPC[pc] = len(a.Sites)
 		a.Sites = append(a.Sites, site)
 	}
 	return a
+}
+
+// converge runs the combined register × memory fixpoint: a full dataflow
+// under the current memory environment, then commit the global-store
+// effects and escapes that dataflow produced, until neither changes.
+// Iteration starts from the under-approximate bottom (no effects, no
+// escapes) and every commit is a monotone join, so the limit is a sound
+// over-approximation of every execution (Kleene iteration); past
+// maxMemRounds the environment degrades to top and one final pass runs
+// under that trivially stable hypothesis.
+func (az *analyzer) converge() map[int]State {
+	for {
+		az.env.escChanged = false
+		az.inv = az.invariant()
+		siteStates := az.run()
+		effChanged := az.env.commitEffects(az.collectEffects(siteStates))
+		if !effChanged && !az.env.escChanged {
+			return siteStates
+		}
+		if az.env.round > maxMemRounds {
+			az.env.degrade()
+			az.inv = az.invariant()
+			return az.run()
+		}
+	}
+}
+
+// collectEffects derives the global-store effect set from the recorded
+// pre-states of the reached store sites. Unreached stores are excluded —
+// see the soundness discussion in memdom.go.
+//
+// A store whose address is provably confined to the stack region — its
+// base is $sp itself (AssumptionsNote 5), its address is exactly a stack
+// address, or its value range starts in the stack region — is marked
+// StackOnly so it cannot poison global cells: recursive frames spill
+// through an inexact $sp whose widened range would otherwise cover the
+// whole address space.
+func (az *analyzer) collectEffects(sites map[int]State) map[uint32]storeEffect {
+	out := make(map[uint32]storeEffect)
+	for i, st := range sites {
+		in := az.p.Insts[i]
+		if !in.Op.IsStore() {
+			continue
+		}
+		addrK, addrIV := effAddrOf(&st, in)
+		e := storeEffect{
+			PC: az.pcOf(i), Size: uint32(in.Op.MemSize()),
+			AddrK: addrK, AddrIV: addrIV,
+			ValK: Unknown, ValIV: IvTop,
+		}
+		if !in.Op.FPSrc() {
+			d := in.StoreDataReg()
+			e.ValK, e.ValIV = st.R[d], st.IV[d]
+		}
+		e.StackOnly = in.BaseReg() == isa.SP ||
+			(addrK.IsExact() && addrK.Ones >= az.env.stackLo) ||
+			addrIV.Lo() >= az.env.stackLo
+		out[e.PC] = e
+	}
+	return out
+}
+
+// siteValue resolves the memory domain's value claim for a reached site,
+// if the access provably targets a tracked cell with a non-trivial fact.
+func (az *analyzer) siteValue(st *State, in isa.Inst) (CellKind, uint32, MemVal) {
+	if in.Op.FPDest() || in.Op.FPSrc() {
+		return CellNone, 0, MemVal{}
+	}
+	addrK, _ := effAddrOf(st, in)
+	if !addrK.IsExact() {
+		return CellNone, 0, MemVal{}
+	}
+	addr := addrK.Ones
+	size := uint32(in.Op.MemSize())
+	switch {
+	case az.env.globalCellAddr(addr, size):
+		f := az.env.cell(addr)
+		if f.poisoned || f.val.IsTop() {
+			return CellNone, 0, MemVal{}
+		}
+		return CellGlobal, addr, f.val
+	case az.env.stackSlotAddr(addr, size):
+		if in.Op.IsStore() {
+			d := in.StoreDataReg()
+			v := MemVal{K: st.R[d], IV: st.IV[d].ReduceKB(st.R[d])}
+			if v.IsTop() {
+				return CellNone, 0, MemVal{}
+			}
+			return CellStack, addr, v
+		}
+		if s, ok := st.slot(addr); ok {
+			v := MemVal{K: s.K, IV: s.IV}
+			if !v.IsTop() {
+				return CellStack, addr, v
+			}
+		}
+	}
+	return CellNone, 0, MemVal{}
 }
 
 // block is one basic block: the inclusive instruction-index range plus the
@@ -169,9 +318,15 @@ type analyzer struct {
 	p       *prog.Program
 	inv     State    // flow-insensitive register invariant, sound everywhere
 	ts      []uint32 // interval widening thresholds: the program's comparison constants
+	env     *memEnv  // the memory domain: global cells, escapes, stack layout
 	blocks  []block
 	blockAt map[uint32]int
 	entries []uint32 // candidate indirect-call targets: non-local text symbols + the entry point
+	// espFinal is the converged entry-facts hypothesis, kept so explain.go
+	// can replay the final dataflow; recordAll widens flow's recording
+	// from memory sites to every instruction for that replay.
+	espFinal  map[uint32]entryFacts
+	recordAll bool
 }
 
 func (az *analyzer) pcOf(i int) uint32 { return az.p.TextBase + uint32(i)*isa.InstBytes }
@@ -179,7 +334,8 @@ func (az *analyzer) pcOf(i int) uint32 { return az.p.TextBase + uint32(i)*isa.In
 func newAnalyzer(p *prog.Program) *analyzer {
 	az := &analyzer{p: p, blockAt: make(map[uint32]int)}
 	az.ts = collectThresholds(p)
-	az.inv = invariant(p, az.ts)
+	az.env = newMemEnv(p, az.ts)
+	az.inv = az.invariant()
 
 	seen := map[uint32]bool{p.Entry: true}
 	az.entries = append(az.entries, p.Entry)
@@ -281,7 +437,16 @@ func newAnalyzer(p *prog.Program) *analyzer {
 // registers; $ra holds the emulator's halt address, tracked as Unknown so
 // the analysis does not depend on it) and is closed under every
 // instruction's transfer function. It is sound at every reachable point.
-func invariant(p *prog.Program, ts []uint32) State {
+// Loads resolve against the memory environment's cells (escape tracking
+// is suppressed — the invariant also walks dead code, which cannot leak
+// anything); only the register halves of the stepped states feed back,
+// so the invariant itself carries no slots and no taint.
+func (az *analyzer) invariant() State {
+	p, ts := az.p, az.ts
+	saved := az.env.trackEscapes
+	az.env.trackEscapes = false
+	defer func() { az.env.trackEscapes = saved }()
+
 	var inv State
 	for r := range inv.R {
 		inv.SetReg(isa.Reg(r), Exact(0))
@@ -294,7 +459,7 @@ func invariant(p *prog.Program, ts []uint32) State {
 		changed := false
 		for i, in := range p.Insts {
 			tmp := inv
-			Step(&tmp, in, p.TextBase+uint32(i)*isa.InstBytes)
+			step(&tmp, in, p.TextBase+uint32(i)*isa.InstBytes, az.env)
 			defs = in.Defs(defs[:0])
 			for _, d := range defs {
 				if d >= isa.NumRegs {
@@ -354,6 +519,7 @@ func collectThresholds(p *prog.Program) []uint32 {
 		}
 	}
 	ts := make([]uint32, 0, len(seen))
+	//lint:sorted
 	for v := range seen {
 		ts = append(ts, v)
 	}
@@ -442,6 +608,7 @@ type flowOut struct {
 // pointers through non-recursive call chains, which is what proves
 // constant-offset stack accesses.
 func (az *analyzer) run() map[int]State {
+	az.env.trackEscapes = true
 	esp := map[uint32]entryFacts{az.p.Entry: startFacts(az.p)}
 	for iter := 0; ; iter++ {
 		out := az.flow(esp, false)
@@ -489,6 +656,7 @@ func (az *analyzer) run() map[int]State {
 			break
 		}
 	}
+	az.espFinal = esp
 	return az.flow(esp, true).sites
 }
 
@@ -510,6 +678,13 @@ func espEqual(a, b map[uint32]entryFacts) bool {
 func (az *analyzer) entryState(f entryFacts) State {
 	st := az.inv
 	st.SetReg(isa.SP, f.sp)
+	if !f.sp.IsExact() {
+		// A degraded (recursive) entry $sp is an inexact stack-derived
+		// pointer: taint it so copies that leak are caught. Inexact
+		// stackish argument registers need no taint here — the call that
+		// passed them already escalated to escape-all at the call site.
+		st.Deriv |= 1 << uint(isa.SP)
+	}
 	for i := range f.a {
 		r := isa.A0 + isa.Reg(i)
 		st.R[r] = f.a[i]
@@ -527,8 +702,24 @@ func (az *analyzer) entryState(f entryFacts) State {
 func (az *analyzer) returnState(caller State) State {
 	st := az.inv
 	st.R[isa.SP], st.IV[isa.SP] = caller.R[isa.SP], caller.IV[isa.SP]
+	st.Deriv = caller.Deriv & (1 << uint(isa.SP))
 	for r := isa.S0; r <= isa.S7; r++ {
 		st.R[r], st.IV[r] = caller.R[r], caller.IV[r]
+		st.Deriv |= caller.Deriv & (1 << uint(r))
+	}
+	// Call-clobber rule for stack slots: the callee's frame lives strictly
+	// below the caller's $sp, so with an exact caller $sp every slot at or
+	// above it survives the call — unless its address escaped, in which
+	// case the callee may have written it through a pointer.
+	if spk := caller.R[isa.SP]; spk.IsExact() {
+		sp := spk.Ones
+		for i := 0; i < int(caller.NSlot); i++ {
+			s := caller.Slots[i]
+			if s.Addr >= sp && !az.env.esc.covers(s.Addr) {
+				st.Slots[st.NSlot] = s
+				st.NSlot++
+			}
+		}
 	}
 	return st
 }
@@ -577,6 +768,7 @@ func (az *analyzer) flow(esp map[uint32]entryFacts, record bool) flowOut {
 	// Inject entry states for every hypothesized callee, in address order
 	// for determinism.
 	entryPCs := make([]uint32, 0, len(esp))
+	//lint:sorted
 	for pc := range esp {
 		if _, ok := az.blockAt[pc]; ok {
 			entryPCs = append(entryPCs, pc)
@@ -589,14 +781,14 @@ func (az *analyzer) flow(esp map[uint32]entryFacts, record bool) flowOut {
 
 	// step walks one block from its in-state, invoking visit before each
 	// instruction, and returns the out-state.
-	step := func(bi int, visit func(i int, st *State)) State {
+	stepBlock := func(bi int, visit func(i int, st *State)) State {
 		b := &az.blocks[bi]
 		st := in[bi]
 		for i := b.first; i <= b.last; i++ {
 			if visit != nil {
 				visit(i, &st)
 			}
-			Step(&st, az.p.Insts[i], az.pcOf(i))
+			step(&st, az.p.Insts[i], az.pcOf(i), az.env)
 		}
 		return st
 	}
@@ -605,14 +797,14 @@ func (az *analyzer) flow(esp map[uint32]entryFacts, record bool) flowOut {
 		bi := queue[0]
 		queue = queue[1:]
 		queued[bi] = false
-		st := step(bi, nil)
+		st := stepBlock(bi, nil)
 		b := &az.blocks[bi]
 		if b.brTaken >= 0 || b.brFall >= 0 {
-			taken, fall := az.refineEdges(b, st)
-			if b.brTaken >= 0 {
+			taken, fall, takenOK, fallOK := az.refineEdges(b, st)
+			if b.brTaken >= 0 && takenOK {
 				propagate(b.brTaken, taken)
 			}
-			if b.brFall >= 0 {
+			if b.brFall >= 0 && fallOK {
 				propagate(b.brFall, fall)
 			}
 		}
@@ -638,8 +830,8 @@ func (az *analyzer) flow(esp map[uint32]entryFacts, record bool) flowOut {
 			continue
 		}
 		b := &az.blocks[bi]
-		st := step(bi, func(i int, s *State) {
-			if record && az.p.Insts[i].Op.IsMem() {
+		st := stepBlock(bi, func(i int, s *State) {
+			if record && (az.recordAll || az.p.Insts[i].Op.IsMem()) {
 				out.sites[i] = *s
 			}
 		})

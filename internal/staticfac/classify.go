@@ -105,14 +105,23 @@ const (
 	VerdictFailing
 )
 
+// Canonical verdict names: the fac/static/v1 report schema and every
+// human-readable table print these exact strings, so they are exported
+// constants — scripts/lint rejects raw duplicates of them.
+const (
+	VerdictNamePredictable = "proven_predictable"
+	VerdictNameFailing     = "proven_failing"
+	VerdictNameUnknown     = "unknown"
+)
+
 func (v Verdict) String() string {
 	switch v {
 	case VerdictPredictable:
-		return "proven_predictable"
+		return VerdictNamePredictable
 	case VerdictFailing:
-		return "proven_failing"
+		return VerdictNameFailing
 	}
-	return "unknown"
+	return VerdictNameUnknown
 }
 
 func verdictOf(can fac.Failure, must bool) Verdict {

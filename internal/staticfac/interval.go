@@ -232,14 +232,26 @@ func (i Interval) signedRange() (int64, int64) {
 }
 
 // MeetSigned narrows the interval to members whose int32 interpretation
-// lies in [a, b]. The signed range maps to at most two unsigned pieces
-// (non-negative values, then negative values high in the unsigned line);
-// the result is the hull of the non-empty piecewise meets. When nothing
-// survives the interval is returned unchanged: an infeasible branch edge
-// is not exploited, only never penalized.
+// lies in [a, b]. When nothing survives the interval is returned
+// unchanged — callers that want to exploit the emptiness use
+// MeetSignedOK.
 func (i Interval) MeetSigned(a, b int64) Interval {
-	if a > b {
+	m, ok := i.MeetSignedOK(a, b)
+	if !ok {
 		return i
+	}
+	return m
+}
+
+// MeetSignedOK narrows the interval to members whose int32 interpretation
+// lies in [a, b] and reports whether any member survives. The signed
+// range maps to at most two unsigned pieces (non-negative values, then
+// negative values high in the unsigned line); the result is the hull of
+// the non-empty piecewise meets. ok == false means the meet is empty —
+// the branch edge demanding it is infeasible.
+func (i Interval) MeetSignedOK(a, b int64) (Interval, bool) {
+	if a > b {
+		return i, false
 	}
 	a, b = max(a, math.MinInt32), min(b, math.MaxInt32)
 	var pieces []Interval
@@ -261,9 +273,9 @@ func (i Interval) MeetSigned(a, b int64) Interval {
 		}
 	}
 	if !any {
-		return i
+		return i, false
 	}
-	return out
+	return out, true
 }
 
 // String renders the interval as =value, [lo, hi], or T for top.

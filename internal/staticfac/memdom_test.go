@@ -1,0 +1,191 @@
+package staticfac_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/fac"
+	"repro/internal/prog"
+	"repro/internal/staticfac"
+)
+
+func buildAsm(t *testing.T, src string) *prog.Program {
+	t.Helper()
+	o, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := prog.Link(o, prog.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func analyzeAsm(t *testing.T, src string) *staticfac.Analysis {
+	t.Helper()
+	return staticfac.Analyze(buildAsm(t, src), fac.Config{BlockBits: 5, SetBits: 10})
+}
+
+func findSite(t *testing.T, a *staticfac.Analysis, pred func(s *staticfac.Site) bool) *staticfac.Site {
+	t.Helper()
+	var found *staticfac.Site
+	for i := range a.Sites {
+		if s := &a.Sites[i]; pred(s) {
+			if found != nil {
+				t.Fatalf("site predicate matches both %#x and %#x", found.PC, s.PC)
+			}
+			found = s
+		}
+	}
+	if found == nil {
+		t.Fatal("no site matches predicate")
+	}
+	return found
+}
+
+// TestRecursiveFramesDoNotPoison pins the StackOnly rule: a recursive
+// function's $sp-relative spills have a widened, useless address range,
+// but being $sp-based they provably stay in the stack region and must not
+// poison global cells. The global n re-loaded after the recursion keeps
+// its cell claim, and no load inside the recursion claims a slot (the
+// recursive frame's $sp is inexact, so its slots are untracked — honest,
+// not unsound).
+func TestRecursiveFramesDoNotPoison(t *testing.T) {
+	a := analyzeAsm(t, `
+.data
+	.balign 32
+n:	.word 0
+.text
+main:
+	addi $sp, $sp, -16
+	sw $ra, 12($sp)
+	li $t0, 8
+	la $t1, n
+	sw $t0, 0($t1)
+	li $a0, 3
+	jal rec
+	la $t5, n
+	lw $t6, 0($t5)
+	lw $ra, 12($sp)
+	addi $sp, $sp, 16
+	li $v0, 10
+	li $a0, 0
+	syscall
+rec:
+	addi $sp, $sp, -16
+	sw $ra, 12($sp)
+	sw $a0, 8($sp)
+	blez $a0, done
+	addi $a0, $a0, -1
+	jal rec
+done:
+	lw $ra, 12($sp)
+	lw $a0, 8($sp)
+	addi $sp, $sp, 16
+	jr $ra
+`)
+	nLoad := findSite(t, a, func(s *staticfac.Site) bool {
+		return !s.Store && s.CellKind == staticfac.CellGlobal
+	})
+	if nLoad.Val.IV.Lo() != 0 || nLoad.Val.IV.Hi() != 8 {
+		t.Errorf("global n claim %v after recursion, want [0, 8]; recursive spills poisoned the cell", nLoad.Val)
+	}
+	for i := range a.Sites {
+		if s := &a.Sites[i]; s.Func == "rec" && !s.Store && s.CellKind == staticfac.CellStack {
+			t.Errorf("load %#x inside the recursion claims slot %#x = %v; recursive frames are not trackable",
+				s.PC, s.CellAddr, s.Val)
+		}
+	}
+}
+
+// TestEscapeCoversUpward pins the escape set's C-object-model granularity:
+// handing out &x exposes x and everything above it in the frame, never
+// below. Of three spilled slots, the one below the escaped address keeps
+// its claim across the call; the escaped slot and the one above it lose
+// theirs.
+func TestEscapeCoversUpward(t *testing.T) {
+	// The .data word keeps HeapBase above DataBase: in a data-less image
+	// the two coincide, $gp's exact value lands in the "stackish" region
+	// and the call conservatively escapes it, covering every slot.
+	a := analyzeAsm(t, `
+.data
+pad:	.word 0
+.text
+main:
+	addi $sp, $sp, -32
+	sw $ra, 28($sp)
+	li $t0, 5
+	sw $t0, 8($sp)
+	li $t1, 6
+	sw $t1, 16($sp)
+	li $t2, 7
+	sw $t2, 20($sp)
+	addi $a0, $sp, 16
+	jal poke
+	lw $t3, 8($sp)
+	lw $t4, 16($sp)
+	lw $t5, 20($sp)
+	lw $ra, 28($sp)
+	addi $sp, $sp, 32
+	li $v0, 10
+	li $a0, 0
+	syscall
+poke:
+	lw $t6, 0($a0)
+	addi $t6, $t6, 1
+	sw $t6, 0($a0)
+	jr $ra
+`)
+	low := findSite(t, a, func(s *staticfac.Site) bool {
+		return !s.Store && s.Func == "main" && s.Inst.Imm == 8
+	})
+	if low.CellKind != staticfac.CellStack || !low.Val.K.IsExact() || low.Val.K.Ones != 5 {
+		t.Errorf("slot below the escaped address: kind=%v val=%v, want exact stack claim =5", low.CellKind, low.Val)
+	}
+	for _, imm := range []int32{16, 20} {
+		s := findSite(t, a, func(s *staticfac.Site) bool {
+			return !s.Store && s.Func == "main" && s.Inst.Imm == imm
+		})
+		if s.CellKind == staticfac.CellStack {
+			t.Errorf("slot %d($sp) claims %v across the call, but &(16($sp)) escaped and covers it upward", imm, s.Val)
+		}
+	}
+}
+
+// TestSavedPointerStoreStrongUpdates pins stores through a callee-saved
+// pointer register: $s0 holds an exact slot address across a call (the
+// call conservatively escapes the slot, dropping the old fact), and the
+// exact store through $s0 afterwards strong-updates the slot, so the
+// re-load through $sp claims the new value — not the stale pre-call one.
+func TestSavedPointerStoreStrongUpdates(t *testing.T) {
+	a := analyzeAsm(t, `
+main:
+	addi $sp, $sp, -16
+	sw $ra, 12($sp)
+	li $t0, 5
+	sw $t0, 8($sp)
+	addi $s0, $sp, 8
+	jal nothing
+	li $t1, 7
+	sw $t1, 0($s0)
+	lw $t2, 8($sp)
+	lw $ra, 12($sp)
+	addi $sp, $sp, 16
+	li $v0, 10
+	li $a0, 0
+	syscall
+nothing:
+	jr $ra
+`)
+	reload := findSite(t, a, func(s *staticfac.Site) bool {
+		return !s.Store && s.Func == "main" && s.Inst.Imm == 8
+	})
+	if reload.CellKind != staticfac.CellStack || !reload.Val.K.IsExact() || reload.Val.K.Ones != 7 {
+		t.Errorf("reload after the pointer store: kind=%v val=%v, want exact stack claim =7 (the strong update)",
+			reload.CellKind, reload.Val)
+	}
+	if reload.Val.K.IsExact() && reload.Val.K.Ones == 5 {
+		t.Error("reload claims the stale pre-call value 5")
+	}
+}

@@ -23,33 +23,43 @@ import (
 // indexes with.
 
 // refineEdges computes the taken and fallthrough states of a block ending
-// in a conditional branch. Narrowing never exploits an infeasible edge:
-// an empty meet leaves the interval unchanged, so a mis-narrowed edge can
-// only cost precision, never soundness.
-func (az *analyzer) refineEdges(b *block, st State) (taken, fall State) {
+// in a conditional branch, and per edge whether it is feasible at all: an
+// empty meet means the abstract state proves the branch cannot go that
+// way, so the dataflow never propagates the edge. Pruning is what breaks
+// the bootstrap circularity of the memory domain — a loop guarded by
+// `i < n` with n initially 0 in the data image must not execute its body
+// in the first memory round, or the body's unbounded stores would poison
+// the very cell that bounds i. The pruning leans on narrowing being
+// exact; the difftest reachability clause ("every executed site is
+// statically reachable") attacks it dynamically on every run.
+func (az *analyzer) refineEdges(b *block, st State) (taken, fall State, takenOK, fallOK bool) {
 	taken, fall = st, st
-	nr := edgeNarrower{az: az, b: b}
+	var deadTaken, deadFall bool
+	nrT := edgeNarrower{az: az, b: b, dead: &deadTaken}
+	nrF := edgeNarrower{az: az, b: b, dead: &deadFall}
 	in := az.p.Insts[b.last]
 	switch in.Op {
 	case isa.BGEZ:
-		nr.meetSigned(&taken, in.Rs, 0, math.MaxInt32)
-		nr.meetSigned(&fall, in.Rs, math.MinInt32, -1)
+		nrT.meetSigned(&taken, in.Rs, 0, math.MaxInt32)
+		nrF.meetSigned(&fall, in.Rs, math.MinInt32, -1)
 	case isa.BLTZ:
-		nr.meetSigned(&taken, in.Rs, math.MinInt32, -1)
-		nr.meetSigned(&fall, in.Rs, 0, math.MaxInt32)
+		nrT.meetSigned(&taken, in.Rs, math.MinInt32, -1)
+		nrF.meetSigned(&fall, in.Rs, 0, math.MaxInt32)
 	case isa.BGTZ:
-		nr.meetSigned(&taken, in.Rs, 1, math.MaxInt32)
-		nr.meetSigned(&fall, in.Rs, math.MinInt32, 0)
+		nrT.meetSigned(&taken, in.Rs, 1, math.MaxInt32)
+		nrF.meetSigned(&fall, in.Rs, math.MinInt32, 0)
 	case isa.BLEZ:
-		nr.meetSigned(&taken, in.Rs, math.MinInt32, 0)
-		nr.meetSigned(&fall, in.Rs, 1, math.MaxInt32)
+		nrT.meetSigned(&taken, in.Rs, math.MinInt32, 0)
+		nrF.meetSigned(&fall, in.Rs, 1, math.MaxInt32)
 	case isa.BEQ, isa.BNE:
 		eq, ne := &taken, &fall
+		nrEq, nrNe := nrT, nrF
 		if in.Op == isa.BNE {
 			eq, ne = &fall, &taken
+			nrEq, nrNe = nrF, nrT
 		}
-		nr.narrowEqual(eq, in.Rs, in.Rt)
-		nr.narrowNotEqual(ne, in.Rs, in.Rt)
+		nrEq.narrowEqual(eq, in.Rs, in.Rt)
+		nrNe.narrowNotEqual(ne, in.Rs, in.Rt)
 		var cond isa.Reg
 		switch {
 		case in.Rt == isa.Zero && in.Rs != isa.Zero:
@@ -57,23 +67,25 @@ func (az *analyzer) refineEdges(b *block, st State) (taken, fall State) {
 		case in.Rs == isa.Zero && in.Rt != isa.Zero:
 			cond = in.Rt
 		default:
-			return
+			return taken, fall, !deadTaken, !deadFall
 		}
 		if cmp, ok := az.comparisonAt(b, cond); ok {
 			// slt-family results are exactly 0 or 1: the comparison holds
 			// on the cond != 0 edge and its negation holds on cond == 0.
-			nr.narrowCompare(ne, cmp, true)
-			nr.narrowCompare(eq, cmp, false)
+			nrNe.narrowCompare(ne, cmp, true)
+			nrEq.narrowCompare(eq, cmp, false)
 		}
 	}
-	return
+	return taken, fall, !deadTaken, !deadFall
 }
 
 // edgeNarrower applies branch facts to a state, with access to the block
-// so refined bounds can chase def chains backward.
+// so refined bounds can chase def chains backward. An empty meet sets
+// dead: the edge the facts came from is infeasible.
 type edgeNarrower struct {
-	az *analyzer
-	b  *block
+	az   *analyzer
+	b    *block
+	dead *bool
 }
 
 // backpropDepth caps the affine def chains backprop follows; minic's
@@ -87,6 +99,7 @@ func (n edgeNarrower) meetIv(st *State, r isa.Reg, iv Interval, depth int) {
 	}
 	m, ok := st.IV[r].Meet(iv)
 	if !ok {
+		*n.dead = true
 		return
 	}
 	st.IV[r] = m
@@ -99,7 +112,11 @@ func (n edgeNarrower) meetSigned(st *State, r isa.Reg, a, b int64) {
 	if r == isa.Zero {
 		return
 	}
-	m := st.IV[r].MeetSigned(a, b)
+	m, ok := st.IV[r].MeetSignedOK(a, b)
+	if !ok {
+		*n.dead = true
+		return
+	}
 	st.IV[r] = m
 	n.backprop(st, r, m, 0)
 }
@@ -171,6 +188,7 @@ func (n edgeNarrower) affineDef(r isa.Reg) (src isa.Reg, delta uint32, ok bool) 
 func (n edgeNarrower) narrowEqual(st *State, rs, rt isa.Reg) {
 	m, ok := st.IV[rs].Meet(st.IV[rt])
 	if !ok {
+		*n.dead = true
 		return
 	}
 	n.meetIv(st, rs, m, 0)
@@ -188,6 +206,10 @@ func (n edgeNarrower) narrowNotEqual(st *State, rs, rt isa.Reg) {
 		iv := st.IV[r]
 		switch {
 		case iv.IsExact():
+			if iv.Lo() == v {
+				// Both sides exactly equal: the != edge is infeasible.
+				*n.dead = true
+			}
 		case iv.Lo() == v:
 			n.meetIv(st, r, IvRange(v+1, iv.Hi()), 0)
 		case iv.Hi() == v:
@@ -284,6 +306,9 @@ func (n edgeNarrower) narrowCompare(st *State, c comparison, holds bool) {
 	// SLTU / SLTIU: unsigned, directly on the interval bounds.
 	meetU := func(r isa.Reg, lo, hi uint64) {
 		if lo > hi || lo > math.MaxUint32 {
+			if r != isa.Zero {
+				*n.dead = true
+			}
 			return
 		}
 		n.meetIv(st, r, IvRange(uint32(lo), uint32(min(hi, math.MaxUint32))), 0)
@@ -291,6 +316,9 @@ func (n edgeNarrower) narrowCompare(st *State, c comparison, holds bool) {
 	if holds { // x < y (unsigned)
 		if yIv.Hi() > 0 {
 			meetU(c.x, 0, uint64(yIv.Hi())-1)
+		} else {
+			// y is exactly 0: nothing is unsigned-less than it.
+			*n.dead = true
 		}
 		meetU(yReg, uint64(xIv.Lo())+1, math.MaxUint32)
 	} else { // x >= y

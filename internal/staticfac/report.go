@@ -55,6 +55,14 @@ type SiteRecord struct {
 	Base    string `json:"base"`
 	Offset  string `json:"offset"`
 	Dead    bool   `json:"dead,omitempty"` // not reached by the dataflow
+
+	// Memory-domain claim: when the access provably targets one tracked
+	// cell, its kind ("global" or "stack"), word address, and the abstract
+	// value the access observes or writes. Checked dynamically by the
+	// difftest value-soundness oracle.
+	CellKind string `json:"cell_kind,omitempty"`
+	Cell     string `json:"cell,omitempty"`
+	Val      string `json:"val,omitempty"`
 }
 
 // NewReport creates an empty report for one geometry.
@@ -100,6 +108,11 @@ func (r *Report) Add(name, toolchain string, a *Analysis) {
 		}
 		if st.CanFail != 0 {
 			rec.CanFail = st.CanFail.String()
+		}
+		if st.CellKind != CellNone {
+			rec.CellKind = st.CellKind.String()
+			rec.Cell = fmt.Sprintf("%#08x", st.CellAddr)
+			rec.Val = st.Val.String()
 		}
 		pr.Sites = append(pr.Sites, rec)
 	}

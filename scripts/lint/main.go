@@ -1,5 +1,5 @@
 // Command lint is the repo's own vet-style static analyzer (stdlib go/ast +
-// go/types only, no external dependencies). It enforces two rules, both
+// go/types only, no external dependencies). It enforces three rules, all
 // born from real bugs in this codebase:
 //
 //  1. Range-over-map order dependence: a `for ... range m` over a map whose
@@ -20,10 +20,22 @@
 //     Deliberate setup-time or error-path allocations are suppressed with
 //     //lint:alloc-ok on the same line or the line above.
 //
+//  3. Magic schema/verdict strings: report schemas ("fac/static/v1",
+//     "fac/report/v1", ...) and verdict names ("proven_predictable",
+//     "proven_failing") are wire-format contracts checked byte-for-byte by
+//     golden files and downstream consumers. A raw string literal spelling
+//     one of them anywhere outside a const declaration is a typo waiting
+//     to fork the format, so it must reference the exported constant
+//     (staticfac.ReportSchema, staticfac.VerdictNamePredictable, ...)
+//     instead. Struct tags are exempt (encoding/json needs the literal);
+//     a deliberate duplicate — say, a doc example — is suppressed with
+//     //lint:schemaok on the line or the line above.
+//
 // Usage: go run ./scripts/lint [package-dir ...]
 // Without arguments it lints the packages where emission order matters
-// (internal/minic, internal/asm, internal/prog, internal/experiments)
-// plus the hot-path-marked simulator core (internal/pipeline).
+// (internal/minic, internal/asm, internal/prog, internal/experiments),
+// the hot-path-marked simulator core (internal/pipeline), and the
+// schema-bearing packages (internal/staticfac, internal/obs).
 package main
 
 import (
@@ -35,7 +47,9 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -49,6 +63,8 @@ var defaultTargets = []string{
 	"internal/experiments",
 	"internal/pipeline",
 	"internal/predict",
+	"internal/staticfac",
+	"internal/obs",
 }
 
 func main() {
@@ -203,6 +219,7 @@ func (l *linter) lintDir(dir string) ([]string, error) {
 		if hasHotpathMarker(f) {
 			findings = append(findings, l.lintHotpath(f, info)...)
 		}
+		findings = append(findings, l.lintSchemaStrings(f)...)
 		sorted := markerLines(l.fset, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			rs, ok := n.(*ast.RangeStmt)
@@ -249,18 +266,23 @@ func hasHotpathMarker(f *ast.File) bool {
 	return false
 }
 
-// allocOKLines returns the file lines carrying a //lint:alloc-ok marker,
-// which suppresses the hot-path allocation rule on that line or the next.
-func allocOKLines(fset *token.FileSet, f *ast.File) map[int]bool {
+// commentLines returns the file lines carrying the given //lint:... marker.
+func commentLines(fset *token.FileSet, f *ast.File, marker string) map[int]bool {
 	lines := map[int]bool{}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == "lint:alloc-ok" {
+			if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == marker {
 				lines[fset.Position(c.Pos()).Line] = true
 			}
 		}
 	}
 	return lines
+}
+
+// allocOKLines returns the file lines carrying a //lint:alloc-ok marker,
+// which suppresses the hot-path allocation rule on that line or the next.
+func allocOKLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	return commentLines(fset, f, "lint:alloc-ok")
 }
 
 // lintHotpath flags allocation-prone patterns in a //lint:hotpath file:
@@ -313,19 +335,85 @@ func (l *linter) lintHotpath(f *ast.File, info *types.Info) []string {
 	return findings
 }
 
+// schemaPattern matches report-schema identifiers like "fac/static/v1".
+var schemaPattern = regexp.MustCompile(`^fac/[a-z-]+/v[0-9]+$`)
+
+// verdictNames are the wire-format verdict strings; "unknown" is excluded
+// because it doubles as the generic fallback of many String methods.
+var verdictNames = map[string]bool{
+	"proven_predictable": true,
+	"proven_failing":     true,
+}
+
+// lintSchemaStrings flags raw string literals that spell a schema
+// identifier or a verdict name outside a const declaration. Struct tags
+// are exempt, and //lint:schemaok on the literal's line (or the line
+// above) suppresses the finding.
+func (l *linter) lintSchemaStrings(f *ast.File) []string {
+	okLines := commentLines(l.fset, f, "lint:schemaok")
+
+	// Collect source ranges the rule does not apply to: const
+	// declarations (the canonical definitions live there) and struct
+	// field tags (encoding/json needs the literal).
+	type span struct{ lo, hi token.Pos }
+	var exempt []span
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GenDecl:
+			if n.Tok == token.CONST {
+				exempt = append(exempt, span{n.Pos(), n.End()})
+				return false
+			}
+		case *ast.Field:
+			if n.Tag != nil {
+				exempt = append(exempt, span{n.Tag.Pos(), n.Tag.End()})
+			}
+		}
+		return true
+	})
+	exempted := func(p token.Pos) bool {
+		for _, s := range exempt {
+			if p >= s.lo && p < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+
+	var findings []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING || exempted(lit.Pos()) {
+			return true
+		}
+		val, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		if !schemaPattern.MatchString(val) && !verdictNames[val] {
+			return true
+		}
+		p := l.fset.Position(lit.Pos())
+		if okLines[p.Line] || okLines[p.Line-1] {
+			return true
+		}
+		rel, err := filepath.Rel(l.root, p.Filename)
+		if err != nil {
+			rel = p.Filename
+		}
+		findings = append(findings, fmt.Sprintf(
+			"%s:%d: raw schema/verdict string %q (reference the exported constant, or mark //lint:schemaok)",
+			filepath.ToSlash(rel), p.Line, val))
+		return true
+	})
+	return findings
+}
+
 // markerLines returns the file lines carrying a //lint:sorted marker. The
 // marker suppresses a finding on its own line (trailing comment) or the
 // line below it (marker on its own line above the loop).
 func markerLines(fset *token.FileSet, f *ast.File) map[int]bool {
-	lines := map[int]bool{}
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) == "lint:sorted" {
-				lines[fset.Position(c.Pos()).Line] = true
-			}
-		}
-	}
-	return lines
+	return commentLines(fset, f, "lint:sorted")
 }
 
 // emitPrefixes are call-name prefixes that write output or build ordered

@@ -6,9 +6,10 @@ import (
 	"testing"
 )
 
-// TestSamplePackage checks both rules against the fixture package: the two
-// order-dependent loops and the three hot-path allocation idioms are
-// found; the clean and marker-suppressed cases are not.
+// TestSamplePackage checks all three rules against the fixture package:
+// the two order-dependent loops, the three hot-path allocation idioms, and
+// the two raw schema/verdict strings are found; the clean and
+// marker-suppressed cases are not.
 func TestSamplePackage(t *testing.T) {
 	dir, err := filepath.Abs("testdata/sample")
 	if err != nil {
@@ -19,14 +20,21 @@ func TestSamplePackage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(findings) != 5 {
-		t.Fatalf("got %d findings, want 5:\n%s", len(findings), strings.Join(findings, "\n"))
+	if len(findings) != 7 {
+		t.Fatalf("got %d findings, want 7:\n%s", len(findings), strings.Join(findings, "\n"))
 	}
 	all := strings.Join(findings, "\n")
-	for _, want := range []string{"append", "map literal", "make(map)", "appends to a slice", "calls Println"} {
+	for _, want := range []string{
+		"append", "map literal", "make(map)", "appends to a slice", "calls Println",
+		`"fac/sample/v1"`, `"proven_failing"`,
+	} {
 		if !strings.Contains(all, want) {
 			t.Errorf("no finding mentions %q:\n%s", want, all)
 		}
+	}
+	if n := strings.Count(all, "schema/verdict"); n != 2 {
+		t.Errorf("got %d schema/verdict findings, want 2 (const decl, struct tag, marker, and %q must stay exempt):\n%s",
+			n, "unknown", all)
 	}
 	for _, f := range findings {
 		if strings.Contains(f, "SortedKeys") || strings.Contains(f, ":47:") {

@@ -1,0 +1,28 @@
+package sample
+
+// Fixture for the schema/verdict string rule: the canonical const
+// declarations and the struct tag are exempt, the marked duplicate is
+// suppressed, and the two raw literals below must each be flagged.
+
+const SampleSchema = "fac/sample/v1" // exempt: const declaration
+
+type record struct {
+	Predictable int `json:"proven_predictable"` // exempt: struct tag
+}
+
+func badSchema() string {
+	return "fac/sample/v1" // flagged: raw schema string
+}
+
+func badVerdict() string {
+	return "proven_failing" // flagged: raw verdict string
+}
+
+func okMarked() string {
+	//lint:schemaok
+	return "fac/sample/v1"
+}
+
+func okOther() string {
+	return "unknown" // generic fallback string, not a verdict finding
+}
